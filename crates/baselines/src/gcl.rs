@@ -1,0 +1,119 @@
+//! Shared scaffolding for the GCL baselines (GraphCL, GCA): a
+//! feature-embedding + GAT + projection stack with **shared** parameters
+//! across both graph views (unlike SARN's momentum branch).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sarn_core::{DiscretizedFeatures, FeatureEmbedding};
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::layers::{Activation, EdgeIndex, Ffn, GatEncoder};
+use sarn_tensor::{Graph, ParamStore, Tensor, Var};
+
+/// Backbone dimensions shared by the GCL baselines.
+#[derive(Clone, Copy, Debug)]
+pub struct GclBackboneConfig {
+    /// Output embedding dimensionality.
+    pub d: usize,
+    /// Projection dimensionality.
+    pub d_z: usize,
+    /// Per-feature embedding width.
+    pub d_per_feature: usize,
+    /// GAT layers.
+    pub n_layers: usize,
+    /// GAT heads.
+    pub n_heads: usize,
+}
+
+impl Default for GclBackboneConfig {
+    fn default() -> Self {
+        Self {
+            d: 64,
+            d_z: 32,
+            d_per_feature: 8,
+            n_layers: 3,
+            n_heads: 4,
+        }
+    }
+}
+
+impl GclBackboneConfig {
+    /// Minimal configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            d: 16,
+            d_z: 8,
+            d_per_feature: 4,
+            n_layers: 2,
+            n_heads: 2,
+        }
+    }
+}
+
+/// The shared-parameter GCL backbone.
+pub struct GclBackbone {
+    feats: DiscretizedFeatures,
+    femb: FeatureEmbedding,
+    encoder: GatEncoder,
+    proj: Ffn,
+    /// Model parameters (single branch — both views share them).
+    pub store: ParamStore,
+}
+
+impl GclBackbone {
+    /// Builds the backbone for a network.
+    pub fn new(net: &RoadNetwork, cfg: &GclBackboneConfig, seed: u64) -> Self {
+        let feats = DiscretizedFeatures::from_network(net);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let femb = FeatureEmbedding::new(&mut store, &mut rng, "femb", &feats, cfg.d_per_feature);
+        let encoder = GatEncoder::new(
+            &mut store,
+            &mut rng,
+            "enc",
+            femb.d_f(),
+            cfg.d,
+            cfg.n_layers,
+            cfg.n_heads,
+        );
+        let proj = Ffn::new(
+            &mut store,
+            &mut rng,
+            "proj",
+            &[cfg.d, cfg.d, cfg.d_z],
+            Activation::Relu,
+        );
+        Self {
+            feats,
+            femb,
+            encoder,
+            proj,
+            store,
+        }
+    }
+
+    /// Records `H = F(X, view)` on a tape.
+    pub fn encode(&self, g: &Graph, edges: &EdgeIndex) -> Var {
+        let x = self.femb.forward(g, &self.store, &self.feats);
+        self.encoder.forward(g, &self.store, x, edges)
+    }
+
+    /// Records `Z = P(H)`.
+    pub fn project(&self, g: &Graph, h: Var) -> Var {
+        self.proj.forward(g, &self.store, h)
+    }
+
+    /// Gradient-free full forward, returning `n x d`.
+    pub fn embed_detached(&self, edges: &EdgeIndex) -> Tensor {
+        let g = Graph::new();
+        let h = self.encode(&g, edges);
+        g.value(h)
+    }
+
+    /// Gradient-free full forward + projection, returning `n x d_z`.
+    pub fn embed_projected_detached(&self, edges: &EdgeIndex) -> Tensor {
+        let g = Graph::new();
+        let h = self.encode(&g, edges);
+        let z = self.project(&g, h);
+        g.value(z)
+    }
+}

@@ -1,0 +1,259 @@
+//! HRNR (Wu et al., KDD 2020, simplified): hierarchical road-network
+//! representation with three levels — segments, structural regions, and
+//! functional zones. The original learns the hierarchy with two
+//! reconstruction tasks; this reproduction assigns regions/zones
+//! geographically (two nested grids) and learns the level mixing end to end
+//! with the downstream task, preserving the property the paper credits HRNR
+//! for (task-supervised embeddings enriched with multi-granularity
+//! structure). Like the original, it stores several dense level-transition
+//! matrices, which is what makes it exceed accelerator memory on SF-L
+//! (Table 8).
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sarn_core::DiscretizedFeatures;
+use sarn_core::FeatureEmbedding;
+use sarn_geo::Grid;
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::layers::{EdgeIndex, GatEncoder, Linear};
+use sarn_tensor::{Graph, ParamId, ParamStore, Tensor, Var};
+
+use crate::common::{MemoryBudget, TrainError};
+
+/// HRNR hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct HrnrConfig {
+    /// Embedding dimensionality.
+    pub d: usize,
+    /// Per-feature embedding width.
+    pub d_per_feature: usize,
+    /// GAT layers at the segment level.
+    pub n_layers: usize,
+    /// GAT heads.
+    pub n_heads: usize,
+    /// Structural-region grid cell side, meters.
+    pub region_cell_m: f64,
+    /// Functional-zone grid cell side, meters.
+    pub zone_cell_m: f64,
+    /// Simulated accelerator memory budget.
+    pub memory: MemoryBudget,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HrnrConfig {
+    fn default() -> Self {
+        Self {
+            d: 64,
+            d_per_feature: 8,
+            n_layers: 2,
+            n_heads: 4,
+            region_cell_m: 400.0,
+            zone_cell_m: 1200.0,
+            memory: MemoryBudget::default(),
+            seed: 61,
+        }
+    }
+}
+
+impl HrnrConfig {
+    /// Minimal configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            d: 16,
+            d_per_feature: 4,
+            n_layers: 1,
+            n_heads: 2,
+            ..Default::default()
+        }
+    }
+}
+
+/// The HRNR network. Train it end to end with a task head: run
+/// [`Hrnr::forward`] on a tape, attach the head, and step the optimizer on
+/// [`Hrnr::store`].
+pub struct Hrnr {
+    feats: DiscretizedFeatures,
+    femb: FeatureEmbedding,
+    encoder: GatEncoder,
+    w_region: Linear,
+    w_zone: Linear,
+    /// Model parameters.
+    pub store: ParamStore,
+    edges: EdgeIndex,
+    region_of: Rc<Vec<usize>>,
+    zone_of: Rc<Vec<usize>>,
+    n_regions: usize,
+    n_zones: usize,
+    region_alpha: Tensor,
+    zone_alpha: Tensor,
+}
+
+impl Hrnr {
+    /// Builds HRNR for a network, or fails with OOM when the dense
+    /// level-transition matrices exceed the memory budget.
+    pub fn new(net: &RoadNetwork, cfg: &HrnrConfig) -> Result<Self, TrainError> {
+        let n = net.num_segments();
+        // Dominant allocations: segment-level adjacency plus the
+        // segment-to-region and region-to-zone transition matrices and their
+        // reconstruction copies (~4 dense n^2 f32 matrices in the original).
+        cfg.memory.check(4 * n * n * 4)?;
+
+        let feats = DiscretizedFeatures::from_network(net);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let femb = FeatureEmbedding::new(&mut store, &mut rng, "hrnr.femb", &feats, cfg.d_per_feature);
+        let encoder = GatEncoder::new(
+            &mut store,
+            &mut rng,
+            "hrnr.enc",
+            femb.d_f(),
+            cfg.d,
+            cfg.n_layers,
+            cfg.n_heads,
+        );
+        let w_region = Linear::new(&mut store, &mut rng, "hrnr.w_region", cfg.d, cfg.d, false);
+        let w_zone = Linear::new(&mut store, &mut rng, "hrnr.w_zone", cfg.d, cfg.d, false);
+
+        let region_grid = Grid::new(*net.bbox(), cfg.region_cell_m);
+        let zone_grid = Grid::new(*net.bbox(), cfg.zone_cell_m);
+        let region_of: Vec<usize> = (0..n)
+            .map(|i| region_grid.cell_of(&net.segment(i).midpoint()))
+            .collect();
+        let zone_of: Vec<usize> = (0..n)
+            .map(|i| zone_grid.cell_of(&net.segment(i).midpoint()))
+            .collect();
+        let region_alpha = mean_pool_alpha(&region_of, region_grid.num_cells());
+        let zone_alpha = mean_pool_alpha(&zone_of, zone_grid.num_cells());
+
+        let edges = EdgeIndex::with_self_loops(
+            n,
+            net.topo_edges().iter().map(|&(i, j, _)| (j, i)),
+        );
+        Ok(Self {
+            feats,
+            femb,
+            encoder,
+            w_region,
+            w_zone,
+            store,
+            edges,
+            region_of: Rc::new(region_of),
+            zone_of: Rc::new(zone_of),
+            n_regions: region_grid.num_cells(),
+            n_zones: zone_grid.num_cells(),
+            region_alpha,
+            zone_alpha,
+        })
+    }
+
+    /// All parameter ids.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.store.ids().collect()
+    }
+
+    /// Records the hierarchical forward pass on a tape and returns the
+    /// `n x d` segment representations:
+    /// `h_i + W_r r(region(i)) + W_z z(zone(i))` with mean-pooled levels.
+    pub fn forward(&self, g: &Graph) -> Var {
+        self.forward_with(g, &self.store)
+    }
+
+    /// Like [`Hrnr::forward`] but against an external parameter store with
+    /// the same layout prefix (e.g. a clone extended with task-head
+    /// parameters, so the whole stack trains end to end).
+    pub fn forward_with(&self, g: &Graph, store: &ParamStore) -> Var {
+        let x = self.femb.forward(g, store, &self.feats);
+        let h = self.encoder.forward(g, store, x, &self.edges);
+        // Mean pooling up the hierarchy.
+        let ra = g.input(self.region_alpha.clone());
+        let regions = g.segment_weighted_sum(ra, h, Rc::clone(&self.region_of), self.n_regions);
+        let za = g.input(self.zone_alpha.clone());
+        let zones = g.segment_weighted_sum(za, h, Rc::clone(&self.zone_of), self.n_zones);
+        // Broadcast back down and mix.
+        let r_per_seg = g.gather_rows(regions, &self.region_of);
+        let z_per_seg = g.gather_rows(zones, &self.zone_of);
+        let r_mixed = self.w_region.forward(g, store, r_per_seg);
+        let z_mixed = self.w_zone.forward(g, store, z_per_seg);
+        g.add(g.add(h, r_mixed), z_mixed)
+    }
+
+    /// Gradient-free forward pass (for inference after training).
+    pub fn embed_detached(&self) -> Tensor {
+        let g = Graph::new();
+        let h = self.forward(&g);
+        g.value(h)
+    }
+}
+
+/// Per-segment mean-pooling coefficients: `1 / |cell members|`.
+fn mean_pool_alpha(assignment: &[usize], n_cells: usize) -> Tensor {
+    let mut counts = vec![0usize; n_cells];
+    for &c in assignment {
+        counts[c] += 1;
+    }
+    Tensor::col(
+        &assignment
+            .iter()
+            .map(|&c| 1.0 / counts[c] as f32)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+    use sarn_tensor::optim::Adam;
+
+    #[test]
+    fn forward_produces_finite_embeddings() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.22).generate();
+        let hrnr = Hrnr::new(&net, &HrnrConfig::tiny()).unwrap();
+        let e = hrnr.embed_detached();
+        assert_eq!(e.shape(), (net.num_segments(), 16));
+        assert!(e.all_finite());
+    }
+
+    #[test]
+    fn ooms_when_budget_too_small() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.22).generate();
+        let cfg = HrnrConfig {
+            memory: MemoryBudget { bytes: 1000 },
+            ..HrnrConfig::tiny()
+        };
+        assert!(matches!(
+            Hrnr::new(&net, &cfg),
+            Err(TrainError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn trains_end_to_end_with_a_head() {
+        // Supervised smoke test: predict road-class index from embeddings.
+        let net = SynthConfig::city(City::Chengdu).scaled(0.2).generate();
+        let mut hrnr = Hrnr::new(&net, &HrnrConfig::tiny()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = Linear::new(&mut hrnr.store, &mut rng, "head", 16, 7, true);
+        let labels: Vec<usize> = net.segments().iter().map(|s| s.class.index()).collect();
+        let mut opt = Adam::new(0.01);
+        let mut losses = Vec::new();
+        for _ in 0..6 {
+            hrnr.store.zero_grads();
+            let g = Graph::new();
+            let h = hrnr.forward(&g);
+            let logits = head.forward(&g, &hrnr.store, h);
+            let loss = g.cross_entropy(logits, &labels);
+            losses.push(g.value(loss).item());
+            g.backward(loss);
+            g.accumulate_grads(&mut hrnr.store);
+            opt.step(&mut hrnr.store);
+        }
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "loss did not drop: {losses:?}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # sarn-baselines
+//!
+//! The competitor models of the SARN evaluation (paper §5.1), implemented
+//! from scratch against the same substrates:
+//!
+//! **Self-supervised**: [`Node2Vec`] (biased walks + skip-gram),
+//! [`GraphCl`] (shared-encoder GCL, in-batch negatives), [`Gca`]
+//! (adaptive augmentation, all-vertex negatives — with the memory blow-up
+//! the paper observes on large networks), [`Srn2Vec`] (spatial pair
+//! classification FFN).
+//!
+//! **Supervised**: [`Hrnr`] (hierarchical, task-supervised; simplified),
+//! [`Neutraj`] (trajectory-similarity metric learning; simplified),
+//! [`Rne`] (shortest-path-distance-supervised embeddings; simplified).
+//!
+//! Simplifications relative to the original systems are documented per
+//! module and in DESIGN.md.
+
+#![warn(missing_docs)]
+
+mod common;
+mod gca;
+mod gcl;
+mod graphcl;
+mod hrnr;
+mod neutraj;
+mod node2vec;
+mod rne;
+mod srn2vec;
+
+pub use common::{MemoryBudget, TrainError};
+pub use gca::{Gca, GcaConfig};
+pub use gcl::{GclBackbone, GclBackboneConfig};
+pub use graphcl::{GraphCl, GraphClConfig};
+pub use hrnr::{Hrnr, HrnrConfig};
+pub use neutraj::{Neutraj, NeutrajConfig};
+pub use node2vec::{Node2Vec, Node2VecConfig};
+pub use rne::{Rne, RneConfig};
+pub use srn2vec::{Srn2Vec, Srn2VecConfig};

@@ -1,0 +1,274 @@
+//! NEUTRAJ (Yao et al., ICDE 2019, simplified): a supervised trajectory
+//! similarity model. A recurrent encoder maps a trajectory to a vector such
+//! that the L1 distance between two vectors approximates their true
+//! (Fréchet) distance, enabling linear-time similarity search. The original
+//! adds a spatial-attention memory unit; this reproduction keeps the
+//! metric-learning core with a 2-layer GRU, which preserves the property
+//! the paper compares against (a task-specific model that does not produce
+//! road-segment embeddings).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::layers::GruStack;
+use sarn_tensor::optim::Adam;
+use sarn_tensor::{Graph, ParamStore, Tensor};
+use sarn_traj::{MatchedTrajectory, TrajDataset};
+
+/// NEUTRAJ hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct NeutrajConfig {
+    /// GRU hidden width (trajectory embedding size).
+    pub hidden: usize,
+    /// GRU layers.
+    pub n_layers: usize,
+    /// Training pairs per epoch.
+    pub pairs_per_epoch: usize,
+    /// Pair mini-batch size.
+    pub batch_size: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NeutrajConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            n_layers: 2,
+            pairs_per_epoch: 2000,
+            batch_size: 32,
+            epochs: 6,
+            lr: 0.005,
+            seed: 71,
+        }
+    }
+}
+
+impl NeutrajConfig {
+    /// Minimal configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: 12,
+            n_layers: 2,
+            pairs_per_epoch: 200,
+            batch_size: 16,
+            epochs: 4,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-step input features: normalized (x, y) midpoint + (sin, cos) heading.
+const STEP_FEATURES: usize = 4;
+
+/// A trained NEUTRAJ model.
+pub struct Neutraj {
+    stack: GruStack,
+    store: ParamStore,
+    /// Distance normalization applied to training targets, meters.
+    pub scale_m: f64,
+    /// Wall-clock training time, seconds.
+    pub train_seconds: f64,
+    // feature normalization context
+    origin: sarn_geo::Point,
+    extent_m: f64,
+}
+
+impl Neutraj {
+    /// Trains NEUTRAJ on the trajectories at `train_idx` with Fréchet
+    /// ground-truth targets.
+    pub fn train(net: &RoadNetwork, data: &TrajDataset, train_idx: &[usize], cfg: &NeutrajConfig) -> Self {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let stack = GruStack::new(
+            &mut store,
+            &mut rng,
+            "neutraj",
+            STEP_FEATURES,
+            cfg.hidden,
+            cfg.n_layers,
+        );
+        let bbox = net.bbox();
+        let origin = sarn_geo::Point::new(bbox.min_lat, bbox.min_lon);
+        let extent_m = bbox.width_m().max(bbox.height_m()).max(1.0);
+
+        let frechet = data.frechet_matrix(net, train_idx);
+        let m = train_idx.len();
+        let scale_m = (frechet.iter().sum::<f64>() / (m * m).max(1) as f64).max(1.0);
+
+        let mut model = Self {
+            stack,
+            store,
+            scale_m,
+            train_seconds: 0.0,
+            origin,
+            extent_m,
+        };
+        let mut opt = Adam::new(cfg.lr);
+        for _ in 0..cfg.epochs {
+            let pairs: Vec<(usize, usize)> = (0..cfg.pairs_per_epoch)
+                .map(|_| (rng.gen_range(0..m), rng.gen_range(0..m)))
+                .filter(|(a, b)| a != b)
+                .collect();
+            for chunk in pairs.chunks(cfg.batch_size) {
+                let lhs: Vec<&MatchedTrajectory> =
+                    chunk.iter().map(|&(a, _)| &data.trajectories[train_idx[a]]).collect();
+                let rhs: Vec<&MatchedTrajectory> =
+                    chunk.iter().map(|&(_, b)| &data.trajectories[train_idx[b]]).collect();
+                let target = Tensor::col(
+                    &chunk
+                        .iter()
+                        .map(|&(a, b)| (frechet[a * m + b] / model.scale_m) as f32)
+                        .collect::<Vec<_>>(),
+                );
+                model.store.zero_grads();
+                let g = Graph::new();
+                let ea = model.encode_batch(&g, net, &lhs);
+                let eb = model.encode_batch(&g, net, &rhs);
+                let l1 = g.sum_rows(g.abs(g.sub(ea, eb)));
+                let loss = g.mse(l1, &target);
+                g.backward(loss);
+                g.accumulate_grads(&mut model.store);
+                opt.step(&mut model.store);
+            }
+        }
+        model.train_seconds = start.elapsed().as_secs_f64();
+        model
+    }
+
+    /// Per-step features of one trajectory.
+    fn step_features(&self, net: &RoadNetwork, t: &MatchedTrajectory) -> Vec<[f32; STEP_FEATURES]> {
+        let proj = sarn_geo::LocalProjection::new(self.origin);
+        t.segments
+            .iter()
+            .map(|&sid| {
+                let seg = net.segment(sid);
+                let (x, y) = proj.project(&seg.midpoint());
+                [
+                    (x / self.extent_m) as f32,
+                    (y / self.extent_m) as f32,
+                    seg.radian.sin() as f32,
+                    seg.radian.cos() as f32,
+                ]
+            })
+            .collect()
+    }
+
+    /// Records the batched encoder on a tape (padded + masked sequences).
+    fn encode_batch(
+        &self,
+        g: &Graph,
+        net: &RoadNetwork,
+        trajs: &[&MatchedTrajectory],
+    ) -> sarn_tensor::Var {
+        let feats: Vec<Vec<[f32; STEP_FEATURES]>> =
+            trajs.iter().map(|t| self.step_features(net, t)).collect();
+        let max_len = feats.iter().map(Vec::len).max().unwrap_or(1);
+        let b = trajs.len();
+        let mut xs = Vec::with_capacity(max_len);
+        let mut masks = Vec::with_capacity(max_len);
+        for t in 0..max_len {
+            let mut x = Tensor::zeros(b, STEP_FEATURES);
+            let mut mask = Tensor::zeros(b, 1);
+            for (i, f) in feats.iter().enumerate() {
+                if let Some(step) = f.get(t) {
+                    x.row_slice_mut(i).copy_from_slice(step);
+                    mask.set(i, 0, 1.0);
+                }
+            }
+            xs.push(g.input(x));
+            masks.push(mask);
+        }
+        self.stack.run(g, &self.store, &xs, Some(&masks))
+    }
+
+    /// Embeds trajectories into `m x hidden` vectors (inference).
+    pub fn embed(&self, net: &RoadNetwork, trajs: &[&MatchedTrajectory]) -> Tensor {
+        let g = Graph::new();
+        let e = self.encode_batch(&g, net, trajs);
+        g.value(e)
+    }
+
+    /// Predicted distance between two embedded trajectories, meters.
+    pub fn predict_distance_m(&self, emb: &Tensor, a: usize, b: usize) -> f64 {
+        let l1: f32 = emb
+            .row_slice(a)
+            .iter()
+            .zip(emb.row_slice(b))
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        l1 as f64 * self.scale_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+    use sarn_traj::TrajGenConfig;
+
+    fn setup() -> (RoadNetwork, TrajDataset) {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.25).generate();
+        let gen = TrajGenConfig {
+            count: 24,
+            min_segments: 6,
+            max_segments: 15,
+            ..Default::default()
+        };
+        let data = TrajDataset::build(&net, &gen, 15);
+        (net, data)
+    }
+
+    #[test]
+    fn trains_and_embeds_trajectories() {
+        let (net, data) = setup();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let model = Neutraj::train(&net, &data, &idx, &NeutrajConfig::tiny());
+        let refs: Vec<&MatchedTrajectory> = data.trajectories.iter().collect();
+        let emb = model.embed(&net, &refs);
+        assert_eq!(emb.shape(), (data.len(), 12));
+        assert!(emb.all_finite());
+        assert!(model.predict_distance_m(&emb, 0, 1) >= 0.0);
+    }
+
+    #[test]
+    fn predictions_correlate_with_frechet() {
+        let (net, data) = setup();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut cfg = NeutrajConfig::tiny();
+        cfg.epochs = 10;
+        cfg.pairs_per_epoch = 400;
+        let model = Neutraj::train(&net, &data, &idx, &cfg);
+        let refs: Vec<&MatchedTrajectory> = data.trajectories.iter().collect();
+        let emb = model.embed(&net, &refs);
+        let truth = data.frechet_matrix(&net, &idx);
+        let m = idx.len();
+        let mut preds = Vec::new();
+        let mut trues = Vec::new();
+        for a in 0..m {
+            for b in (a + 1)..m {
+                preds.push(model.predict_distance_m(&emb, a, b));
+                trues.push(truth[a * m + b]);
+            }
+        }
+        let corr = pearson(&preds, &trues);
+        assert!(corr > 0.3, "correlation {corr}");
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt() + 1e-12)
+    }
+}

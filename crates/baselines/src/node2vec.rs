@@ -1,0 +1,185 @@
+//! node2vec (Grover & Leskovec, KDD 2016): biased random walks +
+//! skip-gram with negative sampling, applied to the road-segment graph.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sarn_roadnet::RoadNetwork;
+use sarn_graph::{BiasedWalker, WalkConfig};
+use sarn_tensor::{init, Tensor};
+
+/// node2vec hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct Node2VecConfig {
+    /// Embedding dimensionality.
+    pub d: usize,
+    /// Walk generation parameters.
+    pub walks: WalkConfig,
+    /// Skip-gram context window.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Training epochs over the walk corpus.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Self {
+            d: 64,
+            walks: WalkConfig {
+                walk_length: 30,
+                walks_per_vertex: 6,
+                p: 1.0,
+                q: 1.0,
+            },
+            window: 5,
+            negatives: 5,
+            lr: 0.025,
+            epochs: 2,
+            seed: 11,
+        }
+    }
+}
+
+/// A trained node2vec model.
+pub struct Node2Vec {
+    /// `n x d` segment embeddings (the input-vector table).
+    pub embeddings: Tensor,
+    /// Wall-clock training time, seconds.
+    pub train_seconds: f64,
+}
+
+impl Node2Vec {
+    /// Trains node2vec on the topological graph of a road network.
+    pub fn train(net: &RoadNetwork, cfg: &Node2VecConfig) -> Self {
+        let start = Instant::now();
+        let graph = net.topo_digraph();
+        let n = net.num_segments();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let walker = BiasedWalker::new(&graph, cfg.walks);
+        let walks = walker.generate_all(&mut rng);
+
+        let mut emb_in = init::uniform(&mut rng, n, cfg.d, -0.5 / cfg.d as f32, 0.5 / cfg.d as f32);
+        let mut emb_out = Tensor::zeros(n, cfg.d);
+
+        for _ in 0..cfg.epochs {
+            for walk in &walks {
+                for (c, &center) in walk.iter().enumerate() {
+                    let lo = c.saturating_sub(cfg.window);
+                    let hi = (c + cfg.window + 1).min(walk.len());
+                    for t in lo..hi {
+                        if t == c {
+                            continue;
+                        }
+                        let context = walk[t];
+                        sgd_pair(&mut emb_in, &mut emb_out, center, context, true, cfg.lr);
+                        for _ in 0..cfg.negatives {
+                            let neg = rng.gen_range(0..n);
+                            if neg != context {
+                                sgd_pair(&mut emb_in, &mut emb_out, center, neg, false, cfg.lr);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            embeddings: emb_in,
+            train_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// One skip-gram SGD update on a (center, context) pair.
+fn sgd_pair(
+    emb_in: &mut Tensor,
+    emb_out: &mut Tensor,
+    center: usize,
+    other: usize,
+    positive: bool,
+    lr: f32,
+) {
+    let d = emb_in.cols();
+    let mut dot = 0.0f32;
+    for k in 0..d {
+        dot += emb_in.at(center, k) * emb_out.at(other, k);
+    }
+    let pred = 1.0 / (1.0 + (-dot).exp());
+    let grad = if positive { pred - 1.0 } else { pred };
+    for k in 0..d {
+        let vi = emb_in.at(center, k);
+        let vo = emb_out.at(other, k);
+        emb_in.set(center, k, vi - lr * grad * vo);
+        emb_out.set(other, k, vo - lr * grad * vi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+
+    fn tiny_cfg() -> Node2VecConfig {
+        Node2VecConfig {
+            d: 16,
+            walks: WalkConfig {
+                walk_length: 10,
+                walks_per_vertex: 2,
+                p: 1.0,
+                q: 1.0,
+            },
+            epochs: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_finite_embeddings_of_right_shape() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.22).generate();
+        let model = Node2Vec::train(&net, &tiny_cfg());
+        assert_eq!(model.embeddings.shape(), (net.num_segments(), 16));
+        assert!(model.embeddings.all_finite());
+        assert!(model.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn topological_neighbors_are_more_similar_than_random() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.22).generate();
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 3;
+        let model = Node2Vec::train(&net, &cfg);
+        let emb = &model.embeddings;
+        let cosine = |a: usize, b: usize| {
+            let (ra, rb) = (emb.row_slice(a), emb.row_slice(b));
+            let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+            let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = rb.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb + 1e-9)
+        };
+        let mut adj_sim = 0.0;
+        let mut adj_n = 0;
+        for &(i, j, _) in net.topo_edges().iter().take(200) {
+            adj_sim += cosine(i, j);
+            adj_n += 1;
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rnd_sim = 0.0;
+        for _ in 0..200 {
+            let i = rng.gen_range(0..net.num_segments());
+            let j = rng.gen_range(0..net.num_segments());
+            rnd_sim += cosine(i, j);
+        }
+        assert!(
+            adj_sim / adj_n as f32 > rnd_sim / 200.0,
+            "neighbors {} vs random {}",
+            adj_sim / adj_n as f32,
+            rnd_sim / 200.0
+        );
+    }
+}

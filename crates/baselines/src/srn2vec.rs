@@ -1,0 +1,200 @@
+//! SRN2Vec (Wang et al., TIST 2020, reimplemented from the paper's
+//! description — no code release): an FFN trained to predict whether two
+//! road segments are spatially close and whether they share a road type;
+//! the learned per-segment table is used as the embedding. Captures spatial
+//! proximity but no graph topology.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sarn_geo::{haversine_m, Grid};
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::layers::Linear;
+use sarn_tensor::optim::Adam;
+use sarn_tensor::{init, Graph, ParamStore, Tensor};
+
+/// SRN2Vec hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct Srn2VecConfig {
+    /// Embedding dimensionality.
+    pub d: usize,
+    /// Hidden width of the pair classifier.
+    pub hidden: usize,
+    /// "Close" distance threshold in meters.
+    pub close_m: f64,
+    /// Training pairs per epoch.
+    pub pairs_per_epoch: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Srn2VecConfig {
+    fn default() -> Self {
+        Self {
+            d: 64,
+            hidden: 64,
+            close_m: 250.0,
+            pairs_per_epoch: 20_000,
+            batch_size: 256,
+            epochs: 5,
+            lr: 0.01,
+            seed: 41,
+        }
+    }
+}
+
+/// A trained SRN2Vec model.
+pub struct Srn2Vec {
+    /// `n x d` segment embeddings (the first-layer table).
+    pub embeddings: Tensor,
+    /// Wall-clock training time, seconds.
+    pub train_seconds: f64,
+}
+
+impl Srn2Vec {
+    /// Trains SRN2Vec on spatial-proximity and type-equality pair labels.
+    pub fn train(net: &RoadNetwork, cfg: &Srn2VecConfig) -> Self {
+        let start = Instant::now();
+        let n = net.num_segments();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Spatial hash for positive (close) pair sampling.
+        let grid = Grid::new(*net.bbox(), cfg.close_m.max(1.0));
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); grid.num_cells()];
+        for i in 0..n {
+            members[grid.cell_of(&net.segment(i).midpoint())].push(i);
+        }
+
+        let mut store = ParamStore::new();
+        let table = store.add("srn2vec.table", init::normal(&mut rng, n, cfg.d, 0.1));
+        let fc1 = Linear::new(&mut store, &mut rng, "srn2vec.fc1", cfg.d, cfg.hidden, true);
+        let head_close = Linear::new(&mut store, &mut rng, "srn2vec.close", cfg.hidden, 2, true);
+        let head_type = Linear::new(&mut store, &mut rng, "srn2vec.type", cfg.hidden, 2, true);
+        let mut opt = Adam::new(cfg.lr);
+
+        for _ in 0..cfg.epochs {
+            let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(cfg.pairs_per_epoch);
+            // Half the pairs from the local neighborhood (mostly close),
+            // half uniform (mostly far) — gives both labels support.
+            while pairs.len() < cfg.pairs_per_epoch / 2 {
+                let i = rng.gen_range(0..n);
+                let cell = grid.cell_of(&net.segment(i).midpoint());
+                let nearby = grid.neighborhood(cell, 1);
+                let cands = &members[nearby[rng.gen_range(0..nearby.len())]];
+                if let Some(&j) = cands.get(rng.gen_range(0..cands.len().max(1)).min(cands.len().saturating_sub(1))) {
+                    if i != j {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+            while pairs.len() < cfg.pairs_per_epoch {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                if i != j {
+                    pairs.push((i, j));
+                }
+            }
+
+            for chunk in pairs.chunks(cfg.batch_size) {
+                let is: Vec<usize> = chunk.iter().map(|&(i, _)| i).collect();
+                let js: Vec<usize> = chunk.iter().map(|&(_, j)| j).collect();
+                let y_close: Vec<usize> = chunk
+                    .iter()
+                    .map(|&(i, j)| {
+                        let d = haversine_m(
+                            &net.segment(i).midpoint(),
+                            &net.segment(j).midpoint(),
+                        );
+                        usize::from(d < cfg.close_m)
+                    })
+                    .collect();
+                let y_type: Vec<usize> = chunk
+                    .iter()
+                    .map(|&(i, j)| usize::from(net.segment(i).class == net.segment(j).class))
+                    .collect();
+                store.zero_grads();
+                let g = Graph::new();
+                let t = g.param(&store, table);
+                let ei = g.gather_rows(t, &is);
+                let ej = g.gather_rows(t, &js);
+                // Symmetric pair representation |e_i - e_j|: classifying
+                // "close" from it forces spatially close segments toward
+                // metrically close embeddings.
+                let x = g.abs(g.sub(ei, ej));
+                let h = g.relu(fc1.forward(&g, &store, x));
+                let lc = g.cross_entropy(head_close.forward(&g, &store, h), &y_close);
+                let lt = g.cross_entropy(head_type.forward(&g, &store, h), &y_type);
+                let loss = g.add(lc, lt);
+                g.backward(loss);
+                g.accumulate_grads(&mut store);
+                opt.step(&mut store);
+            }
+        }
+        Self {
+            embeddings: store.value(table).clone(),
+            train_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+
+    #[test]
+    fn close_pairs_end_up_nearer_in_embedding_space() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.22).generate();
+        let cfg = Srn2VecConfig {
+            d: 16,
+            hidden: 16,
+            pairs_per_epoch: 4000,
+            epochs: 6,
+            ..Default::default()
+        };
+        let m = Srn2Vec::train(&net, &cfg);
+        assert_eq!(m.embeddings.shape(), (net.num_segments(), 16));
+        assert!(m.embeddings.all_finite());
+        // Close pairs should have smaller L2 distance than random pairs.
+        let mut rng = StdRng::seed_from_u64(9);
+        let l2 = |a: usize, b: usize| -> f32 {
+            m.embeddings
+                .row_slice(a)
+                .iter()
+                .zip(m.embeddings.row_slice(b))
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let mut close_d = 0.0;
+        let mut close_n = 0;
+        let mut far_d = 0.0;
+        let mut far_n = 0;
+        for _ in 0..3000 {
+            let i = rng.gen_range(0..net.num_segments());
+            let j = rng.gen_range(0..net.num_segments());
+            if i == j {
+                continue;
+            }
+            let d = haversine_m(&net.segment(i).midpoint(), &net.segment(j).midpoint());
+            if d < 250.0 {
+                close_d += l2(i, j);
+                close_n += 1;
+            } else if d > 400.0 {
+                far_d += l2(i, j);
+                far_n += 1;
+            }
+        }
+        assert!(close_n > 10 && far_n > 10, "pair sampling degenerate");
+        let close = close_d / close_n as f32;
+        let far = far_d / far_n as f32;
+        assert!(close < far, "close {close} !< far {far}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the hot building blocks: `A^s`
+//! construction, graph augmentation, GAT forward pass, the two-level loss
+//! candidates, Fréchet distance, and Dijkstra.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sarn_core::{
+    AugmentConfig, Augmenter, CellQueues, SarnConfig, SarnModel, SpatialSimilarity,
+    SpatialSimilarityConfig,
+};
+use sarn_geo::{LocalProjection, Point};
+use sarn_graph::dijkstra;
+use sarn_roadnet::{City, RoadNetwork, SynthConfig};
+use sarn_traj::{discrete_frechet, TrajGenConfig};
+
+fn network() -> RoadNetwork {
+    SynthConfig::city(City::Chengdu).scaled(0.5).generate()
+}
+
+fn bench_spatial_similarity(c: &mut Criterion) {
+    let net = network();
+    c.bench_function("spatial_similarity_build", |b| {
+        b.iter(|| SpatialSimilarity::build(&net, &SpatialSimilarityConfig::default()))
+    });
+}
+
+fn bench_augmentation(c: &mut Criterion) {
+    let net = network();
+    let sim = SpatialSimilarity::build(&net, &SpatialSimilarityConfig::default());
+    let aug = Augmenter::new(
+        net.num_segments(),
+        net.topo_edges().to_vec(),
+        sim.edges().to_vec(),
+        AugmentConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("graph_augmentation_corrupt", |b| {
+        b.iter(|| aug.corrupt(&mut rng))
+    });
+}
+
+fn bench_gat_forward(c: &mut Criterion) {
+    let net = network();
+    let mut cfg = SarnConfig::small();
+    cfg.seed = 1;
+    let model = SarnModel::new(&net, &cfg);
+    let sim = SpatialSimilarity::build(&net, &cfg.similarity);
+    let aug = Augmenter::new(
+        net.num_segments(),
+        net.topo_edges().to_vec(),
+        sim.edges().to_vec(),
+        cfg.augment,
+    );
+    let edges = aug.full_view().edge_index();
+    c.bench_function("gat_encoder_forward", |b| {
+        b.iter(|| model.embed_detached(&model.store, &edges))
+    });
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let net = network();
+    let mut queues = CellQueues::new(&net, 600.0, 1000, 32);
+    let row = vec![0.5f32; 32];
+    for i in 0..net.num_segments() {
+        queues.push(i, &row);
+    }
+    c.bench_function("queue_candidates_local_plus_global", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let l = queues.local_candidates(10, &row);
+                let g = queues.global_candidates(10, &row);
+                (l, g)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_frechet(c: &mut Criterion) {
+    let net = network();
+    let gen = TrajGenConfig {
+        count: 2,
+        min_segments: 20,
+        max_segments: 60,
+        ..Default::default()
+    };
+    let traces = gen.generate(&net);
+    let proj = LocalProjection::new(Point::new(net.bbox().min_lat, net.bbox().min_lon));
+    c.bench_function("discrete_frechet_60pt", |b| {
+        b.iter(|| discrete_frechet(&traces[0].points, &traces[1].points, &proj))
+    });
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let net = network();
+    let g = net.routing_digraph();
+    c.bench_function("dijkstra_full_tree", |b| b.iter(|| dijkstra(&g, 0)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spatial_similarity, bench_augmentation, bench_gat_forward,
+              bench_negative_sampling, bench_frechet, bench_dijkstra
+}
+criterion_main!(benches);

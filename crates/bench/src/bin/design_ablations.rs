@@ -1,0 +1,75 @@
+//! Design-choice ablations called out in DESIGN.md §6 (beyond the paper's
+//! own Fig. 5 component ablation): InfoNCE similarity (cosine vs raw dot),
+//! global-readout aggregation (mean vs max), and momentum coefficient
+//! sensitivity. Reported on SF trajectory similarity, like Fig. 6.
+
+use sarn_bench::{fmt_cell, ExperimentScale, Table};
+use sarn_core::{train as sarn_train, LossSimilarity, Readout, SarnConfig};
+use sarn_roadnet::{City, RoadNetwork};
+use sarn_tasks::{traj_sim, EmbeddingSource, TrajSimConfig};
+use sarn_traj::TrajDataset;
+
+fn hr5(net: &RoadNetwork, data: &TrajDataset, cfg: &SarnConfig, seeds: usize) -> Vec<f64> {
+    (0..seeds)
+        .map(|s| {
+            let mut cfg = cfg.clone();
+            cfg.seed = s as u64 + 1;
+            let trained = sarn_train(net, &cfg);
+            let mut src = EmbeddingSource::frozen(&trained.embeddings);
+            let probe = TrajSimConfig {
+                pairs_per_epoch: 600,
+                epochs: 4,
+                hidden: 48,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            traj_sim(net, data, &mut src, &probe).hr5_pct
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let net = scale.network(City::SanFrancisco);
+    let data = scale.trajectories(&net, scale.max_traj_segments, 600);
+    let base = scale.sarn_config_for(&net, 1);
+
+    let mut table = Table::new(
+        "Design-choice ablations (SF, trajectory similarity HR@5 %)",
+        &["Configuration", "HR@5"],
+    );
+    let cases: Vec<(String, SarnConfig)> = vec![
+        ("cosine similarity (default)".into(), base.clone()),
+        ("raw dot product (paper literal)".into(), {
+            let mut c = base.clone();
+            c.loss_similarity = LossSimilarity::Dot;
+            c
+        }),
+        ("max readout".into(), {
+            let mut c = base.clone();
+            c.readout = Readout::Max;
+            c
+        }),
+        ("momentum m = 0.9".into(), {
+            let mut c = base.clone();
+            c.momentum = 0.9;
+            c
+        }),
+        ("momentum m = 0.99 (default here)".into(), {
+            let mut c = base.clone();
+            c.momentum = 0.99;
+            c
+        }),
+        ("momentum m = 0.999 (paper)".into(), {
+            let mut c = base.clone();
+            c.momentum = 0.999;
+            c
+        }),
+    ];
+    for (label, cfg) in cases {
+        let vals = hr5(&net, &data, &cfg, scale.seeds);
+        table.row(vec![label.clone(), fmt_cell(&vals)]);
+        eprintln!("[design_ablations] {label} done");
+    }
+    table.print();
+}

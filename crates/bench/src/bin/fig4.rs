@@ -1,0 +1,34 @@
+//! Figure 4: embedding learning time of the self-supervised models on
+//! CD / BJ / SF. The reproduction target is the ordering — GCA slowest by a
+//! multiple (all-vertex negatives), GraphCL and SRN2Vec fastest, SARN in
+//! between — not the absolute seconds.
+
+use sarn_bench::{train_embeddings, ExperimentScale, Method, Table};
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cities = [City::Chengdu, City::Beijing, City::SanFrancisco];
+    let methods = Method::self_supervised();
+
+    let mut table = Table::new(
+        "Figure 4: Embedding learning time (seconds)",
+        &["Method", "CD", "BJ", "SF"],
+    );
+    for method in methods {
+        let mut cells = vec![method.label()];
+        for &city in &cities {
+            let net = scale.network(city);
+            match train_embeddings(method, &net, &scale, 1) {
+                Ok(out) => cells.push(format!("{:.2}", out.seconds)),
+                Err(e) => {
+                    eprintln!("{}: {e}", method.label());
+                    cells.push("OOM".into());
+                }
+            }
+        }
+        table.row(cells);
+        eprintln!("[fig4] {} done", method.label());
+    }
+    table.print();
+}

@@ -1,0 +1,53 @@
+//! Figure 5: ablation study on SF — SARN-w/o-MNL, SARN-w/o-NL, SARN-w/o-M,
+//! and full SARN on all three downstream tasks. Expected shape: metrics
+//! improve as components are added; full SARN is best.
+
+use sarn_bench::{
+    eval_road_property, eval_spd, eval_traj_sim, fmt_cell, ExperimentScale, Method, Table,
+};
+use sarn_core::SarnVariant;
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let net = scale.network(City::SanFrancisco);
+    let data = scale.trajectories(&net, scale.max_traj_segments, 400);
+
+    let variants = [
+        SarnVariant::WithoutMNL,
+        SarnVariant::WithoutNL,
+        SarnVariant::WithoutM,
+        SarnVariant::Full,
+    ];
+
+    let mut table = Table::new(
+        "Figure 5: Ablation on SF (F1% | HR@5% | MRE%, MRE smaller is better)",
+        &["Variant", "Road property F1", "Traj sim HR@5", "SPD MRE"],
+    );
+    for v in variants {
+        let method = Method::SarnAblation(v);
+        let mut f1 = Vec::new();
+        let mut hr5 = Vec::new();
+        let mut mre = Vec::new();
+        for s in 0..scale.seeds {
+            let seed = s as u64 + 1;
+            if let Ok(r) = eval_road_property(method, &net, &scale, seed) {
+                f1.push(r.f1_pct);
+            }
+            if let Ok(r) = eval_traj_sim(method, &net, &data, &scale, seed) {
+                hr5.push(r.hr5_pct);
+            }
+            if let Ok(r) = eval_spd(method, &net, &scale, seed) {
+                mre.push(r.mre_pct);
+            }
+        }
+        table.row(vec![
+            v.label().to_string(),
+            fmt_cell(&f1),
+            fmt_cell(&hr5),
+            fmt_cell(&mre),
+        ]);
+        eprintln!("[fig5] {} done", v.label());
+    }
+    table.print();
+}

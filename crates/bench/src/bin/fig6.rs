@@ -1,0 +1,123 @@
+//! Figure 6: parameter study on SF (trajectory similarity HR@5 / HR@20).
+//!
+//! `--param d|clen|lambda|k|rho` selects one sweep; with no argument every
+//! sweep runs. Value grids follow the paper's, scaled where the reduced
+//! networks demand it (e.g. the embedding size grid tops out lower on CPU).
+
+use sarn_bench::{fmt_cell, ExperimentScale, Table};
+use sarn_core::{train as sarn_train, SarnConfig};
+use sarn_roadnet::{City, RoadNetwork};
+use sarn_tasks::{traj_sim, EmbeddingSource, TrajSimConfig};
+use sarn_traj::TrajDataset;
+
+fn main() {
+    let arg = std::env::args()
+        .skip_while(|a| a != "--param")
+        .nth(1)
+        .unwrap_or_else(|| "all".to_string());
+    let scale = ExperimentScale::from_env();
+    let net = scale.network(City::SanFrancisco);
+    let data = scale.trajectories(&net, scale.max_traj_segments, 500);
+
+    if arg == "d" || arg == "all" {
+        sweep(&scale, &net, &data, "Figure 6a: embedding dimensionality d", &[16, 32, 64, 128], |cfg, &d| {
+            cfg.d = d;
+            cfg.d_z = d / 2;
+        });
+    }
+    if arg == "clen" || arg == "all" {
+        // The paper sweeps 200-800 m on a ~5.7 km region; sweep the same
+        // fractions of this network's extent.
+        let extent = net.bbox().width_m().max(net.bbox().height_m());
+        let fracs = [0.035, 0.07, 0.105, 0.14, 0.2];
+        let values: Vec<usize> = fracs.iter().map(|f| (f * extent) as usize).collect();
+        sweep(&scale, &net, &data, "Figure 6b: cell side length clen (m)", &values, |cfg, &c| {
+            cfg.clen_m = c as f64;
+        });
+    }
+    if arg == "lambda" || arg == "all" {
+        sweep(&scale, &net, &data, "Figure 6c: loss trade-off lambda", &[0, 20, 40, 60, 80, 100], |cfg, &l| {
+            cfg.lambda = l as f32 / 100.0;
+        });
+    }
+    if arg == "k" || arg == "all" {
+        sweep(&scale, &net, &data, "Figure 6d: total negative-queue size K", &[250, 500, 1000, 2000, 4000], |cfg, &k| {
+            cfg.total_k = k;
+        });
+    }
+    if arg == "rho" || arg == "all" {
+        rho_heatmap(&scale, &net, &data);
+    }
+}
+
+fn hr_for(
+    net: &RoadNetwork,
+    data: &TrajDataset,
+    cfg: &SarnConfig,
+    seed: u64,
+) -> (f64, f64) {
+    let mut cfg = cfg.clone();
+    cfg.seed = seed;
+    let trained = sarn_train(net, &cfg);
+    let mut src = EmbeddingSource::frozen(&trained.embeddings);
+    let probe = TrajSimConfig {
+        pairs_per_epoch: 600,
+        epochs: 4,
+        hidden: 48,
+        seed,
+        ..Default::default()
+    };
+    let r = traj_sim(net, data, &mut src, &probe);
+    (r.hr5_pct, r.hr20_pct)
+}
+
+fn sweep<T: std::fmt::Display>(
+    scale: &ExperimentScale,
+    net: &RoadNetwork,
+    data: &TrajDataset,
+    title: &str,
+    values: &[T],
+    apply: impl Fn(&mut SarnConfig, &T),
+) {
+    let mut table = Table::new(title, &["Value", "HR@5 (%)", "HR@20 (%)"]);
+    for v in values {
+        let mut cfg = scale.sarn_config_for(net, 1);
+        apply(&mut cfg, v);
+        let mut hr5 = Vec::new();
+        let mut hr20 = Vec::new();
+        for s in 0..scale.seeds {
+            let (h5, h20) = hr_for(net, data, &cfg, s as u64 + 1);
+            hr5.push(h5);
+            hr20.push(h20);
+        }
+        table.row(vec![v.to_string(), fmt_cell(&hr5), fmt_cell(&hr20)]);
+        eprintln!("[fig6] {title}: value {v} done");
+    }
+    table.print();
+}
+
+/// Figure 6e: HR@5 heatmap over (rho_t, rho_s).
+fn rho_heatmap(scale: &ExperimentScale, net: &RoadNetwork, data: &TrajDataset) {
+    let rhos = [0.2, 0.4, 0.6, 0.8];
+    let mut table = Table::new(
+        "Figure 6e: HR@5 (%) over (rho_t rows, rho_s cols)",
+        &["rho_t \\ rho_s", "0.2", "0.4", "0.6", "0.8"],
+    );
+    for &rt in &rhos {
+        let mut cells = vec![format!("{rt}")];
+        for &rs in &rhos {
+            let mut cfg = scale.sarn_config_for(net, 1);
+            cfg.augment.rho_t = rt;
+            cfg.augment.rho_s = rs;
+            let mut hr5 = Vec::new();
+            for s in 0..scale.seeds {
+                let (h5, _) = hr_for(net, data, &cfg, s as u64 + 1);
+                hr5.push(h5);
+            }
+            cells.push(fmt_cell(&hr5));
+        }
+        table.row(cells);
+        eprintln!("[fig6e] rho_t={rt} row done");
+    }
+    table.print();
+}

@@ -1,0 +1,50 @@
+//! Table 4: road property (speed limit) prediction — F1 and AUC for every
+//! method on CD / BJ / SF.
+
+use sarn_bench::{eval_road_property, fmt_cell, ExperimentScale, Method, Table};
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cities = [City::Chengdu, City::Beijing, City::SanFrancisco];
+    let nets: Vec<_> = cities.iter().map(|&c| scale.network(c)).collect();
+
+    let mut methods = Method::self_supervised();
+    methods.extend([Method::SarnStar, Method::Hrnr, Method::Rne]);
+
+    let mut table = Table::new(
+        format!(
+            "Table 4: Road Property Prediction (F1% / AUC%), {} seed(s)",
+            scale.seeds
+        ),
+        &["Method", "CD F1", "CD AUC", "BJ F1", "BJ AUC", "SF F1", "SF AUC"],
+    );
+    for method in methods {
+        let mut cells = vec![method.label()];
+        for net in &nets {
+            let mut f1s = Vec::new();
+            let mut aucs = Vec::new();
+            for s in 0..scale.seeds {
+                match eval_road_property(method, net, &scale, s as u64 + 1) {
+                    Ok(r) => {
+                        f1s.push(r.f1_pct);
+                        aucs.push(r.auc_pct);
+                    }
+                    Err(e) => {
+                        eprintln!("{}: {e}", method.label());
+                    }
+                }
+            }
+            if f1s.is_empty() {
+                cells.push("OOM".into());
+                cells.push("OOM".into());
+            } else {
+                cells.push(fmt_cell(&f1s));
+                cells.push(fmt_cell(&aucs));
+            }
+        }
+        table.row(cells);
+        eprintln!("[table4] {} done", method.label());
+    }
+    table.print();
+}

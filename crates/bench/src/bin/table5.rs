@@ -1,0 +1,63 @@
+//! Table 5: trajectory similarity prediction — HR@5, HR@20, R5@20 for
+//! every method on CD / BJ / SF.
+
+use sarn_bench::{eval_traj_sim, fmt_cell, ExperimentScale, Method, Table};
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cities = [City::Chengdu, City::Beijing, City::SanFrancisco];
+
+    let mut methods = Method::self_supervised();
+    methods.extend([Method::SarnStar, Method::Hrnr, Method::Neutraj, Method::Rne]);
+
+    let mut table = Table::new(
+        format!(
+            "Table 5: Trajectory Similarity Prediction (HR@5 / HR@20 / R5@20, %), {} seed(s)",
+            scale.seeds
+        ),
+        &[
+            "Method", "CD HR@5", "CD HR@20", "CD R5@20", "BJ HR@5", "BJ HR@20", "BJ R5@20",
+            "SF HR@5", "SF HR@20", "SF R5@20",
+        ],
+    );
+
+    let data: Vec<_> = cities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let net = scale.network(c);
+            let trajs = scale.trajectories(&net, scale.max_traj_segments, 100 + i as u64);
+            (net, trajs)
+        })
+        .collect();
+
+    for method in methods {
+        let mut cells = vec![method.label()];
+        for (net, trajs) in &data {
+            let mut hr5 = Vec::new();
+            let mut hr20 = Vec::new();
+            let mut r520 = Vec::new();
+            for s in 0..scale.seeds {
+                match eval_traj_sim(method, net, trajs, &scale, s as u64 + 1) {
+                    Ok(r) => {
+                        hr5.push(r.hr5_pct);
+                        hr20.push(r.hr20_pct);
+                        r520.push(r.r5at20_pct);
+                    }
+                    Err(e) => eprintln!("{}: {e}", method.label()),
+                }
+            }
+            if hr5.is_empty() {
+                cells.extend(["OOM".to_string(), "OOM".into(), "OOM".into()]);
+            } else {
+                cells.push(fmt_cell(&hr5));
+                cells.push(fmt_cell(&hr20));
+                cells.push(fmt_cell(&r520));
+            }
+        }
+        table.row(cells);
+        eprintln!("[table5] {} done", method.label());
+    }
+    table.print();
+}

@@ -1,0 +1,47 @@
+//! Table 6: shortest-path distance prediction — MRE and MAE for every
+//! method on CD / BJ / SF (smaller is better).
+
+use sarn_bench::{eval_spd, fmt_cell, ExperimentScale, Method, Table};
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cities = [City::Chengdu, City::Beijing, City::SanFrancisco];
+    let nets: Vec<_> = cities.iter().map(|&c| scale.network(c)).collect();
+
+    let mut methods = Method::self_supervised();
+    methods.extend([Method::SarnStar, Method::Hrnr, Method::Rne]);
+
+    let mut table = Table::new(
+        format!(
+            "Table 6: Shortest-Path Distance Prediction (MRE% / MAE m; smaller is better), {} seed(s)",
+            scale.seeds
+        ),
+        &["Method", "CD MRE", "CD MAE", "BJ MRE", "BJ MAE", "SF MRE", "SF MAE"],
+    );
+    for method in methods {
+        let mut cells = vec![method.label()];
+        for net in &nets {
+            let mut mres = Vec::new();
+            let mut maes = Vec::new();
+            for s in 0..scale.seeds {
+                match eval_spd(method, net, &scale, s as u64 + 1) {
+                    Ok(r) => {
+                        mres.push(r.mre_pct);
+                        maes.push(r.mae_m);
+                    }
+                    Err(e) => eprintln!("{}: {e}", method.label()),
+                }
+            }
+            if mres.is_empty() {
+                cells.extend(["OOM".to_string(), "OOM".into()]);
+            } else {
+                cells.push(fmt_cell(&mres));
+                cells.push(fmt_cell(&maes));
+            }
+        }
+        table.row(cells);
+        eprintln!("[table6] {} done", method.label());
+    }
+    table.print();
+}

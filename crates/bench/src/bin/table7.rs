@@ -1,0 +1,52 @@
+//! Table 7: impact of the number of road segments per trajectory on
+//! trajectory similarity (BJ / T-Drive in the paper). The maximum segment
+//! count sweeps over three settings; the paper uses {60, 120, 180} — the
+//! same 1x/2x/3x progression is applied to the configured base length.
+
+use sarn_bench::{eval_traj_sim, fmt_cell, ExperimentScale, Method, Table};
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let net = scale.network(City::Beijing);
+    let base = scale.max_traj_segments;
+    let lengths = [base, base * 2, base * 3];
+    let methods = [
+        Method::Srn2Vec,
+        Method::Sarn,
+        Method::SarnStar,
+        Method::Neutraj,
+    ];
+
+    for (metric_idx, metric_name) in ["HR@5 (%)", "HR@20 (%)", "R5@20 (%)"].iter().enumerate() {
+        let mut table = Table::new(
+            format!("Table 7: {} vs max segments per trajectory (BJ)", metric_name),
+            &[
+                "Method",
+                &lengths[0].to_string(),
+                &lengths[1].to_string(),
+                &lengths[2].to_string(),
+            ],
+        );
+        for method in methods {
+            let mut cells = vec![method.label()];
+            for (li, &len) in lengths.iter().enumerate() {
+                let trajs = scale.trajectories(&net, len, 200 + li as u64);
+                let mut vals = Vec::new();
+                for s in 0..scale.seeds {
+                    if let Ok(r) = eval_traj_sim(method, &net, &trajs, &scale, s as u64 + 1) {
+                        vals.push(match metric_idx {
+                            0 => r.hr5_pct,
+                            1 => r.hr20_pct,
+                            _ => r.r5at20_pct,
+                        });
+                    }
+                }
+                cells.push(fmt_cell(&vals));
+            }
+            table.row(cells);
+            eprintln!("[table7] {} / {} done", method.label(), metric_name);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,115 @@
+//! Table 8: all three downstream tasks on road networks of different sizes
+//! (SF-S / SF / SF-L, roughly two-fold steps). GCA and HRNR exceed the
+//! simulated accelerator memory budget (`SARN_MEMORY_MB`, default 128) on
+//! SF-L, as in the paper. Frozen-embedding methods are trained once per
+//! network and reused across the three tasks.
+
+use sarn_bench::{
+    eval_road_property, eval_road_property_frozen, eval_spd, eval_spd_frozen, eval_traj_sim,
+    eval_traj_sim_frozen, fmt_cell, train_embeddings, ExperimentScale, Method, Table,
+};
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let cities = [
+        City::SanFranciscoSmall,
+        City::SanFrancisco,
+        City::SanFranciscoLarge,
+    ];
+    let nets: Vec<_> = cities.iter().map(|&c| scale.network(c)).collect();
+    for (c, n) in cities.iter().zip(&nets) {
+        eprintln!("[table8] {} has {} segments", c.short_name(), n.num_segments());
+    }
+    let trajs: Vec<_> = nets
+        .iter()
+        .enumerate()
+        .map(|(i, net)| scale.trajectories(net, scale.max_traj_segments, 300 + i as u64))
+        .collect();
+
+    let frozen_methods = [
+        Method::Node2Vec,
+        Method::Srn2Vec,
+        Method::GraphCl,
+        Method::Gca,
+        Method::Sarn,
+        Method::Rne,
+    ];
+    let live_methods = [Method::SarnStar, Method::Hrnr];
+
+    let mut t_prop = Table::new(
+        "Table 8a: Road Property Prediction F1 (%) by network size",
+        &["Method", "SF-S", "SF", "SF-L"],
+    );
+    let mut t_traj = Table::new(
+        "Table 8b: Trajectory Similarity HR@5 (%) by network size",
+        &["Method", "SF-S", "SF", "SF-L"],
+    );
+    let mut t_spd = Table::new(
+        "Table 8c: Shortest-Path Distance MRE (%) by network size (smaller is better)",
+        &["Method", "SF-S", "SF", "SF-L"],
+    );
+
+    let cell = |v: &Vec<f64>| -> String {
+        if v.is_empty() {
+            "OOM".into()
+        } else {
+            fmt_cell(v)
+        }
+    };
+
+    for method in frozen_methods {
+        let (mut f1c, mut hrc, mut mrec) = (vec![method.label()], vec![method.label()], vec![method.label()]);
+        for (net, data) in nets.iter().zip(&trajs) {
+            let (mut f1, mut hr5, mut mre) = (Vec::new(), Vec::new(), Vec::new());
+            for s in 0..scale.seeds {
+                let seed = s as u64 + 1;
+                match train_embeddings(method, net, &scale, seed) {
+                    Ok(out) => {
+                        f1.push(eval_road_property_frozen(net, &out.embeddings, seed).f1_pct);
+                        hr5.push(eval_traj_sim_frozen(net, data, &out.embeddings, seed).hr5_pct);
+                        mre.push(eval_spd_frozen(net, &out.embeddings, seed).mre_pct);
+                    }
+                    Err(e) => eprintln!("{}: {e}", method.label()),
+                }
+            }
+            f1c.push(cell(&f1));
+            hrc.push(cell(&hr5));
+            mrec.push(cell(&mre));
+        }
+        t_prop.row(f1c);
+        t_traj.row(hrc);
+        t_spd.row(mrec);
+        eprintln!("[table8] {} done", method.label());
+    }
+
+    for method in live_methods {
+        let (mut f1c, mut hrc, mut mrec) = (vec![method.label()], vec![method.label()], vec![method.label()]);
+        for (net, data) in nets.iter().zip(&trajs) {
+            let (mut f1, mut hr5, mut mre) = (Vec::new(), Vec::new(), Vec::new());
+            for s in 0..scale.seeds {
+                let seed = s as u64 + 1;
+                if let Ok(r) = eval_road_property(method, net, &scale, seed) {
+                    f1.push(r.f1_pct);
+                }
+                if let Ok(r) = eval_traj_sim(method, net, data, &scale, seed) {
+                    hr5.push(r.hr5_pct);
+                }
+                if let Ok(r) = eval_spd(method, net, &scale, seed) {
+                    mre.push(r.mre_pct);
+                }
+            }
+            f1c.push(cell(&f1));
+            hrc.push(cell(&hr5));
+            mrec.push(cell(&mre));
+        }
+        t_prop.row(f1c);
+        t_traj.row(hrc);
+        t_spd.row(mrec);
+        eprintln!("[table8] {} done", method.label());
+    }
+
+    t_prop.print();
+    t_traj.print();
+    t_spd.print();
+}

@@ -1,0 +1,384 @@
+//! Uniform interface over all evaluated methods (paper §5.1 "Competitors").
+
+use sarn_baselines::{
+    Gca, GcaConfig, GclBackboneConfig, GraphCl, GraphClConfig, Hrnr, HrnrConfig, Neutraj,
+    NeutrajConfig, Node2Vec, Node2VecConfig, Rne, RneConfig, Srn2Vec, Srn2VecConfig, TrainError,
+};
+use sarn_core::{train as sarn_train, SarnVariant};
+use sarn_roadnet::RoadNetwork;
+use sarn_tasks::{
+    metrics, road_property, spd, traj_sim, EmbeddingSource, RoadPropertyConfig,
+    RoadPropertyResult, SpdConfig, SpdResult, TrajSimConfig, TrajSimResult,
+};
+use sarn_tensor::Tensor;
+use sarn_traj::{split_indices, MatchedTrajectory, TrajDataset};
+
+use crate::scale::ExperimentScale;
+
+/// Simulated accelerator memory budget for the quadratic-memory methods
+/// (GCA, HRNR), in bytes. `SARN_MEMORY_MB` overrides the 128 MB default so
+/// Table 8's OOM regime can be reproduced at reduced network scales.
+pub fn memory_budget() -> sarn_baselines::MemoryBudget {
+    let mb = std::env::var("SARN_MEMORY_MB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(128);
+    sarn_baselines::MemoryBudget {
+        bytes: mb * 1024 * 1024,
+    }
+}
+
+/// A method under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// node2vec (self-supervised).
+    Node2Vec,
+    /// SRN2Vec (self-supervised).
+    Srn2Vec,
+    /// GraphCL (self-supervised).
+    GraphCl,
+    /// GCA (self-supervised).
+    Gca,
+    /// SARN (self-supervised; this paper).
+    Sarn,
+    /// An ablation variant of SARN (Fig. 5).
+    SarnAblation(SarnVariant),
+    /// SARN* — SARN fine-tuned per task.
+    SarnStar,
+    /// HRNR (supervised).
+    Hrnr,
+    /// NEUTRAJ (supervised; trajectory similarity only).
+    Neutraj,
+    /// RNE (supervised).
+    Rne,
+}
+
+impl Method {
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            Method::Node2Vec => "node2vec".into(),
+            Method::Srn2Vec => "SRN2Vec".into(),
+            Method::GraphCl => "GraphCL".into(),
+            Method::Gca => "GCA".into(),
+            Method::Sarn => "SARN".into(),
+            Method::SarnAblation(v) => v.label().into(),
+            Method::SarnStar => "SARN*".into(),
+            Method::Hrnr => "HRNR".into(),
+            Method::Neutraj => "NEUTRAJ".into(),
+            Method::Rne => "RNE".into(),
+        }
+    }
+
+    /// The self-supervised methods of Tables 4–6.
+    pub fn self_supervised() -> Vec<Method> {
+        vec![
+            Method::Node2Vec,
+            Method::Srn2Vec,
+            Method::GraphCl,
+            Method::Gca,
+            Method::Sarn,
+        ]
+    }
+}
+
+/// Embeddings plus the wall-clock seconds spent learning them.
+pub struct EmbedOutcome {
+    /// `n x d` segment embeddings.
+    pub embeddings: Tensor,
+    /// Training time in seconds (Fig. 4).
+    pub seconds: f64,
+}
+
+/// Trains a frozen-embedding method (the self-supervised methods, RNE, or a
+/// SARN ablation) and returns its embeddings.
+///
+/// # Panics
+/// Panics for methods that do not produce frozen segment embeddings
+/// (SARN\*, HRNR, NEUTRAJ) — use the task-specific evaluators for those.
+pub fn train_embeddings(
+    method: Method,
+    net: &RoadNetwork,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<EmbedOutcome, TrainError> {
+    match method {
+        Method::Node2Vec => {
+            let cfg = Node2VecConfig {
+                seed,
+                ..Default::default()
+            };
+            let m = Node2Vec::train(net, &cfg);
+            Ok(EmbedOutcome {
+                embeddings: m.embeddings,
+                seconds: m.train_seconds,
+            })
+        }
+        Method::Srn2Vec => {
+            // Pair-sampling budget matched to the original's coverage: the
+            // released description samples a vanishing fraction of all n^2
+            // pairs on 30k-segment networks; keep the same relative
+            // coverage on reduced networks instead of saturating them.
+            let n = net.num_segments();
+            let cfg = Srn2VecConfig {
+                seed,
+                pairs_per_epoch: (20 * n).max(2000),
+                epochs: 5,
+                ..Default::default()
+            };
+            let m = Srn2Vec::train(net, &cfg);
+            Ok(EmbedOutcome {
+                embeddings: m.embeddings,
+                seconds: m.train_seconds,
+            })
+        }
+        Method::GraphCl => {
+            let cfg = GraphClConfig {
+                backbone: GclBackboneConfig::default(),
+                epochs: scale.epochs,
+                seed,
+                ..Default::default()
+            };
+            let m = GraphCl::train(net, &cfg);
+            Ok(EmbedOutcome {
+                embeddings: m.embeddings,
+                seconds: m.train_seconds,
+            })
+        }
+        Method::Gca => {
+            let cfg = GcaConfig {
+                backbone: GclBackboneConfig::default(),
+                epochs: scale.epochs,
+                seed,
+                memory: memory_budget(),
+                ..Default::default()
+            };
+            let m = Gca::train(net, &cfg)?;
+            Ok(EmbedOutcome {
+                embeddings: m.embeddings,
+                seconds: m.train_seconds,
+            })
+        }
+        Method::Sarn => {
+            let cfg = scale.sarn_config_for(net, seed);
+            let t = sarn_train(net, &cfg);
+            Ok(EmbedOutcome {
+                embeddings: t.embeddings,
+                seconds: t.train_seconds,
+            })
+        }
+        Method::SarnAblation(v) => {
+            let cfg = scale.sarn_config_for(net, seed).with_variant(v);
+            let t = sarn_train(net, &cfg);
+            Ok(EmbedOutcome {
+                embeddings: t.embeddings,
+                seconds: t.train_seconds,
+            })
+        }
+        Method::Rne => {
+            let cfg = RneConfig {
+                seed,
+                sources: 150,
+                pairs_per_source: 150,
+                epochs: 20,
+                ..Default::default()
+            };
+            let m = Rne::train(net, &cfg);
+            Ok(EmbedOutcome {
+                embeddings: m.embeddings,
+                seconds: m.train_seconds,
+            })
+        }
+        Method::SarnStar | Method::Hrnr | Method::Neutraj => {
+            panic!("{} does not produce frozen embeddings", method.label())
+        }
+    }
+}
+
+fn road_property_cfg(seed: u64) -> RoadPropertyConfig {
+    RoadPropertyConfig {
+        epochs: 80,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn traj_cfg(seed: u64) -> TrajSimConfig {
+    TrajSimConfig {
+        pairs_per_epoch: 600,
+        epochs: 4,
+        hidden: 48,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn spd_cfg(seed: u64) -> SpdConfig {
+    SpdConfig {
+        train_pairs: 2500,
+        test_pairs: 300,
+        epochs: 20,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Evaluates a method on road property prediction (Table 4).
+pub fn eval_road_property(
+    method: Method,
+    net: &RoadNetwork,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<RoadPropertyResult, TrainError> {
+    let cfg = road_property_cfg(seed);
+    match method {
+        Method::SarnStar => {
+            let trained = sarn_train(net, &scale.sarn_config_for(net, seed));
+            let mut src = EmbeddingSource::sarn_finetune(&trained);
+            Ok(road_property(net, &mut src, &cfg))
+        }
+        Method::Hrnr => {
+            let hrnr = Hrnr::new(net, &HrnrConfig { seed, memory: memory_budget(), ..Default::default() })?;
+            let store = hrnr.store.clone();
+            let mut src = EmbeddingSource::trainable_model(
+                Box::new(move |g, s| hrnr.forward_with(g, s)),
+                store,
+                HrnrConfig::default().d,
+            );
+            Ok(road_property(net, &mut src, &cfg))
+        }
+        Method::Neutraj => panic!("NEUTRAJ does not apply to road property prediction"),
+        _ => {
+            let emb = train_embeddings(method, net, scale, seed)?;
+            let mut src = EmbeddingSource::frozen(&emb.embeddings);
+            Ok(road_property(net, &mut src, &cfg))
+        }
+    }
+}
+
+/// Evaluates a method on trajectory similarity prediction (Table 5).
+pub fn eval_traj_sim(
+    method: Method,
+    net: &RoadNetwork,
+    data: &TrajDataset,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<TrajSimResult, TrainError> {
+    let cfg = traj_cfg(seed);
+    match method {
+        Method::SarnStar => {
+            let trained = sarn_train(net, &scale.sarn_config_for(net, seed));
+            let mut src = EmbeddingSource::sarn_finetune(&trained);
+            Ok(traj_sim(net, data, &mut src, &cfg))
+        }
+        Method::Hrnr => {
+            let hrnr = Hrnr::new(net, &HrnrConfig { seed, memory: memory_budget(), ..Default::default() })?;
+            let store = hrnr.store.clone();
+            let mut src = EmbeddingSource::trainable_model(
+                Box::new(move |g, s| hrnr.forward_with(g, s)),
+                store,
+                HrnrConfig::default().d,
+            );
+            Ok(traj_sim(net, data, &mut src, &cfg))
+        }
+        Method::Neutraj => Ok(eval_neutraj(net, data, seed)),
+        _ => {
+            let emb = train_embeddings(method, net, scale, seed)?;
+            let mut src = EmbeddingSource::frozen(&emb.embeddings);
+            Ok(traj_sim(net, data, &mut src, &cfg))
+        }
+    }
+}
+
+/// Evaluates a method on shortest-path distance prediction (Table 6).
+pub fn eval_spd(
+    method: Method,
+    net: &RoadNetwork,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<SpdResult, TrainError> {
+    let cfg = spd_cfg(seed);
+    match method {
+        Method::SarnStar => {
+            let trained = sarn_train(net, &scale.sarn_config_for(net, seed));
+            let mut src = EmbeddingSource::sarn_finetune(&trained);
+            Ok(spd(net, &mut src, &cfg))
+        }
+        Method::Hrnr => {
+            let hrnr = Hrnr::new(net, &HrnrConfig { seed, memory: memory_budget(), ..Default::default() })?;
+            let store = hrnr.store.clone();
+            let mut src = EmbeddingSource::trainable_model(
+                Box::new(move |g, s| hrnr.forward_with(g, s)),
+                store,
+                HrnrConfig::default().d,
+            );
+            Ok(spd(net, &mut src, &cfg))
+        }
+        Method::Neutraj => panic!("NEUTRAJ does not apply to SPD prediction"),
+        _ => {
+            let emb = train_embeddings(method, net, scale, seed)?;
+            let mut src = EmbeddingSource::frozen(&emb.embeddings);
+            Ok(spd(net, &mut src, &cfg))
+        }
+    }
+}
+
+/// NEUTRAJ's own pipeline on the same split the probe-based methods use.
+fn eval_neutraj(net: &RoadNetwork, data: &TrajDataset, seed: u64) -> TrajSimResult {
+    let probe_seed = traj_cfg(seed).seed;
+    let (train, _val, test) = split_indices(data.len(), probe_seed);
+    let cfg = NeutrajConfig {
+        seed,
+        pairs_per_epoch: 600,
+        epochs: 4,
+        hidden: 48,
+        ..Default::default()
+    };
+    let model = Neutraj::train(net, data, &train, &cfg);
+    let test_refs: Vec<&MatchedTrajectory> =
+        test.iter().map(|&i| &data.trajectories[i]).collect();
+    let emb = model.embed(net, &test_refs);
+    let truth = data.frechet_matrix(net, &test);
+    let k = test.len();
+    let (mut hr5, mut hr20, mut r520) = (0.0, 0.0, 0.0);
+    for q in 0..k {
+        let true_rank = metrics::ranking_by(k, q, |i| truth[q * k + i]);
+        let pred_rank = metrics::ranking_by(k, q, |i| model.predict_distance_m(&emb, q, i));
+        hr5 += metrics::hit_ratio_at_k(&true_rank, &pred_rank, 5);
+        hr20 += metrics::hit_ratio_at_k(&true_rank, &pred_rank, 20);
+        r520 += metrics::recall_k_at_m(&true_rank, &pred_rank, 5, 20);
+    }
+    TrajSimResult {
+        hr5_pct: 100.0 * hr5 / k as f64,
+        hr20_pct: 100.0 * hr20 / k as f64,
+        r5at20_pct: 100.0 * r520 / k as f64,
+    }
+}
+
+/// Road-property evaluation of precomputed frozen embeddings (lets a
+/// harness train a method once and reuse it across tasks).
+pub fn eval_road_property_frozen(
+    net: &RoadNetwork,
+    embeddings: &Tensor,
+    seed: u64,
+) -> RoadPropertyResult {
+    let mut src = EmbeddingSource::frozen(embeddings);
+    road_property(net, &mut src, &road_property_cfg(seed))
+}
+
+/// Trajectory-similarity evaluation of precomputed frozen embeddings.
+pub fn eval_traj_sim_frozen(
+    net: &RoadNetwork,
+    data: &TrajDataset,
+    embeddings: &Tensor,
+    seed: u64,
+) -> TrajSimResult {
+    let mut src = EmbeddingSource::frozen(embeddings);
+    traj_sim(net, data, &mut src, &traj_cfg(seed))
+}
+
+/// SPD evaluation of precomputed frozen embeddings.
+pub fn eval_spd_frozen(net: &RoadNetwork, embeddings: &Tensor, seed: u64) -> SpdResult {
+    let mut src = EmbeddingSource::frozen(embeddings);
+    spd(net, &mut src, &spd_cfg(seed))
+}

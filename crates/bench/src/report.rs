@@ -1,0 +1,97 @@
+//! Plain-text table rendering for experiment output.
+
+use sarn_tasks::metrics::Stats;
+
+/// Formats a `mean±std` cell from repeated measurements.
+pub fn fmt_cell(samples: &[f64]) -> String {
+    let s = Stats::of(samples);
+    format!("{:.2}±{:.2}", s.mean, s.std)
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to an aligned string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = Table::new("Demo", &["Method", "F1"]);
+        t.row(vec!["SARN".into(), "98.70".into()]);
+        t.row(vec!["node2vec".into(), "89.11".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("SARN"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn fmt_cell_renders_mean_std() {
+        assert_eq!(fmt_cell(&[1.0, 3.0]), "2.00±1.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("X", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Experiment scale knobs (environment-variable driven).
+
+use sarn_core::SarnConfig;
+use sarn_roadnet::{City, RoadNetwork, SynthConfig};
+use sarn_traj::{TrajDataset, TrajGenConfig};
+
+/// Scale configuration shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct ExperimentScale {
+    /// Road-network lattice scale factor.
+    pub net_scale: f64,
+    /// Repeated runs (different seeds) per reported cell.
+    pub seeds: usize,
+    /// Self-supervised training epochs.
+    pub epochs: usize,
+    /// Trajectories generated per dataset.
+    pub traj_count: usize,
+    /// Maximum segments per trajectory (paper default: 60).
+    pub max_traj_segments: usize,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from the environment (see crate docs), falling back
+    /// to quick-run defaults.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: f64| -> f64 {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Self {
+            net_scale: get("SARN_NET_SCALE", 0.45),
+            seeds: get("SARN_SEEDS", 2.0) as usize,
+            epochs: get("SARN_EPOCHS", 15.0) as usize,
+            traj_count: get("SARN_TRAJ_COUNT", 140.0) as usize,
+            max_traj_segments: get("SARN_MAX_TRAJ_SEGMENTS", 30.0) as usize,
+        }
+    }
+
+    /// Builds a city road network at this scale.
+    ///
+    /// When scaling a lattice down, the speed-limit label *fraction* is
+    /// scaled up (capped at 0.5) so the label *count* stays large enough
+    /// for the road-property task to produce meaningful F1/AUC.
+    pub fn network(&self, city: City) -> RoadNetwork {
+        let mut cfg = SynthConfig::city(city).scaled(self.net_scale);
+        if self.net_scale < 1.0 {
+            cfg.label_frac = (cfg.label_frac / (self.net_scale * self.net_scale)).min(0.5);
+        }
+        let net = cfg.generate();
+        // Guarantee a usable label count (>= ~200) even on small lattices.
+        let min_frac = (200.0 / net.num_segments() as f64).min(0.5);
+        if cfg.label_frac < min_frac {
+            cfg.label_frac = min_frac;
+            return cfg.generate();
+        }
+        net
+    }
+
+    /// Builds the trajectory dataset for a network (max length per Table 7
+    /// sweeps is passed explicitly).
+    pub fn trajectories(&self, net: &RoadNetwork, max_segments: usize, seed: u64) -> TrajDataset {
+        let gen = TrajGenConfig {
+            count: self.traj_count,
+            min_segments: 6,
+            max_segments: max_segments.max(8),
+            seed,
+            ..Default::default()
+        };
+        TrajDataset::build(net, &gen, max_segments)
+    }
+
+    /// SARN configuration at this scale.
+    pub fn sarn_config(&self, seed: u64) -> SarnConfig {
+        let mut cfg = SarnConfig::small();
+        cfg.max_epochs = self.epochs;
+        cfg.patience = (self.epochs as u32 / 3).max(3);
+        cfg.seed = seed;
+        cfg
+    }
+
+    /// SARN configuration with the negative-sampling grid matched to a
+    /// network's extent: the paper's `clen = 600 m` is ~10.5% of the SF
+    /// region's side, and the per-cell queue size phi = K / #cells lands at
+    /// 10-16; reduced-scale maps need a proportionally smaller `clen` to
+    /// keep the same local/global structure.
+    pub fn sarn_config_for(&self, net: &RoadNetwork, seed: u64) -> SarnConfig {
+        let mut cfg = self.sarn_config(seed);
+        let extent = net.bbox().width_m().max(net.bbox().height_m());
+        cfg.clen_m = (0.105 * extent).max(50.0);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_usable_networks() {
+        let s = ExperimentScale {
+            net_scale: 0.3,
+            seeds: 1,
+            epochs: 2,
+            traj_count: 20,
+            max_traj_segments: 15,
+        };
+        let net = s.network(City::Chengdu);
+        assert!(net.num_segments() > 100);
+        let data = s.trajectories(&net, 15, 1);
+        assert!(data.len() >= 15);
+        let cfg = s.sarn_config(1);
+        assert_eq!(cfg.max_epochs, 2);
+    }
+}

@@ -1,0 +1,325 @@
+//! Spatial importance-based graph augmentation (paper §4.2, Technical
+//! Contribution 2).
+//!
+//! Each training epoch corrupts `G` into two graph views by removing a
+//! fixed fraction (`ρ_t`, `ρ_s`) of topological and spatial edges via
+//! weighted sampling *without replacement*. The corruption probability of a
+//! topological edge decreases with its Eq. 1 weight (Eq. 6, min-max
+//! normalized); a spatial edge's decreases with `A^s_{i,j}` (Eq. 7). Both
+//! are clamped into `[ε, 1-ε]`. When a pair carries a *dual-typed* edge
+//! (both topological and spatial), sampling either copy removes both.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use sarn_tensor::layers::EdgeIndex;
+
+/// Augmentation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AugmentConfig {
+    /// Corruption rate of topological edges `ρ_t` (paper default 0.4).
+    pub rho_t: f64,
+    /// Corruption rate of spatial edges `ρ_s` (paper default 0.4).
+    pub rho_s: f64,
+    /// Probability clamp `ε` keeping every edge removable and retainable.
+    pub epsilon: f64,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self {
+            rho_t: 0.4,
+            rho_s: 0.4,
+            epsilon: 0.05,
+        }
+    }
+}
+
+/// A corrupted graph view: the retained directed message edges
+/// `(center, neighbor)` over both edge types, ready for the GAT encoder.
+#[derive(Clone, Debug)]
+pub struct GraphView {
+    /// Retained directed topological edges `(i, j)` (message `i -> j`).
+    pub topo: Vec<(usize, usize)>,
+    /// Retained undirected spatial edges `(i, j)` with `i < j`.
+    pub spatial: Vec<(usize, usize)>,
+    /// Number of vertices.
+    pub n: usize,
+}
+
+impl GraphView {
+    /// The uncorrupted view of a graph (used to produce final embeddings).
+    pub fn full(
+        n: usize,
+        topo: impl IntoIterator<Item = (usize, usize)>,
+        spatial: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        Self {
+            topo: topo.into_iter().collect(),
+            spatial: spatial.into_iter().collect(),
+            n,
+        }
+    }
+
+    /// Message edge index for the GAT encoder: every topological edge
+    /// `i -> j` sends a message into `j`; every spatial edge sends messages
+    /// both ways; self-loops are appended.
+    pub fn edge_index(&self) -> EdgeIndex {
+        let pairs = self
+            .topo
+            .iter()
+            .map(|&(i, j)| (j, i))
+            .chain(self.spatial.iter().flat_map(|&(i, j)| [(i, j), (j, i)]));
+        EdgeIndex::with_self_loops(self.n, pairs)
+    }
+
+    /// Total retained edges (directed topological + undirected spatial).
+    pub fn num_edges(&self) -> usize {
+        self.topo.len() + self.spatial.len()
+    }
+}
+
+/// Augmenter corrupting a road-network graph into views.
+pub struct Augmenter {
+    n: usize,
+    topo: Vec<(usize, usize, f64)>,
+    spatial: Vec<(usize, usize, f64)>,
+    topo_corruption: Vec<f64>,
+    spatial_corruption: Vec<f64>,
+    cfg: AugmentConfig,
+}
+
+impl Augmenter {
+    /// Prepares corruption probabilities for the given weighted edges.
+    pub fn new(
+        n: usize,
+        topo: Vec<(usize, usize, f64)>,
+        spatial: Vec<(usize, usize, f64)>,
+        cfg: AugmentConfig,
+    ) -> Self {
+        // Eq. 6: min-max normalize A^t weights over non-zero entries.
+        let (mut wmin, mut wmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, _, w) in &topo {
+            wmin = wmin.min(w);
+            wmax = wmax.max(w);
+        }
+        let span = (wmax - wmin).max(1e-12);
+        let clamp = |p: f64| cfg.epsilon + p.clamp(0.0, 1.0) * (1.0 - 2.0 * cfg.epsilon);
+        let topo_corruption = topo
+            .iter()
+            .map(|&(_, _, w)| clamp(1.0 - (w - wmin) / span))
+            .collect();
+        // Eq. 7: spatial weights are already in (0, 1).
+        let spatial_corruption = spatial.iter().map(|&(_, _, w)| clamp(1.0 - w)).collect();
+        Self {
+            n,
+            topo,
+            spatial,
+            topo_corruption,
+            spatial_corruption,
+            cfg,
+        }
+    }
+
+    /// The uncorrupted view.
+    pub fn full_view(&self) -> GraphView {
+        GraphView::full(
+            self.n,
+            self.topo.iter().map(|&(i, j, _)| (i, j)),
+            self.spatial.iter().map(|&(i, j, _)| (i, j)),
+        )
+    }
+
+    /// Generates one corrupted view.
+    pub fn corrupt(&self, rng: &mut impl Rng) -> GraphView {
+        let drop_topo = weighted_sample_without_replacement(
+            rng,
+            &self.topo_corruption,
+            (self.cfg.rho_t * self.topo.len() as f64).round() as usize,
+        );
+        let drop_spatial = weighted_sample_without_replacement(
+            rng,
+            &self.spatial_corruption,
+            (self.cfg.rho_s * self.spatial.len() as f64).round() as usize,
+        );
+        // Dual-typed rule: removing either copy removes both. Collect the
+        // removed pair set (unordered) from both samplings.
+        let mut removed_pairs: HashSet<(usize, usize)> = HashSet::new();
+        for &e in &drop_topo {
+            let (i, j, _) = self.topo[e];
+            removed_pairs.insert(unordered(i, j));
+        }
+        for &e in &drop_spatial {
+            let (i, j, _) = self.spatial[e];
+            removed_pairs.insert(unordered(i, j));
+        }
+        let topo = self
+            .topo
+            .iter()
+            .filter(|&&(i, j, _)| !removed_pairs.contains(&unordered(i, j)))
+            .map(|&(i, j, _)| (i, j))
+            .collect();
+        let spatial = self
+            .spatial
+            .iter()
+            .filter(|&&(i, j, _)| !removed_pairs.contains(&unordered(i, j)))
+            .map(|&(i, j, _)| (i, j))
+            .collect();
+        GraphView {
+            topo,
+            spatial,
+            n: self.n,
+        }
+    }
+}
+
+fn unordered(i: usize, j: usize) -> (usize, usize) {
+    if i <= j {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis): draw `k`
+/// indices with probability proportional to `weights`, by taking the `k`
+/// smallest keys `-ln(U) / w`.
+pub fn weighted_sample_without_replacement(
+    rng: &mut impl Rng,
+    weights: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let k = k.min(weights.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let key = if w > 0.0 { -u.ln() / w } else { f64::INFINITY };
+            (key, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    keyed.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn augmenter() -> Augmenter {
+        // 6 vertices; topo chain with varying weights; 2 spatial edges, one
+        // duplicating a topo pair (dual-typed).
+        Augmenter::new(
+            6,
+            vec![
+                (0, 1, 6.0),
+                (1, 2, 2.0),
+                (2, 3, 4.0),
+                (3, 4, 2.0),
+                (4, 5, 3.0),
+            ],
+            vec![(0, 2, 0.9), (1, 2, 0.4)],
+            AugmentConfig::default(),
+        )
+    }
+
+    #[test]
+    fn corruption_removes_requested_fraction() {
+        let a = augmenter();
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = a.corrupt(&mut rng);
+        // rho_t = 0.4 over 5 topo edges -> 2 sampled; rho_s = 0.4 over 2 -> 1.
+        // Dual-typed coupling can remove extra copies but never fewer.
+        assert!(v.topo.len() <= 3, "{} topo kept", v.topo.len());
+        assert!(v.spatial.len() <= 1, "{} spatial kept", v.spatial.len());
+    }
+
+    #[test]
+    fn dual_typed_edges_vanish_together() {
+        let a = augmenter();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = a.corrupt(&mut rng);
+            let topo_has = v.topo.contains(&(1, 2));
+            let spatial_has = v.spatial.contains(&(1, 2));
+            // (1,2) is dual-typed: both present or both absent.
+            assert_eq!(topo_has, spatial_has, "dual edge split: {v:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_edges_survive_more_often() {
+        let a = augmenter();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut heavy, mut light) = (0, 0);
+        for _ in 0..400 {
+            let v = a.corrupt(&mut rng);
+            if v.topo.contains(&(0, 1)) {
+                heavy += 1; // weight 6.0 edge
+            }
+            if v.topo.contains(&(3, 4)) {
+                light += 1; // weight 2.0 edge
+            }
+        }
+        assert!(
+            heavy > light + 40,
+            "heavy kept {heavy}, light kept {light}"
+        );
+    }
+
+    #[test]
+    fn epsilon_keeps_every_edge_mortal() {
+        // Even the max-weight edge must be removable: over many draws the
+        // heaviest edge disappears at least once.
+        let a = augmenter();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut removed_once = false;
+        for _ in 0..300 {
+            if !a.corrupt(&mut rng).topo.contains(&(0, 1)) {
+                removed_once = true;
+                break;
+            }
+        }
+        assert!(removed_once, "epsilon clamp failed to keep heavy edge mortal");
+    }
+
+    #[test]
+    fn edge_index_unions_both_types_with_self_loops() {
+        let a = augmenter();
+        let v = a.full_view();
+        let idx = v.edge_index();
+        // 5 directed topo + 2*2 spatial + 6 self-loops
+        assert_eq!(idx.num_edges(), 5 + 4 + 6);
+    }
+
+    #[test]
+    fn weighted_sampling_without_replacement_is_exact_k_and_unique() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = vec![1.0; 10];
+        let s = weighted_sample_without_replacement(&mut rng, &w, 4);
+        assert_eq!(s.len(), 4);
+        let mut u = s.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 4);
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_items() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = vec![10.0, 0.1, 0.1, 0.1];
+        let mut count0 = 0;
+        for _ in 0..200 {
+            if weighted_sample_without_replacement(&mut rng, &w, 1)[0] == 0 {
+                count0 += 1;
+            }
+        }
+        assert!(count0 > 150, "item 0 sampled {count0}/200");
+    }
+}

@@ -1,0 +1,217 @@
+//! SARN hyper-parameters (paper §5.1 "Implementation details").
+
+use crate::augment::AugmentConfig;
+use crate::similarity::SpatialSimilarityConfig;
+
+/// Which SARN components are active — the paper's ablation variants (§5.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SarnVariant {
+    /// All four technical contributions.
+    Full,
+    /// Without the spatial similarity **M**atrix: topology-only encoding and
+    /// augmentation; keeps grid negatives and the two-level loss.
+    WithoutM,
+    /// Without **N**egative sampling and the two-level **L**oss: keeps the
+    /// spatial matrix and spatial augmentation; trains with plain InfoNCE on
+    /// in-batch negatives.
+    WithoutNL,
+    /// Without all three: the baseline GCL of §3 (weighted topological
+    /// augmentation + in-batch InfoNCE).
+    WithoutMNL,
+}
+
+impl SarnVariant {
+    /// Whether the spatial similarity matrix / spatial edges are used.
+    pub fn uses_spatial_matrix(self) -> bool {
+        matches!(self, SarnVariant::Full | SarnVariant::WithoutNL)
+    }
+
+    /// Whether grid queues + the two-level loss are used.
+    pub fn uses_grid_negatives(self) -> bool {
+        matches!(self, SarnVariant::Full | SarnVariant::WithoutM)
+    }
+
+    /// Ablation label used in the paper's Fig. 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            SarnVariant::Full => "SARN",
+            SarnVariant::WithoutM => "SARN-w/o-M",
+            SarnVariant::WithoutNL => "SARN-w/o-NL",
+            SarnVariant::WithoutMNL => "SARN-w/o-MNL",
+        }
+    }
+}
+
+/// Similarity used inside the InfoNCE losses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LossSimilarity {
+    /// Dot product on L2-normalized projections (cosine; the MoCo
+    /// convention, numerically stable at small temperatures).
+    #[default]
+    Cosine,
+    /// Raw dot product (the paper's literal description of Λ).
+    Dot,
+}
+
+/// Aggregation used for the global-negative cell readouts `R(·)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Readout {
+    /// Mean of the queue (the paper's choice).
+    #[default]
+    Mean,
+    /// Elementwise maximum (design-choice ablation).
+    Max,
+}
+
+/// Full hyper-parameter set of SARN.
+#[derive(Clone, Debug)]
+pub struct SarnConfig {
+    /// Embedding dimensionality `d` (paper: 128).
+    pub d: usize,
+    /// Projection dimensionality `d_z < d`.
+    pub d_z: usize,
+    /// Per-feature embedding width (`d_f = 7 *` this).
+    pub d_per_feature: usize,
+    /// GAT layers (paper: 3).
+    pub n_layers: usize,
+    /// Attention heads `L` (paper: 4).
+    pub n_heads: usize,
+    /// `A^s` thresholds (paper: 200 m, π/8).
+    pub similarity: SpatialSimilarityConfig,
+    /// Edge corruption configuration (paper: ρ_t = ρ_s = 0.4).
+    pub augment: AugmentConfig,
+    /// Grid cell side `clen` in meters.
+    pub clen_m: f64,
+    /// Total negative-sample queue budget `K` (paper: 1000).
+    pub total_k: usize,
+    /// InfoNCE temperature `τ` (paper: 0.05).
+    pub tau: f32,
+    /// Local/global loss trade-off `λ` (paper: 0.4).
+    pub lambda: f32,
+    /// Momentum coefficient `m` (paper: 0.999).
+    pub momentum: f32,
+    /// Initial learning rate (paper: 0.005, cosine annealed).
+    pub lr: f32,
+    /// Mini-batch size (paper: 128).
+    pub batch_size: usize,
+    /// Maximum training epochs (paper: 200).
+    pub max_epochs: usize,
+    /// Early-stopping patience in epochs (paper: 20).
+    pub patience: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Active components.
+    pub variant: SarnVariant,
+    /// InfoNCE similarity (design-choice ablation; default cosine).
+    pub loss_similarity: LossSimilarity,
+    /// Global-negative readout aggregation (design-choice ablation).
+    pub readout: Readout,
+}
+
+impl Default for SarnConfig {
+    /// The paper's defaults. Expensive on a CPU — prefer
+    /// [`SarnConfig::small`] for experiments and [`SarnConfig::tiny`] in
+    /// tests.
+    fn default() -> Self {
+        Self {
+            d: 128,
+            d_z: 64,
+            d_per_feature: 16,
+            n_layers: 3,
+            n_heads: 4,
+            similarity: SpatialSimilarityConfig::default(),
+            augment: AugmentConfig::default(),
+            clen_m: 600.0,
+            total_k: 1000,
+            tau: 0.05,
+            lambda: 0.4,
+            momentum: 0.999,
+            lr: 0.005,
+            batch_size: 128,
+            max_epochs: 200,
+            patience: 20,
+            seed: 1,
+            variant: SarnVariant::Full,
+            loss_similarity: LossSimilarity::Cosine,
+            readout: Readout::Mean,
+        }
+    }
+}
+
+impl SarnConfig {
+    /// CPU-friendly configuration used by the experiment harness: same
+    /// structure as the paper's setup with reduced width and epoch budget.
+    pub fn small() -> Self {
+        Self {
+            d: 64,
+            d_z: 32,
+            d_per_feature: 8,
+            max_epochs: 30,
+            patience: 8,
+            momentum: 0.99,
+            ..Self::default()
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            d: 16,
+            d_z: 8,
+            d_per_feature: 4,
+            n_layers: 2,
+            n_heads: 2,
+            max_epochs: 3,
+            patience: 3,
+            batch_size: 64,
+            total_k: 200,
+            momentum: 0.9,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the ablation variant.
+    pub fn with_variant(mut self, v: SarnVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SarnConfig::default();
+        assert_eq!(c.d, 128);
+        assert_eq!(c.n_layers, 3);
+        assert_eq!(c.n_heads, 4);
+        assert_eq!(c.total_k, 1000);
+        assert!((c.tau - 0.05).abs() < 1e-9);
+        assert!((c.lambda - 0.4).abs() < 1e-9);
+        assert!((c.augment.rho_t - 0.4).abs() < 1e-12);
+        assert!((c.similarity.delta_ds_m - 200.0).abs() < 1e-12);
+        assert_eq!(c.max_epochs, 200);
+        assert_eq!(c.patience, 20);
+        assert_eq!(c.batch_size, 128);
+    }
+
+    #[test]
+    fn variant_component_flags() {
+        assert!(SarnVariant::Full.uses_spatial_matrix());
+        assert!(SarnVariant::Full.uses_grid_negatives());
+        assert!(!SarnVariant::WithoutM.uses_spatial_matrix());
+        assert!(SarnVariant::WithoutM.uses_grid_negatives());
+        assert!(SarnVariant::WithoutNL.uses_spatial_matrix());
+        assert!(!SarnVariant::WithoutNL.uses_grid_negatives());
+        assert!(!SarnVariant::WithoutMNL.uses_spatial_matrix());
+        assert!(!SarnVariant::WithoutMNL.uses_grid_negatives());
+    }
+}

@@ -1,0 +1,42 @@
+//! # sarn-core
+//!
+//! Rust implementation of **SARN** — *Spatial Structure-Aware Road Network
+//! Embedding via Graph Contrastive Learning* (Chang, Tanin, Cao, Qi;
+//! EDBT 2023). SARN learns generic, task-agnostic road-segment embeddings
+//! with self-supervised graph contrastive learning, augmented with four
+//! spatial components:
+//!
+//! 1. [`SpatialSimilarity`] — the spatial similarity matrix `A^s` (Eq. 3–5);
+//! 2. [`Augmenter`] — spatial importance-based graph augmentation (Eq. 6–7);
+//! 3. [`CellQueues`] — spatial distance-based negative sampling (Eq. 13–14);
+//! 4. the two-level contrastive loss (Eq. 15–17), applied by [`train`].
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use sarn_core::{train, SarnConfig};
+//! use sarn_roadnet::{City, SynthConfig};
+//!
+//! let net = SynthConfig::city(City::Chengdu).generate();
+//! let trained = train(&net, &SarnConfig::small());
+//! let h = &trained.embeddings; // n x d road-segment embeddings
+//! assert_eq!(h.rows(), net.num_segments());
+//! ```
+
+#![warn(missing_docs)]
+
+mod augment;
+mod config;
+mod features;
+mod model;
+mod queues;
+mod similarity;
+mod train;
+
+pub use augment::{weighted_sample_without_replacement, AugmentConfig, Augmenter, GraphView};
+pub use config::{LossSimilarity, Readout, SarnConfig, SarnVariant};
+pub use features::{DiscretizedFeatures, FeatureEmbedding, NUM_FEATURES};
+pub use model::SarnModel;
+pub use queues::CellQueues;
+pub use similarity::{pairwise_similarity, SpatialSimilarity, SpatialSimilarityConfig};
+pub use train::{train, zero_grads_except, SarnTrained};

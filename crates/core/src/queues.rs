@@ -1,0 +1,341 @@
+//! Spatial distance-based negative sampling (paper §4.4, Technical
+//! Contribution 3).
+//!
+//! The road-network space is partitioned by a uniform grid; each cell keeps
+//! a MoCo-style FIFO queue of the last `φ` projected embeddings produced by
+//! the momentum branch for segments whose midpoints fall in the cell. For a
+//! target segment `s_i`:
+//!
+//! - **local negatives** `N_l(s_i)`: entries of `s_i`'s own cell queue that
+//!   belong to other segments (Eq. 13);
+//! - **global negatives** `N_g(s_i)`: the mean readout `R(Q(c_k))` of every
+//!   other cell's queue (Eq. 14), with `R(Q(s_i.cell))` serving as the
+//!   positive of the global contrastive loss.
+
+use std::collections::VecDeque;
+
+use sarn_geo::Grid;
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::Tensor;
+
+use crate::config::Readout;
+
+/// Per-cell embedding queues over a road network.
+pub struct CellQueues {
+    grid: Grid,
+    /// Cell id per segment (midpoint-based).
+    segment_cell: Vec<usize>,
+    /// FIFO queues of `(segment id, embedding row)` per cell.
+    queues: Vec<VecDeque<(usize, Vec<f32>)>>,
+    /// Queue capacity `φ` per cell.
+    capacity: usize,
+    dim: usize,
+    readout: Readout,
+}
+
+impl CellQueues {
+    /// Builds queues over `net` with cell side `clen_m` and a **total**
+    /// sample budget `total_k` split evenly across cells (the paper fixes
+    /// `K = 1000` and derives `φ` from the cell count).
+    pub fn new(net: &RoadNetwork, clen_m: f64, total_k: usize, dim: usize) -> Self {
+        Self::with_readout(net, clen_m, total_k, dim, Readout::Mean)
+    }
+
+    /// Like [`CellQueues::new`] with an explicit readout aggregation.
+    pub fn with_readout(
+        net: &RoadNetwork,
+        clen_m: f64,
+        total_k: usize,
+        dim: usize,
+        readout: Readout,
+    ) -> Self {
+        let grid = Grid::new(*net.bbox(), clen_m);
+        let capacity = (total_k / grid.num_cells()).max(2);
+        let segment_cell = (0..net.num_segments())
+            .map(|i| grid.cell_of(&net.segment(i).midpoint()))
+            .collect();
+        Self {
+            queues: vec![VecDeque::new(); grid.num_cells()],
+            grid,
+            segment_cell,
+            capacity,
+            dim,
+            readout,
+        }
+    }
+
+    /// Queue capacity `φ` per cell.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of grid cells.
+    pub fn num_cells(&self) -> usize {
+        self.grid.num_cells()
+    }
+
+    /// Cell of a segment.
+    pub fn cell_of_segment(&self, seg: usize) -> usize {
+        self.segment_cell[seg]
+    }
+
+    /// Pushes the momentum-branch embedding of `seg` into its cell queue,
+    /// evicting the oldest entry when full.
+    pub fn push(&mut self, seg: usize, embedding: &[f32]) {
+        debug_assert_eq!(embedding.len(), self.dim);
+        let q = &mut self.queues[self.segment_cell[seg]];
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back((seg, embedding.to_vec()));
+    }
+
+    /// Local negatives of `seg`: embeddings in its own cell queue from other
+    /// segments (Eq. 13). Rows of the returned matrix; empty when the queue
+    /// holds nothing usable.
+    pub fn local_negatives(&self, seg: usize) -> Vec<&[f32]> {
+        self.queues[self.segment_cell[seg]]
+            .iter()
+            .filter(|(s, _)| *s != seg)
+            .map(|(_, e)| e.as_slice())
+            .collect()
+    }
+
+    /// Readout `R(Q(c))` of one cell (mean by default, max when configured),
+    /// or `None` when empty.
+    pub fn readout(&self, cell: usize) -> Option<Vec<f32>> {
+        let q = &self.queues[cell];
+        if q.is_empty() {
+            return None;
+        }
+        match self.readout {
+            Readout::Mean => {
+                let mut acc = vec![0.0f32; self.dim];
+                for (_, e) in q {
+                    for (a, &v) in acc.iter_mut().zip(e.iter()) {
+                        *a += v;
+                    }
+                }
+                let inv = 1.0 / q.len() as f32;
+                for a in &mut acc {
+                    *a *= inv;
+                }
+                Some(acc)
+            }
+            Readout::Max => {
+                let mut acc = vec![f32::NEG_INFINITY; self.dim];
+                for (_, e) in q {
+                    for (a, &v) in acc.iter_mut().zip(e.iter()) {
+                        *a = a.max(v);
+                    }
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    /// Global negatives of `seg`: readouts of every *other* non-empty cell
+    /// (Eq. 14).
+    pub fn global_negatives(&self, seg: usize) -> Vec<Vec<f32>> {
+        let own = self.segment_cell[seg];
+        (0..self.num_cells())
+            .filter(|&c| c != own)
+            .filter_map(|c| self.readout(c))
+            .collect()
+    }
+
+    /// Builds the candidate matrix of the **local** loss for `seg`:
+    /// row 0 is the positive `z'_i`, the rest are local negatives (Eq. 15).
+    pub fn local_candidates(&self, seg: usize, positive: &[f32]) -> Tensor {
+        let negs = self.local_negatives(seg);
+        let mut data = Vec::with_capacity((1 + negs.len()) * self.dim);
+        data.extend_from_slice(positive);
+        for n in &negs {
+            data.extend_from_slice(n);
+        }
+        Tensor::from_vec(1 + negs.len(), self.dim, data)
+    }
+
+    /// Builds the candidate matrix of the **global** loss for `seg`: row 0
+    /// is the own-cell readout `z_i^+ = R(Q(s_i.cell))` (falling back to
+    /// `z'_i` while the queue is still empty), the rest are the other cells'
+    /// readouts (Eq. 16).
+    pub fn global_candidates(&self, seg: usize, fallback_positive: &[f32]) -> Tensor {
+        let own = self.segment_cell[seg];
+        let pos = self
+            .readout(own)
+            .unwrap_or_else(|| fallback_positive.to_vec());
+        let negs = self.global_negatives(seg);
+        let mut data = Vec::with_capacity((1 + negs.len()) * self.dim);
+        data.extend_from_slice(&pos);
+        for n in &negs {
+            data.extend_from_slice(n);
+        }
+        Tensor::from_vec(1 + negs.len(), self.dim, data)
+    }
+
+    /// Readouts of every cell, computed once (for batched candidate
+    /// assembly — the readouts are shared by all anchors of a mini-batch).
+    pub fn all_readouts(&self) -> Vec<Option<Vec<f32>>> {
+        (0..self.num_cells()).map(|c| self.readout(c)).collect()
+    }
+
+    /// Like [`CellQueues::global_candidates`] but assembling from
+    /// precomputed [`CellQueues::all_readouts`].
+    pub fn global_candidates_from(
+        &self,
+        readouts: &[Option<Vec<f32>>],
+        seg: usize,
+        fallback_positive: &[f32],
+    ) -> Tensor {
+        let own = self.segment_cell[seg];
+        let pos = readouts[own]
+            .as_deref()
+            .unwrap_or(fallback_positive);
+        let mut rows = 1;
+        let mut data = Vec::with_capacity(readouts.len() * self.dim);
+        data.extend_from_slice(pos);
+        for (c, r) in readouts.iter().enumerate() {
+            if c == own {
+                continue;
+            }
+            if let Some(r) = r {
+                data.extend_from_slice(r);
+                rows += 1;
+            }
+        }
+        Tensor::from_vec(rows, self.dim, data)
+    }
+
+    /// Total entries across all queues (bounded by `num_cells * φ`).
+    pub fn total_entries(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+
+    fn queues() -> (RoadNetwork, CellQueues) {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.3).generate();
+        let q = CellQueues::new(&net, 600.0, 100, 4);
+        (net, q)
+    }
+
+    #[test]
+    fn capacity_divides_budget_across_cells() {
+        let (_, q) = queues();
+        assert_eq!(q.capacity(), (100 / q.num_cells()).max(2));
+    }
+
+    #[test]
+    fn push_evicts_fifo() {
+        let (_, mut q) = queues();
+        let cap = q.capacity();
+        // All pushes to the same segment's cell.
+        for k in 0..(cap + 3) {
+            q.push(0, &[k as f32; 4]);
+        }
+        let cell = q.cell_of_segment(0);
+        assert_eq!(q.queues[cell].len(), cap);
+        // Oldest entries evicted: first remaining has value cap+3-cap = 3.
+        assert_eq!(q.queues[cell][0].1[0], 3.0);
+    }
+
+    #[test]
+    fn local_negatives_exclude_own_entries() {
+        let (net, mut q) = queues();
+        let seg = 0;
+        let cell = q.cell_of_segment(seg);
+        // Find another segment in the same cell.
+        let other = (1..net.num_segments())
+            .find(|&s| q.cell_of_segment(s) == cell)
+            .expect("cell with two segments");
+        q.push(seg, &[1.0; 4]);
+        q.push(other, &[2.0; 4]);
+        let negs = q.local_negatives(seg);
+        assert_eq!(negs.len(), 1);
+        assert_eq!(negs[0][0], 2.0);
+    }
+
+    #[test]
+    fn max_readout_takes_elementwise_maximum() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.3).generate();
+        let mut q = CellQueues::with_readout(&net, 600.0, 100, 4, crate::config::Readout::Max);
+        q.push(0, &[1.0, 9.0, 3.0, 4.0]);
+        q.push(0, &[5.0, 2.0, 3.0, 8.0]);
+        let r = q.readout(q.cell_of_segment(0)).unwrap();
+        assert_eq!(r, vec![5.0, 9.0, 3.0, 8.0]);
+    }
+
+    #[test]
+    fn readout_is_mean_of_queue() {
+        let (_, mut q) = queues();
+        q.push(0, &[1.0, 2.0, 3.0, 4.0]);
+        q.push(0, &[3.0, 4.0, 5.0, 6.0]);
+        let r = q.readout(q.cell_of_segment(0)).unwrap();
+        assert_eq!(r, vec![2.0, 3.0, 4.0, 5.0]);
+        assert!(q.readout(q.num_cells() - 1).is_none() || q.cell_of_segment(0) == q.num_cells() - 1);
+    }
+
+    #[test]
+    fn global_negatives_skip_own_and_empty_cells() {
+        let (net, mut q) = queues();
+        // Fill two distinct cells.
+        let a = 0;
+        let b = (1..net.num_segments())
+            .find(|&s| q.cell_of_segment(s) != q.cell_of_segment(a))
+            .expect("second cell");
+        q.push(a, &[1.0; 4]);
+        q.push(b, &[5.0; 4]);
+        let negs = q.global_negatives(a);
+        assert_eq!(negs.len(), 1);
+        assert_eq!(negs[0][0], 5.0);
+    }
+
+    #[test]
+    fn candidate_matrices_place_positive_first() {
+        let (net, mut q) = queues();
+        let a = 0;
+        let b = (1..net.num_segments())
+            .find(|&s| q.cell_of_segment(s) != q.cell_of_segment(a))
+            .unwrap();
+        q.push(a, &[1.0; 4]);
+        q.push(b, &[5.0; 4]);
+        let local = q.local_candidates(a, &[9.0; 4]);
+        assert_eq!(local.row_slice(0), &[9.0; 4]);
+        let global = q.global_candidates(a, &[7.0; 4]);
+        // Own-cell readout is the positive.
+        assert_eq!(global.row_slice(0), &[1.0; 4]);
+        assert_eq!(global.rows(), 2);
+    }
+
+    #[test]
+    fn cached_readout_assembly_matches_direct_path() {
+        let (net, mut q) = queues();
+        let a = 0;
+        let b = (1..net.num_segments())
+            .find(|&s| q.cell_of_segment(s) != q.cell_of_segment(a))
+            .unwrap();
+        q.push(a, &[1.0; 4]);
+        q.push(b, &[5.0; 4]);
+        let direct = q.global_candidates(a, &[7.0; 4]);
+        let readouts = q.all_readouts();
+        let cached = q.global_candidates_from(&readouts, a, &[7.0; 4]);
+        assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn global_positive_falls_back_when_own_cell_empty() {
+        let (net, mut q) = queues();
+        let a = 0;
+        let b = (1..net.num_segments())
+            .find(|&s| q.cell_of_segment(s) != q.cell_of_segment(a))
+            .unwrap();
+        q.push(b, &[5.0; 4]);
+        let global = q.global_candidates(a, &[7.0; 4]);
+        assert_eq!(global.row_slice(0), &[7.0; 4]);
+    }
+}

@@ -1,0 +1,415 @@
+//! SARN training (paper §4.5, Algorithm 1).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::layers::EdgeIndex;
+use sarn_tensor::optim::{Adam, CosineAnnealing, EarlyStopping};
+use sarn_tensor::{Graph, ParamStore, Tensor};
+
+use crate::augment::Augmenter;
+use crate::config::{LossSimilarity, SarnConfig};
+use crate::model::SarnModel;
+use crate::queues::CellQueues;
+use crate::similarity::SpatialSimilarity;
+
+/// A trained SARN model plus its frozen road-segment embeddings.
+pub struct SarnTrained {
+    /// The model (both branches).
+    pub model: SarnModel,
+    /// Final `n x d` embeddings `H` from the query encoder on the
+    /// uncorrupted graph.
+    pub embeddings: Tensor,
+    /// Mean training loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Epochs actually run (early stopping may cut the budget short).
+    pub epochs_run: usize,
+    /// Wall-clock training time in seconds (Fig. 4).
+    pub train_seconds: f64,
+    /// Edge index of the uncorrupted graph (for fine-tuning forward passes).
+    pub full_edges: EdgeIndex,
+    cfg: SarnConfig,
+}
+
+impl SarnTrained {
+    /// The configuration used at training time.
+    pub fn config(&self) -> &SarnConfig {
+        &self.cfg
+    }
+
+    /// Recomputes embeddings from the current query store (after
+    /// fine-tuning the model in place).
+    pub fn refresh_embeddings(&mut self) {
+        self.embeddings = self.model.embed_detached(&self.model.store, &self.full_edges);
+    }
+
+    /// Persists the embeddings and both parameter branches to
+    /// `<stem>.emb` / `<stem>.query` / `<stem>.momentum`.
+    pub fn save(&self, stem: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let stem = stem.as_ref();
+        self.embeddings.save(stem.with_extension("emb"))?;
+        self.model.store.save(stem.with_extension("query"))?;
+        self.model.store_momentum.save(stem.with_extension("momentum"))
+    }
+
+    /// Restores parameters saved by [`SarnTrained::save`] into a model with
+    /// the same configuration, then refreshes the embeddings.
+    pub fn load_into(&mut self, stem: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let stem = stem.as_ref();
+        self.model.store.load_values_from(stem.with_extension("query"))?;
+        self.model
+            .store_momentum
+            .load_values_from(stem.with_extension("momentum"))?;
+        self.refresh_embeddings();
+        Ok(())
+    }
+}
+
+/// Trains SARN on a road network (Algorithm 1) and returns the model and
+/// embeddings.
+pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
+    let start = Instant::now();
+    let n = net.num_segments();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A4E);
+
+    // Graph construction: A^t from the network, A^s per variant.
+    let spatial_edges: Vec<(usize, usize, f64)> = if cfg.variant.uses_spatial_matrix() {
+        SpatialSimilarity::build(net, &cfg.similarity).edges().to_vec()
+    } else {
+        Vec::new()
+    };
+    let augmenter = Augmenter::new(
+        n,
+        net.topo_edges().to_vec(),
+        spatial_edges,
+        cfg.augment,
+    );
+    let full_edges = augmenter.full_view().edge_index();
+
+    let mut model = SarnModel::new(net, cfg);
+    let mut queues = cfg
+        .variant
+        .uses_grid_negatives()
+        .then(|| CellQueues::with_readout(net, cfg.clen_m, cfg.total_k, cfg.d_z, cfg.readout));
+
+    let mut opt = Adam::new(cfg.lr);
+    let schedule = CosineAnnealing::new(cfg.lr, cfg.lr * 0.01, cfg.max_epochs as u64);
+    let mut stopper = EarlyStopping::new(cfg.patience);
+    let mut loss_history = Vec::new();
+    let mut order: Vec<usize> = (0..n).collect();
+
+    let mut epochs_run = 0;
+    for epoch in 0..cfg.max_epochs {
+        epochs_run = epoch + 1;
+        opt.set_lr(schedule.lr_at(epoch as u64));
+        let view1 = augmenter.corrupt(&mut rng).edge_index();
+        let view2 = augmenter.corrupt(&mut rng).edge_index();
+        order.shuffle(&mut rng);
+
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for batch in order.chunks(cfg.batch_size) {
+            let loss = train_batch(&mut model, cfg, &view1, &view2, batch, &mut opt, queues.as_mut());
+            epoch_loss += loss;
+            batches += 1;
+        }
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        loss_history.push(mean_loss);
+        if stopper.update(mean_loss) {
+            break;
+        }
+    }
+
+    let embeddings = model.embed_detached(&model.store, &full_edges);
+    SarnTrained {
+        model,
+        embeddings,
+        loss_history,
+        epochs_run,
+        train_seconds: start.elapsed().as_secs_f64(),
+        full_edges,
+        cfg: cfg.clone(),
+    }
+}
+
+/// One mini-batch step: forward both branches, build candidate sets, apply
+/// the two-level (or plain) InfoNCE loss, update the query branch, momentum-
+/// update the other, and refresh the queues (Algorithm 1 lines 5–15).
+fn train_batch(
+    model: &mut SarnModel,
+    cfg: &SarnConfig,
+    view1: &EdgeIndex,
+    view2: &EdgeIndex,
+    batch: &[usize],
+    opt: &mut Adam,
+    mut queues: Option<&mut CellQueues>,
+) -> f32 {
+    // Momentum branch on view 2, detached (gradients flow only into the
+    // query branch, per MoCo). Projections are L2-normalized so the
+    // dot-product similarity at tau = 0.05 operates on the unit sphere
+    // (the MoCo convention the paper builds on).
+    let mut z_prime_full = model.embed_projected_detached(&model.store_momentum, view2);
+    if cfg.loss_similarity == LossSimilarity::Cosine {
+        normalize_rows(&mut z_prime_full);
+    }
+    let z_prime: Vec<&[f32]> = batch.iter().map(|&i| z_prime_full.row_slice(i)).collect();
+
+    // Query branch on view 1.
+    model.store.zero_grads();
+    let g = Graph::new();
+    let h = model.encode(&g, &model.store, view1);
+    let h_batch = g.gather_rows(h, batch);
+    let z = model.project(&g, &model.store, h_batch);
+    let z = if cfg.loss_similarity == LossSimilarity::Cosine {
+        g.l2_normalize_rows(z)
+    } else {
+        z
+    };
+
+    let loss = match queues.as_deref() {
+        Some(q) => {
+            // Two-level loss (Eq. 15–17).
+            let local: Vec<Tensor> = batch
+                .iter()
+                .zip(&z_prime)
+                .map(|(&i, zp)| q.local_candidates(i, zp))
+                .collect();
+            let readouts = q.all_readouts();
+            let global: Vec<Tensor> = batch
+                .iter()
+                .zip(&z_prime)
+                .map(|(&i, zp)| q.global_candidates_from(&readouts, i, zp))
+                .collect();
+            let l_local = g.info_nce(z, local, cfg.tau);
+            let l_global = g.info_nce(z, global, cfg.tau);
+            g.add(
+                g.scale(l_local, cfg.lambda),
+                g.scale(l_global, 1.0 - cfg.lambda),
+            )
+        }
+        None => {
+            // Plain InfoNCE with in-batch negatives (baseline GCL, §3).
+            let cands: Vec<Tensor> = (0..batch.len())
+                .map(|a| {
+                    let mut rows = Vec::with_capacity(batch.len() * cfg.d_z);
+                    rows.extend_from_slice(z_prime[a]);
+                    for (b, zp) in z_prime.iter().enumerate() {
+                        if b != a {
+                            rows.extend_from_slice(zp);
+                        }
+                    }
+                    Tensor::from_vec(batch.len(), cfg.d_z, rows)
+                })
+                .collect();
+            g.info_nce(z, cands, cfg.tau)
+        }
+    };
+    let loss_value = g.value(loss).item();
+    g.backward(loss);
+    g.accumulate_grads(&mut model.store);
+    opt.step(&mut model.store);
+    model.momentum_update(cfg.momentum);
+
+    if let Some(q) = queues.as_deref_mut() {
+        for (&i, zp) in batch.iter().zip(&z_prime) {
+            q.push(i, zp);
+        }
+    }
+    loss_value
+}
+
+/// In-place row L2 normalization of a raw tensor.
+fn normalize_rows(t: &mut Tensor) {
+    for i in 0..t.rows() {
+        let row = t.row_slice_mut(i);
+        let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+/// Zeroes the gradients of every parameter **not** listed in `keep` — used
+/// by SARN* fine-tuning, which trains only the final GAT layer together
+/// with the downstream head.
+pub fn zero_grads_except(store: &mut ParamStore, keep: &[sarn_tensor::ParamId]) {
+    let keep_set: std::collections::HashSet<usize> = keep.iter().map(|p| p.index()).collect();
+    for id in store.ids().collect::<Vec<_>>() {
+        if !keep_set.contains(&id.index()) {
+            store.grad_mut(id).scale_mut(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SarnVariant;
+    use sarn_roadnet::{City, SynthConfig};
+
+    fn tiny_net() -> RoadNetwork {
+        SynthConfig::city(City::Chengdu).scaled(0.22).generate()
+    }
+
+    #[test]
+    fn training_runs_and_produces_finite_history() {
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.max_epochs = 5;
+        let trained = train(&net, &cfg);
+        assert_eq!(trained.embeddings.shape(), (net.num_segments(), cfg.d));
+        assert!(trained.embeddings.all_finite());
+        assert_eq!(trained.loss_history.len(), trained.epochs_run);
+        assert!(trained.loss_history.iter().all(|l| l.is_finite()));
+        assert!(trained.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn in_batch_variant_loss_decreases() {
+        // The full model's loss is non-stationary while the MoCo queues warm
+        // up, so descent is asserted on the stationary in-batch objective.
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny().with_variant(SarnVariant::WithoutMNL);
+        cfg.max_epochs = 8;
+        let trained = train(&net, &cfg);
+        let first = trained.loss_history[0];
+        let last = *trained.loss_history.last().unwrap();
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn all_variants_train() {
+        let net = tiny_net();
+        for variant in [
+            SarnVariant::Full,
+            SarnVariant::WithoutM,
+            SarnVariant::WithoutNL,
+            SarnVariant::WithoutMNL,
+        ] {
+            let mut cfg = SarnConfig::tiny().with_variant(variant);
+            cfg.max_epochs = 2;
+            let trained = train(&net, &cfg);
+            assert!(
+                trained.embeddings.all_finite(),
+                "{variant:?} produced non-finite embeddings"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_pairs_end_up_more_similar_than_random() {
+        // After training, a segment's embedding should be closer (dot
+        // product) to its spatial neighbors than to random far segments.
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.max_epochs = 8;
+        let trained = train(&net, &cfg);
+        let emb = &trained.embeddings;
+        let sim = SpatialSimilarity::build(&net, &cfg.similarity);
+        let mut close_sim = 0.0f64;
+        let mut close_n = 0;
+        for &(i, j, _) in sim.edges().iter().take(300) {
+            close_sim += cosine(emb.row_slice(i), emb.row_slice(j)) as f64;
+            close_n += 1;
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut far_sim = 0.0f64;
+        let mut far_n = 0;
+        use rand::Rng;
+        for _ in 0..300 {
+            let i = rng.gen_range(0..net.num_segments());
+            let j = rng.gen_range(0..net.num_segments());
+            if i == j {
+                continue;
+            }
+            far_sim += cosine(emb.row_slice(i), emb.row_slice(j)) as f64;
+            far_n += 1;
+        }
+        let close = close_sim / close_n.max(1) as f64;
+        let far = far_sim / far_n.max(1) as f64;
+        assert!(
+            close > far,
+            "spatial neighbors not more similar: close {close:.4} vs far {far:.4}"
+        );
+    }
+
+    #[test]
+    fn refresh_embeddings_tracks_store_changes() {
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.max_epochs = 1;
+        let mut trained = train(&net, &cfg);
+        let before = trained.embeddings.clone();
+        for id in trained.model.all_param_ids() {
+            trained.model.store.value_mut(id).data_mut().iter_mut().for_each(|v| *v += 0.05);
+        }
+        trained.refresh_embeddings();
+        assert_ne!(before.data(), trained.embeddings.data());
+    }
+
+    #[test]
+    fn dot_similarity_variant_trains_to_finite_embeddings() {
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.loss_similarity = crate::config::LossSimilarity::Dot;
+        cfg.max_epochs = 3;
+        let trained = train(&net, &cfg);
+        assert!(trained.embeddings.all_finite());
+    }
+
+    #[test]
+    fn max_readout_variant_trains_to_finite_embeddings() {
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.readout = crate::config::Readout::Max;
+        cfg.max_epochs = 3;
+        let trained = train(&net, &cfg);
+        assert!(trained.embeddings.all_finite());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_restores_embeddings() {
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.max_epochs = 2;
+        let trained = train(&net, &cfg);
+        let stem = std::env::temp_dir().join(format!("sarn_ckpt_{}", std::process::id()));
+        trained.save(&stem).unwrap();
+        // A freshly initialized model diverges; loading restores it.
+        let mut fresh = train(&net, &cfg.clone().with_seed(777));
+        assert_ne!(fresh.embeddings.data(), trained.embeddings.data());
+        fresh.load_into(&stem).unwrap();
+        assert_eq!(fresh.embeddings.data(), trained.embeddings.data());
+        for ext in ["emb", "query", "momentum"] {
+            std::fs::remove_file(stem.with_extension(ext)).ok();
+        }
+    }
+
+    #[test]
+    fn zero_grads_except_keeps_only_requested() {
+        let net = tiny_net();
+        let cfg = SarnConfig::tiny();
+        let mut model = SarnModel::new(&net, &cfg);
+        // Fill all grads with ones.
+        for id in model.all_param_ids() {
+            let (r, c) = model.store.value(id).shape();
+            model.store.grad_mut(id).axpy(1.0, &Tensor::ones(r, c));
+        }
+        let keep = model.last_gat_layer_ids();
+        zero_grads_except(&mut model.store, &keep);
+        for id in model.all_param_ids() {
+            let expect_nonzero = keep.contains(&id);
+            assert_eq!(model.store.grad(id).norm_sq() > 0.0, expect_nonzero);
+        }
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb + 1e-9)
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on SARN's spatial components.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sarn_core::{
+    pairwise_similarity, weighted_sample_without_replacement, AugmentConfig, Augmenter,
+    SpatialSimilarityConfig,
+};
+use sarn_geo::Point;
+use sarn_roadnet::{HighwayClass, RoadNetwork, RoadSegment};
+
+fn seg(lat: f64, lon: f64, dlat: f64, dlon: f64) -> RoadSegment {
+    RoadSegment::between(
+        HighwayClass::Primary,
+        Point::new(lat, lon),
+        Point::new(lat + dlat, lon + dlon),
+    )
+}
+
+proptest! {
+    #[test]
+    fn similarity_is_symmetric_and_bounded(
+        lat in 30.0f64..30.01,
+        lon in 104.0f64..104.01,
+        dlat1 in 0.0002f64..0.001,
+        dlon2 in 0.0002f64..0.001,
+    ) {
+        let a = seg(lat, lon, dlat1, 0.0);
+        let b = seg(lat, lon + 0.0005, dlon2, 0.0002);
+        let net = RoadNetwork::new(vec![a, b], &[]);
+        let cfg = SpatialSimilarityConfig::default();
+        let s_ab = pairwise_similarity(&net, 0, 1, &cfg);
+        let s_ba = pairwise_similarity(&net, 1, 0, &cfg);
+        prop_assert_eq!(s_ab.is_some(), s_ba.is_some());
+        if let (Some(x), Some(y)) = (s_ab, s_ba) {
+            prop_assert!((x - y).abs() < 1e-12);
+            prop_assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn tighter_thresholds_never_increase_similarity(
+        scale in 0.3f64..1.0,
+    ) {
+        let a = seg(30.0, 104.0, 0.0008, 0.0);
+        let b = seg(30.0, 104.0008, 0.0008, 0.0001);
+        let net = RoadNetwork::new(vec![a, b], &[]);
+        let base = SpatialSimilarityConfig::default();
+        let tight = SpatialSimilarityConfig {
+            delta_ds_m: base.delta_ds_m * scale,
+            delta_as_rad: base.delta_as_rad * scale,
+        };
+        if let (Some(loose_v), Some(tight_v)) = (
+            pairwise_similarity(&net, 0, 1, &base),
+            pairwise_similarity(&net, 0, 1, &tight),
+        ) {
+            prop_assert!(tight_v <= loose_v + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_returns_k_distinct_valid_indices(
+        weights in proptest::collection::vec(0.01f64..10.0, 1..40),
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let k = ((weights.len() as f64) * k_frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = weighted_sample_without_replacement(&mut rng, &weights, k);
+        prop_assert_eq!(sample.len(), k.min(weights.len()));
+        let mut uniq = sample.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), sample.len());
+        prop_assert!(sample.iter().all(|&i| i < weights.len()));
+    }
+
+    #[test]
+    fn corruption_preserves_vertex_count_and_drops_edges(
+        seed in 0u64..500,
+        rho in 0.1f64..0.9,
+    ) {
+        // A small chain graph with spatial duplicates.
+        let topo: Vec<(usize, usize, f64)> =
+            (0..9).map(|i| (i, i + 1, 2.0 + (i % 3) as f64)).collect();
+        let spatial: Vec<(usize, usize, f64)> =
+            (0..5).map(|i| (i, i + 2, 0.3 + 0.1 * (i % 4) as f64)).collect();
+        let aug = Augmenter::new(
+            10,
+            topo.clone(),
+            spatial.clone(),
+            AugmentConfig { rho_t: rho, rho_s: rho, epsilon: 0.05 },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let view = aug.corrupt(&mut rng);
+        prop_assert_eq!(view.n, 10);
+        prop_assert!(view.topo.len() <= topo.len());
+        prop_assert!(view.spatial.len() <= spatial.len());
+        // Requested removals are lower bounds (dual-typed coupling may drop more).
+        let expect_topo_max = topo.len() - (rho * topo.len() as f64).round() as usize;
+        prop_assert!(view.topo.len() <= expect_topo_max);
+        // Every retained edge existed in the original sets.
+        for e in &view.topo {
+            prop_assert!(topo.iter().any(|&(a, b, _)| (a, b) == *e));
+        }
+        for e in &view.spatial {
+            prop_assert!(spatial.iter().any(|&(a, b, _)| (a, b) == *e));
+        }
+    }
+
+    #[test]
+    fn edge_index_self_loops_cover_all_vertices(seed in 0u64..100) {
+        let topo: Vec<(usize, usize, f64)> = (0..7).map(|i| (i, (i + 1) % 8, 2.0)).collect();
+        let aug = Augmenter::new(8, topo, Vec::new(), AugmentConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = aug.corrupt(&mut rng).edge_index();
+        // Every vertex appears as a center at least once (its self-loop),
+        // so segment softmax is defined everywhere.
+        let mut seen = vec![false; 8];
+        for &c in idx.center.iter() {
+            seen[c] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,167 @@
+//! Uniform grid partitioning of a geographic region.
+//!
+//! SARN partitions the road-network space with a grid of side length `clen`;
+//! each cell maintains a queue of recently produced embeddings used as local
+//! and global negative samples (paper §4.4, Fig. 3).
+
+use crate::point::{BoundingBox, LocalProjection, Point};
+
+/// Index of a grid cell, in row-major order (`row * nx + col`).
+pub type CellId = usize;
+
+/// A uniform grid over a bounding box with square cells of a given side
+/// length in meters.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    bbox: BoundingBox,
+    proj: LocalProjection,
+    clen_m: f64,
+    nx: usize,
+    ny: usize,
+}
+
+impl Grid {
+    /// Builds a grid covering `bbox` with cells of side `clen_m` meters.
+    ///
+    /// # Panics
+    /// Panics if `clen_m` is not positive.
+    pub fn new(bbox: BoundingBox, clen_m: f64) -> Self {
+        assert!(clen_m > 0.0, "cell side must be positive");
+        let origin = Point::new(bbox.min_lat, bbox.min_lon);
+        let proj = LocalProjection::new(origin);
+        let nx = (bbox.width_m() / clen_m).ceil().max(1.0) as usize;
+        let ny = (bbox.height_m() / clen_m).ceil().max(1.0) as usize;
+        Self {
+            bbox,
+            proj,
+            clen_m,
+            nx,
+            ny,
+        }
+    }
+
+    /// Cell side length in meters.
+    pub fn clen_m(&self) -> f64 {
+        self.clen_m
+    }
+
+    /// Number of columns.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// The bounding box this grid covers.
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Cell containing a point. Points outside the box are clamped to the
+    /// nearest boundary cell, so every point maps to a valid cell.
+    pub fn cell_of(&self, p: &Point) -> CellId {
+        let (x, y) = self.proj.project(p);
+        let col = ((x / self.clen_m).floor() as isize).clamp(0, self.nx as isize - 1) as usize;
+        let row = ((y / self.clen_m).floor() as isize).clamp(0, self.ny as isize - 1) as usize;
+        row * self.nx + col
+    }
+
+    /// `(row, col)` coordinates of a cell id.
+    pub fn cell_coords(&self, id: CellId) -> (usize, usize) {
+        (id / self.nx, id % self.nx)
+    }
+
+    /// Center point of a cell.
+    pub fn cell_center(&self, id: CellId) -> Point {
+        let (row, col) = self.cell_coords(id);
+        self.proj.unproject(
+            (col as f64 + 0.5) * self.clen_m,
+            (row as f64 + 0.5) * self.clen_m,
+        )
+    }
+
+    /// Ids of cells within `radius` cells of `id` (Chebyshev ring), including
+    /// `id` itself.
+    pub fn neighborhood(&self, id: CellId, radius: usize) -> Vec<CellId> {
+        let (row, col) = self.cell_coords(id);
+        let r = radius as isize;
+        let mut out = Vec::new();
+        for dr in -r..=r {
+            for dc in -r..=r {
+                let nr = row as isize + dr;
+                let nc = col as isize + dc;
+                if nr >= 0 && nr < self.ny as isize && nc >= 0 && nc < self.nx as isize {
+                    out.push(nr as usize * self.nx + nc as usize);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_bbox() -> BoundingBox {
+        // Roughly 5.5 km x 5.5 km around Chengdu.
+        BoundingBox {
+            min_lat: 30.63,
+            min_lon: 104.03,
+            max_lat: 30.68,
+            max_lon: 104.088,
+        }
+    }
+
+    #[test]
+    fn grid_dimensions_cover_the_box() {
+        let g = Grid::new(test_bbox(), 600.0);
+        assert!(g.nx() >= 9 && g.nx() <= 11, "nx {}", g.nx());
+        assert!(g.ny() >= 9 && g.ny() <= 11, "ny {}", g.ny());
+        assert_eq!(g.num_cells(), g.nx() * g.ny());
+    }
+
+    #[test]
+    fn corners_map_to_corner_cells() {
+        let bb = test_bbox();
+        let g = Grid::new(bb, 600.0);
+        assert_eq!(g.cell_of(&Point::new(bb.min_lat, bb.min_lon)), 0);
+        let last = g.cell_of(&Point::new(bb.max_lat, bb.max_lon));
+        assert_eq!(last, g.num_cells() - 1);
+    }
+
+    #[test]
+    fn outside_points_clamp_to_boundary() {
+        let bb = test_bbox();
+        let g = Grid::new(bb, 600.0);
+        let far = Point::new(bb.min_lat - 1.0, bb.min_lon - 1.0);
+        assert_eq!(g.cell_of(&far), 0);
+    }
+
+    #[test]
+    fn cell_center_round_trips_to_same_cell() {
+        let g = Grid::new(test_bbox(), 600.0);
+        for id in 0..g.num_cells() {
+            assert_eq!(g.cell_of(&g.cell_center(id)), id, "cell {id}");
+        }
+    }
+
+    #[test]
+    fn neighborhood_counts() {
+        let g = Grid::new(test_bbox(), 600.0);
+        // interior cell
+        let mid = g.cell_of(&g.cell_center(g.num_cells() / 2 + g.nx() / 2));
+        let nb = g.neighborhood(mid, 1);
+        assert_eq!(nb.len(), 9);
+        // corner cell
+        assert_eq!(g.neighborhood(0, 1).len(), 4);
+    }
+}

@@ -1,0 +1,17 @@
+//! # sarn-geo
+//!
+//! Geospatial primitives for the SARN reproduction: WGS-84 points, haversine
+//! distances, bearings and angular distances, bounding boxes, a local
+//! equirectangular projection, and the uniform [`Grid`] partitioning used by
+//! SARN's spatial distance-based negative sampling (paper §4.4).
+
+#![warn(missing_docs)]
+
+mod grid;
+mod point;
+
+pub use grid::{CellId, Grid};
+pub use point::{
+    angular_distance, haversine_m, normalize_radian, BoundingBox, LocalProjection, Point,
+    EARTH_RADIUS_M,
+};

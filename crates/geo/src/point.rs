@@ -1,0 +1,253 @@
+//! Points, distances, and angles on the sphere.
+
+use std::f64::consts::PI;
+
+/// Mean Earth radius in meters (as used by the haversine formula).
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// A WGS-84 coordinate in degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl Point {
+    /// Creates a point from latitude/longitude degrees.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Midpoint with another point (adequate at city scale).
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.lat + other.lat) / 2.0, (self.lon + other.lon) / 2.0)
+    }
+
+    /// Initial bearing from this point to `other`, in radians within
+    /// `[0, 2π)`, measured clockwise from north.
+    pub fn bearing_to(&self, other: &Point) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let b = y.atan2(x);
+        (b + 2.0 * PI) % (2.0 * PI)
+    }
+}
+
+/// Haversine great-circle distance between two points, in meters.
+pub fn haversine_m(a: &Point, b: &Point) -> f64 {
+    let (lat1, lat2) = (a.lat.to_radians(), b.lat.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = (b.lon - a.lon).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().asin()
+}
+
+/// Normalizes a radian value into `[0, 2π)`.
+pub fn normalize_radian(r: f64) -> f64 {
+    let mut r = r % (2.0 * PI);
+    if r < 0.0 {
+        r += 2.0 * PI;
+    }
+    r
+}
+
+/// Absolute angular distance between two directions in radians, folded into
+/// `[0, π]` (the paper's `ag_dist`, Eq. 5).
+pub fn angular_distance(r1: f64, r2: f64) -> f64 {
+    let d = (normalize_radian(r1) - normalize_radian(r2)).abs();
+    if d > PI {
+        2.0 * PI - d
+    } else {
+        d
+    }
+}
+
+/// Axis-aligned bounding box in degrees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum latitude.
+    pub min_lat: f64,
+    /// Minimum longitude.
+    pub min_lon: f64,
+    /// Maximum latitude.
+    pub max_lat: f64,
+    /// Maximum longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Smallest box containing all `points`.
+    ///
+    /// # Panics
+    /// Panics on an empty iterator.
+    pub fn of(points: impl IntoIterator<Item = Point>) -> Self {
+        let mut it = points.into_iter();
+        let first = it.next().expect("bounding box of zero points");
+        let mut bb = BoundingBox {
+            min_lat: first.lat,
+            min_lon: first.lon,
+            max_lat: first.lat,
+            max_lon: first.lon,
+        };
+        for p in it {
+            bb.min_lat = bb.min_lat.min(p.lat);
+            bb.min_lon = bb.min_lon.min(p.lon);
+            bb.max_lat = bb.max_lat.max(p.lat);
+            bb.max_lon = bb.max_lon.max(p.lon);
+        }
+        bb
+    }
+
+    /// True when the point lies inside (inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+    }
+
+    /// Width (east-west extent) in meters, measured at the center latitude.
+    pub fn width_m(&self) -> f64 {
+        let mid = (self.min_lat + self.max_lat) / 2.0;
+        haversine_m(
+            &Point::new(mid, self.min_lon),
+            &Point::new(mid, self.max_lon),
+        )
+    }
+
+    /// Height (north-south extent) in meters.
+    pub fn height_m(&self) -> f64 {
+        haversine_m(
+            &Point::new(self.min_lat, self.min_lon),
+            &Point::new(self.max_lat, self.min_lon),
+        )
+    }
+}
+
+/// Equirectangular projection anchored at a reference point, mapping degrees
+/// to local meters. Accurate to well under 0.1% at city scale, and much
+/// faster than repeated haversine evaluations.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalProjection {
+    ref_lat: f64,
+    ref_lon: f64,
+    m_per_deg_lat: f64,
+    m_per_deg_lon: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centered at `origin`.
+    pub fn new(origin: Point) -> Self {
+        let m_per_deg_lat = 2.0 * PI * EARTH_RADIUS_M / 360.0;
+        Self {
+            ref_lat: origin.lat,
+            ref_lon: origin.lon,
+            m_per_deg_lat,
+            m_per_deg_lon: m_per_deg_lat * origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// Projects a point to `(x_east_m, y_north_m)` relative to the origin.
+    pub fn project(&self, p: &Point) -> (f64, f64) {
+        (
+            (p.lon - self.ref_lon) * self.m_per_deg_lon,
+            (p.lat - self.ref_lat) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Inverse of [`LocalProjection::project`].
+    pub fn unproject(&self, x_m: f64, y_m: f64) -> Point {
+        Point::new(
+            self.ref_lat + y_m / self.m_per_deg_lat,
+            self.ref_lon + x_m / self.m_per_deg_lon,
+        )
+    }
+
+    /// Fast planar distance in meters between two points.
+    pub fn distance_m(&self, a: &Point, b: &Point) -> f64 {
+        let (ax, ay) = self.project(a);
+        let (bx, by) = self.project(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // Paris to London is roughly 343-344 km.
+        let paris = Point::new(48.8566, 2.3522);
+        let london = Point::new(51.5074, -0.1278);
+        let d = haversine_m(&paris, &london);
+        assert!((d - 343_500.0).abs() < 2_000.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric_and_zero_on_self() {
+        let a = Point::new(30.66, 104.06);
+        let b = Point::new(30.70, 104.10);
+        assert!((haversine_m(&a, &b) - haversine_m(&b, &a)).abs() < 1e-9);
+        assert_eq!(haversine_m(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Point::new(0.0, 0.0);
+        assert!((o.bearing_to(&Point::new(1.0, 0.0)) - 0.0).abs() < 1e-6); // north
+        assert!((o.bearing_to(&Point::new(0.0, 1.0)) - PI / 2.0).abs() < 1e-6); // east
+        assert!((o.bearing_to(&Point::new(-1.0, 0.0)) - PI).abs() < 1e-6); // south
+        assert!((o.bearing_to(&Point::new(0.0, -1.0)) - 3.0 * PI / 2.0).abs() < 1e-6);
+        // west
+    }
+
+    #[test]
+    fn angular_distance_folds_to_half_circle() {
+        assert!((angular_distance(0.1, 2.0 * PI - 0.1) - 0.2).abs() < 1e-9);
+        assert!((angular_distance(0.0, PI) - PI).abs() < 1e-9);
+        assert!(angular_distance(1.0, 1.0) < 1e-12);
+    }
+
+    #[test]
+    fn normalize_radian_wraps_negatives() {
+        assert!((normalize_radian(-PI / 2.0) - 1.5 * PI).abs() < 1e-9);
+        assert!((normalize_radian(5.0 * PI) - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_box_contains_and_extents() {
+        let bb = BoundingBox::of(vec![
+            Point::new(30.0, 104.0),
+            Point::new(30.1, 104.1),
+            Point::new(30.05, 103.95),
+        ]);
+        assert!(bb.contains(&Point::new(30.05, 104.05)));
+        assert!(!bb.contains(&Point::new(30.2, 104.05)));
+        assert!(bb.height_m() > 10_000.0 && bb.height_m() < 12_000.0);
+        assert!(bb.width_m() > 13_000.0 && bb.width_m() < 15_000.0);
+    }
+
+    #[test]
+    fn projection_roundtrip_and_distance_close_to_haversine() {
+        let origin = Point::new(30.66, 104.06);
+        let proj = LocalProjection::new(origin);
+        let p = Point::new(30.7, 104.1);
+        let back = proj.unproject(proj.project(&p).0, proj.project(&p).1);
+        assert!((back.lat - p.lat).abs() < 1e-9);
+        assert!((back.lon - p.lon).abs() < 1e-9);
+        let hd = haversine_m(&origin, &p);
+        let pd = proj.distance_m(&origin, &p);
+        assert!((hd - pd).abs() / hd < 1e-3, "hav {hd}, proj {pd}");
+    }
+
+    #[test]
+    fn midpoint_is_halfway_at_city_scale() {
+        let a = Point::new(30.0, 104.0);
+        let b = Point::new(30.02, 104.02);
+        let m = a.midpoint(&b);
+        assert!((haversine_m(&a, &m) - haversine_m(&m, &b)).abs() < 5.0);
+    }
+}

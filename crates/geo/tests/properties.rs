@@ -1,0 +1,73 @@
+//! Property-based tests on the geospatial primitives.
+
+use proptest::prelude::*;
+use sarn_geo::{angular_distance, haversine_m, BoundingBox, Grid, LocalProjection, Point};
+
+fn city_point() -> impl Strategy<Value = Point> {
+    (30.0f64..31.0, 104.0f64..105.0).prop_map(|(lat, lon)| Point::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_a_metric_like_distance(a in city_point(), b in city_point(), c in city_point()) {
+        let dab = haversine_m(&a, &b);
+        let dba = haversine_m(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-6); // symmetry
+        prop_assert!(dab >= 0.0);
+        // triangle inequality (with fp slack)
+        let dac = haversine_m(&a, &c);
+        let dcb = haversine_m(&c, &b);
+        prop_assert!(dab <= dac + dcb + 1e-6);
+    }
+
+    #[test]
+    fn angular_distance_bounded_and_symmetric(r1 in -10.0f64..10.0, r2 in -10.0f64..10.0) {
+        let d = angular_distance(r1, r2);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&d));
+        prop_assert!((d - angular_distance(r2, r1)).abs() < 1e-9);
+        prop_assert!(angular_distance(r1, r1) < 1e-9);
+    }
+
+    #[test]
+    fn angular_distance_invariant_to_full_turns(r1 in -3.0f64..3.0, r2 in -3.0f64..3.0, k in -3i32..3) {
+        let shifted = r1 + k as f64 * 2.0 * std::f64::consts::PI;
+        prop_assert!((angular_distance(r1, r2) - angular_distance(shifted, r2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projection_roundtrips(p in city_point()) {
+        let proj = LocalProjection::new(Point::new(30.5, 104.5));
+        let (x, y) = proj.project(&p);
+        let back = proj.unproject(x, y);
+        prop_assert!((back.lat - p.lat).abs() < 1e-9);
+        prop_assert!((back.lon - p.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_assigns_every_point_to_a_valid_cell(pts in proptest::collection::vec(city_point(), 2..30), clen in 100.0f64..2000.0) {
+        let bbox = BoundingBox::of(pts.clone());
+        let grid = Grid::new(bbox, clen);
+        for p in &pts {
+            let c = grid.cell_of(p);
+            prop_assert!(c < grid.num_cells());
+        }
+    }
+
+    #[test]
+    fn grid_neighborhood_always_contains_self(pts in proptest::collection::vec(city_point(), 2..10)) {
+        let bbox = BoundingBox::of(pts.clone());
+        let grid = Grid::new(bbox, 500.0);
+        for p in &pts {
+            let c = grid.cell_of(p);
+            prop_assert!(grid.neighborhood(c, 1).contains(&c));
+        }
+    }
+
+    #[test]
+    fn bounding_box_contains_its_generators(pts in proptest::collection::vec(city_point(), 1..30)) {
+        let bbox = BoundingBox::of(pts.clone());
+        for p in &pts {
+            prop_assert!(bbox.contains(p));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Compressed-sparse-row directed graph.
+
+/// A directed graph with `f64` edge weights stored in CSR form, plus a
+/// reverse index for in-neighbor queries.
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    n: usize,
+    // forward CSR
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+    weights: Vec<f64>,
+    // reverse CSR
+    rev_offsets: Vec<usize>,
+    rev_sources: Vec<usize>,
+    rev_weights: Vec<f64>,
+}
+
+impl DiGraph {
+    /// Builds a graph with `n` vertices from `(src, dst, weight)` triples.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut deg = vec![0usize; n];
+        let mut rdeg = vec![0usize; n];
+        for &(s, d, _) in edges {
+            assert!(s < n && d < n, "edge ({s}, {d}) out of range for n = {n}");
+            deg[s] += 1;
+            rdeg[d] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        let mut rev_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+            rev_offsets[i + 1] = rev_offsets[i] + rdeg[i];
+        }
+        let m = edges.len();
+        let mut targets = vec![0usize; m];
+        let mut weights = vec![0.0f64; m];
+        let mut rev_sources = vec![0usize; m];
+        let mut rev_weights = vec![0.0f64; m];
+        let mut cursor = offsets.clone();
+        let mut rcursor = rev_offsets.clone();
+        for &(s, d, w) in edges {
+            targets[cursor[s]] = d;
+            weights[cursor[s]] = w;
+            cursor[s] += 1;
+            rev_sources[rcursor[d]] = s;
+            rev_weights[rcursor[d]] = w;
+            rcursor[d] += 1;
+        }
+        Self {
+            n,
+            offsets,
+            targets,
+            weights,
+            rev_offsets,
+            rev_sources,
+            rev_weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v` with weights.
+    pub fn out_neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// In-neighbors of `v` with weights.
+    pub fn in_neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.rev_offsets[v]..self.rev_offsets[v + 1];
+        self.rev_sources[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.rev_weights[range].iter().copied())
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.rev_offsets[v + 1] - self.rev_offsets[v]
+    }
+
+    /// All edges as `(src, dst, weight)` triples, grouped by source.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |s| self.out_neighbors(s).map(move |(d, w)| (s, d, w)))
+    }
+
+    /// True when a directed edge `u -> v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out_neighbors(u).any(|(d, _)| d == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 3.0),
+                (2, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn neighbors_carry_weights() {
+        let g = diamond();
+        let out: Vec<_> = g.out_neighbors(0).collect();
+        assert!(out.contains(&(1, 1.0)));
+        assert!(out.contains(&(2, 2.0)));
+        let inn: Vec<_> = g.in_neighbors(3).collect();
+        assert!(inn.contains(&(1, 3.0)));
+        assert!(inn.contains(&(2, 1.0)));
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = DiGraph::from_edges(2, &[(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,15 @@
+//! # sarn-graph
+//!
+//! Directed-graph algorithms for the SARN reproduction: a CSR adjacency
+//! structure, Dijkstra shortest paths, BFS, weakly-connected components, and
+//! the biased second-order random walks used by node2vec.
+
+#![warn(missing_docs)]
+
+mod csr;
+mod search;
+mod walks;
+
+pub use csr::DiGraph;
+pub use search::{bfs_hops, dijkstra, dijkstra_path, weakly_connected_components};
+pub use walks::{BiasedWalker, WalkConfig};

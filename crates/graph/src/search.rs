@@ -1,0 +1,215 @@
+//! Shortest paths, BFS, and connectivity.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::csr::DiGraph;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    v: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap on dist
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra. Returns per-vertex distances
+/// (`f64::INFINITY` when unreachable). Edge weights must be non-negative.
+pub fn dijkstra(g: &DiGraph, source: usize) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.num_vertices()];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, v: source });
+    while let Some(HeapItem { dist: d, v }) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for (u, w) in g.out_neighbors(v) {
+            debug_assert!(w >= 0.0, "negative edge weight");
+            let nd = d + w;
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(HeapItem { dist: nd, v: u });
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra with early exit and path reconstruction. Returns
+/// `(distance, path)` from `source` to `target`, or `None` when unreachable.
+pub fn dijkstra_path(g: &DiGraph, source: usize, target: usize) -> Option<(f64, Vec<usize>)> {
+    let n = g.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, v: source });
+    while let Some(HeapItem { dist: d, v }) = heap.pop() {
+        if v == target {
+            break;
+        }
+        if d > dist[v] {
+            continue;
+        }
+        for (u, w) in g.out_neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u] {
+                dist[u] = nd;
+                prev[u] = v;
+                heap.push(HeapItem { dist: nd, v: u });
+            }
+        }
+    }
+    if dist[target].is_infinite() {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some((dist[target], path))
+}
+
+/// Breadth-first hop counts from `source` (`usize::MAX` when unreachable).
+pub fn bfs_hops(g: &DiGraph, source: usize) -> Vec<usize> {
+    let mut hops = vec![usize::MAX; g.num_vertices()];
+    hops[source] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        for (u, _) in g.out_neighbors(v) {
+            if hops[u] == usize::MAX {
+                hops[u] = hops[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    hops
+}
+
+/// Weakly-connected component id per vertex (edges treated as undirected).
+pub fn weakly_connected_components(g: &DiGraph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for (u, _) in g.out_neighbors(v).chain(g.in_neighbors(v)) {
+                if comp[u] == usize::MAX {
+                    comp[u] = next;
+                    stack.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3() -> DiGraph {
+        // 3x3 grid, bidirectional unit edges
+        let mut edges = Vec::new();
+        let id = |r: usize, c: usize| r * 3 + c;
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    edges.push((id(r, c), id(r, c + 1), 1.0));
+                    edges.push((id(r, c + 1), id(r, c), 1.0));
+                }
+                if r + 1 < 3 {
+                    edges.push((id(r, c), id(r + 1, c), 1.0));
+                    edges.push((id(r + 1, c), id(r, c), 1.0));
+                }
+            }
+        }
+        DiGraph::from_edges(9, &edges)
+    }
+
+    #[test]
+    fn dijkstra_on_grid_is_manhattan() {
+        let g = grid3();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[8], 4.0);
+        assert_eq!(d[4], 2.0);
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn dijkstra_respects_weights() {
+        let g = DiGraph::from_edges(
+            3,
+            &[(0, 1, 10.0), (0, 2, 1.0), (2, 1, 2.0)],
+        );
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[1], 3.0);
+    }
+
+    #[test]
+    fn dijkstra_path_reconstructs_route() {
+        let g = grid3();
+        let (d, path) = dijkstra_path(&g, 0, 8).unwrap();
+        assert_eq!(d, 4.0);
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 8);
+        // consecutive vertices must be adjacent
+        for w in path.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_return_none_or_infinity() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1.0)]);
+        assert!(dijkstra_path(&g, 1, 0).is_none());
+        assert!(dijkstra(&g, 2)[0].is_infinite());
+    }
+
+    #[test]
+    fn bfs_counts_hops() {
+        let g = grid3();
+        let h = bfs_hops(&g, 4);
+        assert_eq!(h[4], 0);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 1);
+    }
+
+    #[test]
+    fn components_split_disconnected_graph() {
+        let g = DiGraph::from_edges(5, &[(0, 1, 1.0), (3, 4, 1.0)]);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[3], c[4]);
+        assert_ne!(c[0], c[3]);
+        assert_ne!(c[0], c[2]);
+    }
+}

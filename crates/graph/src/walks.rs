@@ -1,0 +1,203 @@
+//! Biased second-order random walks (node2vec, Grover & Leskovec 2016).
+
+use rand::Rng;
+
+use crate::csr::DiGraph;
+
+/// Parameters of a node2vec walk.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Walk length (number of vertices per walk).
+    pub walk_length: usize,
+    /// Walks started from every vertex.
+    pub walks_per_vertex: usize,
+    /// Return parameter `p`: higher values discourage immediate backtracking.
+    pub p: f64,
+    /// In-out parameter `q`: `q > 1` biases toward BFS-like exploration,
+    /// `q < 1` toward DFS-like exploration.
+    pub q: f64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walk_length: 40,
+            walks_per_vertex: 10,
+            p: 1.0,
+            q: 1.0,
+        }
+    }
+}
+
+/// Generator of biased random walks over a directed graph.
+pub struct BiasedWalker<'g> {
+    graph: &'g DiGraph,
+    config: WalkConfig,
+}
+
+impl<'g> BiasedWalker<'g> {
+    /// Creates a walker over `graph`.
+    pub fn new(graph: &'g DiGraph, config: WalkConfig) -> Self {
+        Self { graph, config }
+    }
+
+    /// One walk starting at `start`. The walk ends early at sinks.
+    pub fn walk(&self, rng: &mut impl Rng, start: usize) -> Vec<usize> {
+        let mut walk = Vec::with_capacity(self.config.walk_length);
+        walk.push(start);
+        while walk.len() < self.config.walk_length {
+            let cur = *walk.last().unwrap();
+            let prev = if walk.len() >= 2 {
+                Some(walk[walk.len() - 2])
+            } else {
+                None
+            };
+            match self.sample_next(rng, cur, prev) {
+                Some(next) => walk.push(next),
+                None => break,
+            }
+        }
+        walk
+    }
+
+    /// All walks (`walks_per_vertex` from each vertex), suitable as skip-gram
+    /// "sentences".
+    pub fn generate_all(&self, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        let n = self.graph.num_vertices();
+        let mut walks = Vec::with_capacity(n * self.config.walks_per_vertex);
+        for _ in 0..self.config.walks_per_vertex {
+            for v in 0..n {
+                walks.push(self.walk(rng, v));
+            }
+        }
+        walks
+    }
+
+    fn sample_next(&self, rng: &mut impl Rng, cur: usize, prev: Option<usize>) -> Option<usize> {
+        let neighbors: Vec<(usize, f64)> = self.graph.out_neighbors(cur).collect();
+        if neighbors.is_empty() {
+            return None;
+        }
+        let mut weights = Vec::with_capacity(neighbors.len());
+        let mut total = 0.0;
+        for &(x, w) in &neighbors {
+            let bias = match prev {
+                None => 1.0,
+                Some(t) if x == t => 1.0 / self.config.p,
+                Some(t) if self.graph.has_edge(t, x) || self.graph.has_edge(x, t) => 1.0,
+                Some(_) => 1.0 / self.config.q,
+            };
+            let bw = w.max(0.0) * bias;
+            weights.push(bw);
+            total += bw;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        let mut r = rng.gen_range(0.0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if r < w {
+                return Some(neighbors[i].0);
+            }
+            r -= w;
+        }
+        Some(neighbors.last().unwrap().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> DiGraph {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        DiGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = cycle(5);
+        let walker = BiasedWalker::new(&g, WalkConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = walker.walk(&mut rng, 0);
+        assert_eq!(w.len(), 40);
+        for pair in w.windows(2) {
+            assert_eq!(pair[1], (pair[0] + 1) % 5);
+        }
+    }
+
+    #[test]
+    fn walks_stop_at_sinks() {
+        let g = DiGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let walker = BiasedWalker::new(&g, WalkConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = walker.walk(&mut rng, 0);
+        assert_eq!(w, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn generate_all_produces_expected_count() {
+        let g = cycle(4);
+        let cfg = WalkConfig {
+            walk_length: 5,
+            walks_per_vertex: 3,
+            p: 1.0,
+            q: 1.0,
+        };
+        let walker = BiasedWalker::new(&g, cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let walks = walker.generate_all(&mut rng);
+        assert_eq!(walks.len(), 12);
+        assert!(walks.iter().all(|w| w.len() == 5));
+    }
+
+    #[test]
+    fn high_p_discourages_backtracking() {
+        // Star-with-spokes: from center, with very high p a walk should
+        // rarely return to the vertex it just came from.
+        let g = DiGraph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (0, 2, 1.0),
+                (2, 0, 1.0),
+                (0, 3, 1.0),
+                (3, 0, 1.0),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let low_p = BiasedWalker::new(
+            &g,
+            WalkConfig {
+                walk_length: 3,
+                walks_per_vertex: 1,
+                p: 0.01,
+                q: 1.0,
+            },
+        );
+        let high_p = BiasedWalker::new(
+            &g,
+            WalkConfig {
+                walk_length: 3,
+                walks_per_vertex: 1,
+                p: 100.0,
+                q: 1.0,
+            },
+        );
+        let trials = 300;
+        let count_backtracks = |walker: &BiasedWalker, rng: &mut StdRng| {
+            (0..trials)
+                .filter(|_| {
+                    let w = walker.walk(rng, 1); // 1 -> 0 -> ?
+                    w.len() == 3 && w[2] == 1
+                })
+                .count()
+        };
+        let low = count_backtracks(&low_p, &mut rng);
+        let high = count_backtracks(&high_p, &mut rng);
+        assert!(low > high, "low-p backtracks {low} vs high-p {high}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests on graph algorithms.
+
+use proptest::prelude::*;
+use sarn_graph::{bfs_hops, dijkstra, dijkstra_path, weakly_connected_components, DiGraph};
+
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (3usize..15).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, 1.0f64..100.0),
+            0..(n * 3),
+        );
+        edges.prop_map(move |e| (n, e))
+    })
+}
+
+proptest! {
+    #[test]
+    fn dijkstra_distances_satisfy_triangle_relaxation((n, edges) in random_graph()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let dist = dijkstra(&g, 0);
+        prop_assert_eq!(dist[0], 0.0);
+        // No edge can improve a settled distance.
+        for (u, v, w) in g.edges() {
+            if dist[u].is_finite() {
+                prop_assert!(dist[v] <= dist[u] + w + 1e-9, "edge ({u},{v}) relaxable");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_path_distance_matches_tree((n, edges) in random_graph()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let dist = dijkstra(&g, 0);
+        for target in 1..n {
+            match dijkstra_path(&g, 0, target) {
+                Some((d, path)) => {
+                    prop_assert!((d - dist[target]).abs() < 1e-9);
+                    prop_assert_eq!(path[0], 0);
+                    prop_assert_eq!(*path.last().unwrap(), target);
+                    // Path edge weights must sum to the distance.
+                    let mut sum = 0.0;
+                    for w in path.windows(2) {
+                        let weight = g
+                            .out_neighbors(w[0])
+                            .filter(|&(v, _)| v == w[1])
+                            .map(|(_, x)| x)
+                            .fold(f64::INFINITY, f64::min);
+                        sum += weight;
+                    }
+                    prop_assert!((sum - d).abs() < 1e-6);
+                }
+                None => prop_assert!(dist[target].is_infinite()),
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_reaches_exactly_the_dijkstra_reachable_set((n, edges) in random_graph()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let hops = bfs_hops(&g, 0);
+        let dist = dijkstra(&g, 0);
+        for v in 0..n {
+            prop_assert_eq!(hops[v] == usize::MAX, dist[v].is_infinite(), "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn components_are_consistent_with_edges((n, edges) in random_graph()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let comp = weakly_connected_components(&g);
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(comp[u], comp[v]);
+        }
+    }
+
+    #[test]
+    fn degree_sums_match_edge_count((n, edges) in random_graph()) {
+        let g = DiGraph::from_edges(n, &edges);
+        let out: usize = (0..n).map(|v| g.out_degree(v)).sum();
+        let inn: usize = (0..n).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out, g.num_edges());
+        prop_assert_eq!(inn, g.num_edges());
+    }
+}

@@ -1,0 +1,18 @@
+//! # sarn-roadnet
+//!
+//! Road-network substrate for the SARN reproduction: OSM-like road segments
+//! ([`RoadSegment`], [`HighwayClass`]), the directed segment graph with
+//! Eq. 1 topological weights ([`RoadNetwork`]), and a procedural generator
+//! ([`SynthConfig`]) that synthesizes city networks with the structural
+//! properties of the paper's Chengdu/Beijing/San Francisco datasets
+//! (see DESIGN.md for the substitution rationale).
+
+#![warn(missing_docs)]
+
+mod network;
+mod synth;
+mod types;
+
+pub use network::{NetworkStats, RoadNetwork};
+pub use synth::{City, SynthConfig};
+pub use types::{HighwayClass, RoadSegment};

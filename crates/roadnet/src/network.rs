@@ -1,0 +1,206 @@
+//! The road-network graph `G = ⟨S, A^t⟩`.
+//!
+//! Segments are vertices; a directed topological edge `s_i -> s_j` exists
+//! when `s_j` departs from the intersection `s_i` arrives at. Edge weights
+//! follow Eq. 1: `A^t_{i,j} = (weight(s_i) + weight(s_j)) / 2`.
+
+use sarn_geo::BoundingBox;
+use sarn_graph::DiGraph;
+
+use crate::types::RoadSegment;
+
+/// A directed road network: segments plus the weighted topological adjacency.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    segments: Vec<RoadSegment>,
+    /// `(i, j, A^t_{i,j})` triples, one per directed topological edge.
+    topo_edges: Vec<(usize, usize, f64)>,
+    bbox: BoundingBox,
+}
+
+/// Summary statistics in the shape of the paper's Table 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkStats {
+    /// Number of road segments (graph vertices).
+    pub num_segments: usize,
+    /// Number of directed edges in `A^t`.
+    pub num_topo_edges: usize,
+    /// East-west extent in km.
+    pub width_km: f64,
+    /// North-south extent in km.
+    pub height_km: f64,
+    /// Mean segment length in meters.
+    pub mean_segment_len_m: f64,
+}
+
+impl RoadNetwork {
+    /// Builds a network from segments and directed connectivity pairs,
+    /// computing Eq. 1 edge weights.
+    ///
+    /// # Panics
+    /// Panics if a connectivity pair references a missing segment or if
+    /// `segments` is empty.
+    pub fn new(segments: Vec<RoadSegment>, connectivity: &[(usize, usize)]) -> Self {
+        assert!(!segments.is_empty(), "a road network needs segments");
+        let n = segments.len();
+        let topo_edges = connectivity
+            .iter()
+            .map(|&(i, j)| {
+                assert!(i < n && j < n, "connectivity ({i}, {j}) out of range");
+                let w = (segments[i].class.weight() + segments[j].class.weight()) / 2.0;
+                (i, j, w)
+            })
+            .collect();
+        let bbox = BoundingBox::of(
+            segments
+                .iter()
+                .flat_map(|s| [s.start, s.end]),
+        );
+        Self {
+            segments,
+            topo_edges,
+            bbox,
+        }
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, indexed by vertex id.
+    pub fn segments(&self) -> &[RoadSegment] {
+        &self.segments
+    }
+
+    /// One segment.
+    pub fn segment(&self, i: usize) -> &RoadSegment {
+        &self.segments[i]
+    }
+
+    /// Mutable access to segments (used when assigning labels).
+    pub fn segments_mut(&mut self) -> &mut [RoadSegment] {
+        &mut self.segments
+    }
+
+    /// Directed topological edges with Eq. 1 weights.
+    pub fn topo_edges(&self) -> &[(usize, usize, f64)] {
+        &self.topo_edges
+    }
+
+    /// Bounding box of all segment endpoints.
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Topology as a [`DiGraph`] with Eq. 1 weights (for walks and GCL
+    /// baselines).
+    pub fn topo_digraph(&self) -> DiGraph {
+        DiGraph::from_edges(self.num_segments(), &self.topo_edges)
+    }
+
+    /// Topology as a [`DiGraph`] weighted for routing: traversing edge
+    /// `s_i -> s_j` costs `(len_i + len_j) / 2`, so a shortest path between
+    /// two segment midpoints equals the summed cost along the way.
+    pub fn routing_digraph(&self) -> DiGraph {
+        let edges: Vec<(usize, usize, f64)> = self
+            .topo_edges
+            .iter()
+            .map(|&(i, j, _)| {
+                (
+                    i,
+                    j,
+                    (self.segments[i].length_m + self.segments[j].length_m) / 2.0,
+                )
+            })
+            .collect();
+        DiGraph::from_edges(self.num_segments(), &edges)
+    }
+
+    /// Table 3-style statistics.
+    pub fn stats(&self) -> NetworkStats {
+        let mean_len = self.segments.iter().map(|s| s.length_m).sum::<f64>()
+            / self.num_segments() as f64;
+        NetworkStats {
+            num_segments: self.num_segments(),
+            num_topo_edges: self.topo_edges.len(),
+            width_km: self.bbox.width_m() / 1000.0,
+            height_km: self.bbox.height_m() / 1000.0,
+            mean_segment_len_m: mean_len,
+        }
+    }
+
+    /// Indices of segments carrying a speed-limit label.
+    pub fn labeled_segments(&self) -> Vec<usize> {
+        (0..self.num_segments())
+            .filter(|&i| self.segments[i].speed_limit_kmh.is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::HighwayClass;
+    use sarn_geo::Point;
+
+    fn two_segment_net() -> RoadNetwork {
+        let a = RoadSegment::between(
+            HighwayClass::Motorway,
+            Point::new(30.0, 104.0),
+            Point::new(30.001, 104.0),
+        );
+        let b = RoadSegment::between(
+            HighwayClass::Residential,
+            Point::new(30.001, 104.0),
+            Point::new(30.002, 104.0),
+        );
+        RoadNetwork::new(vec![a, b], &[(0, 1)])
+    }
+
+    #[test]
+    fn eq1_weights_average_segment_weights() {
+        let net = two_segment_net();
+        assert_eq!(net.topo_edges().len(), 1);
+        let (_, _, w) = net.topo_edges()[0];
+        assert_eq!(w, (6.0 + 2.0) / 2.0);
+    }
+
+    #[test]
+    fn routing_weights_average_lengths() {
+        let net = two_segment_net();
+        let g = net.routing_digraph();
+        let (_, w) = g.out_neighbors(0).next().unwrap();
+        let expect = (net.segment(0).length_m + net.segment(1).length_m) / 2.0;
+        assert!((w - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_report_counts_and_extent() {
+        let net = two_segment_net();
+        let s = net.stats();
+        assert_eq!(s.num_segments, 2);
+        assert_eq!(s.num_topo_edges, 1);
+        assert!(s.mean_segment_len_m > 100.0 && s.mean_segment_len_m < 120.0);
+        assert!(s.height_km > 0.2 && s.height_km < 0.23);
+    }
+
+    #[test]
+    fn labeled_segments_filters_by_label() {
+        let mut net = two_segment_net();
+        assert!(net.labeled_segments().is_empty());
+        net.segments_mut()[1].speed_limit_kmh = Some(30);
+        assert_eq!(net.labeled_segments(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_connectivity() {
+        let a = RoadSegment::between(
+            HighwayClass::Primary,
+            Point::new(30.0, 104.0),
+            Point::new(30.001, 104.0),
+        );
+        let _ = RoadNetwork::new(vec![a], &[(0, 3)]);
+    }
+}

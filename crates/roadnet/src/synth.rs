@@ -1,0 +1,585 @@
+//! Procedural road-network generation.
+//!
+//! The paper evaluates on OSM extracts of Chengdu, Beijing, and San
+//! Francisco, which are not redistributable here. This module synthesizes
+//! city road networks with the same structural ingredients — a jittered
+//! street lattice with arterial avenues, ring roads, a motorway perimeter,
+//! one-way minor streets, segments of ~70 m mean length, and speed-limit
+//! labels correlated (but not perfectly) with road type — so every SARN
+//! component consumes the same kinds of signal it would on the real data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sarn_geo::{LocalProjection, Point};
+use sarn_graph::{weakly_connected_components, DiGraph};
+
+use crate::network::RoadNetwork;
+use crate::types::{HighwayClass, RoadSegment};
+
+/// The road networks used by the paper's evaluation (Table 3 / Table 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum City {
+    /// Chengdu, within the Second Ring Road ("CD").
+    Chengdu,
+    /// Beijing, within the Second Ring Road ("BJ").
+    Beijing,
+    /// Northeastern San Francisco ("SF").
+    SanFrancisco,
+    /// Smaller San Francisco region ("SF-S", Table 8).
+    SanFranciscoSmall,
+    /// Larger San Francisco region ("SF-L", Table 8).
+    SanFranciscoLarge,
+}
+
+impl City {
+    /// Short dataset name used in the paper's tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            City::Chengdu => "CD",
+            City::Beijing => "BJ",
+            City::SanFrancisco => "SF",
+            City::SanFranciscoSmall => "SF-S",
+            City::SanFranciscoLarge => "SF-L",
+        }
+    }
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Southwest anchor of the region.
+    pub origin: Point,
+    /// Intersection lattice columns.
+    pub cols: usize,
+    /// Intersection lattice rows.
+    pub rows: usize,
+    /// Lattice spacing in meters.
+    pub spacing_m: f64,
+    /// Per-intersection position jitter in meters.
+    pub jitter_m: f64,
+    /// Every `k`-th row/column is an arterial (Primary) avenue.
+    pub arterial_every: usize,
+    /// Number of interior ring roads (Trunk class).
+    pub ring_count: usize,
+    /// Whether the perimeter is a motorway ring.
+    pub motorway_ring: bool,
+    /// Fraction of minor streets randomly removed.
+    pub street_removal: f64,
+    /// Fraction of minor streets made one-way.
+    pub oneway_frac: f64,
+    /// Target sub-segment length in meters (paper: ~70 m mean).
+    pub chunk_len_m: f64,
+    /// Fraction of segments given a speed-limit label.
+    pub label_frac: f64,
+    /// Number of circular speed zones perturbing limits away from the
+    /// road-type default (drives the NMI between type and limit down).
+    pub speed_zone_count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Preset emulating one of the paper's datasets, scaled down to run on a
+    /// CPU. Pass the result through [`SynthConfig::scaled`] to grow it.
+    pub fn city(city: City) -> Self {
+        match city {
+            City::Chengdu => Self {
+                name: "CD".into(),
+                origin: Point::new(30.635, 104.035),
+                cols: 16,
+                rows: 18,
+                spacing_m: 165.0,
+                jitter_m: 18.0,
+                arterial_every: 4,
+                ring_count: 1,
+                motorway_ring: true,
+                street_removal: 0.10,
+                oneway_frac: 0.15,
+                chunk_len_m: 72.0,
+                label_frac: 0.05,
+                speed_zone_count: 2,
+                seed: 0xCD,
+            },
+            City::Beijing => Self {
+                name: "BJ".into(),
+                origin: Point::new(39.875, 116.36),
+                cols: 18,
+                rows: 20,
+                spacing_m: 150.0,
+                jitter_m: 10.0,
+                arterial_every: 5,
+                ring_count: 2,
+                motorway_ring: true,
+                street_removal: 0.08,
+                oneway_frac: 0.20,
+                chunk_len_m: 70.0,
+                label_frac: 0.03,
+                speed_zone_count: 1,
+                seed: 0xB1,
+            },
+            City::SanFrancisco => Self {
+                name: "SF".into(),
+                origin: Point::new(37.77, -122.435),
+                cols: 19,
+                rows: 20,
+                spacing_m: 115.0,
+                jitter_m: 6.0,
+                arterial_every: 6,
+                ring_count: 0,
+                motorway_ring: true,
+                street_removal: 0.06,
+                oneway_frac: 0.30,
+                chunk_len_m: 65.0,
+                label_frac: 0.20,
+                speed_zone_count: 5,
+                seed: 0x5F,
+            },
+            City::SanFranciscoSmall => {
+                let mut c = Self::city(City::SanFrancisco);
+                c.name = "SF-S".into();
+                c.cols = 14;
+                c.rows = 14;
+                c.seed = 0x5F5;
+                c
+            }
+            City::SanFranciscoLarge => {
+                let mut c = Self::city(City::SanFrancisco);
+                c.name = "SF-L".into();
+                c.cols = 27;
+                c.rows = 28;
+                c.seed = 0x5F1;
+                c
+            }
+        }
+    }
+
+    /// Scales the lattice by `f` in each dimension (segment count grows
+    /// roughly with `f^2`).
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.cols = ((self.cols as f64 * f).round() as usize).max(4);
+        self.rows = ((self.rows as f64 * f).round() as usize).max(4);
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the road network.
+    pub fn generate(&self) -> RoadNetwork {
+        Generator::new(self).run()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Street {
+    a: usize,
+    b: usize,
+    class: HighwayClass,
+    oneway: bool,
+}
+
+struct Generator<'c> {
+    cfg: &'c SynthConfig,
+    rng: StdRng,
+    proj: LocalProjection,
+}
+
+impl<'c> Generator<'c> {
+    fn new(cfg: &'c SynthConfig) -> Self {
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            proj: LocalProjection::new(cfg.origin),
+        }
+    }
+
+    fn run(mut self) -> RoadNetwork {
+        let intersections = self.place_intersections();
+        let streets = self.lay_streets();
+        let (segments, connectivity) = self.build_segments(&intersections, &streets);
+        let (segments, connectivity) = largest_component(segments, connectivity);
+        let mut net = RoadNetwork::new(segments, &connectivity);
+        self.assign_speed_limits(&mut net);
+        net
+    }
+
+    fn node_id(&self, r: usize, c: usize) -> usize {
+        r * self.cfg.cols + c
+    }
+
+    fn place_intersections(&mut self) -> Vec<Point> {
+        let mut pts = Vec::with_capacity(self.cfg.rows * self.cfg.cols);
+        for r in 0..self.cfg.rows {
+            for c in 0..self.cfg.cols {
+                let jx = self.rng.gen_range(-self.cfg.jitter_m..=self.cfg.jitter_m);
+                let jy = self.rng.gen_range(-self.cfg.jitter_m..=self.cfg.jitter_m);
+                pts.push(self.proj.unproject(
+                    c as f64 * self.cfg.spacing_m + jx,
+                    r as f64 * self.cfg.spacing_m + jy,
+                ));
+            }
+        }
+        pts
+    }
+
+    /// Road class of the street between two adjacent lattice nodes.
+    fn street_class(&self, r: usize, c: usize, horizontal: bool) -> HighwayClass {
+        let (rows, cols) = (self.cfg.rows, self.cfg.cols);
+        // Perimeter: motorway ring.
+        let on_perimeter = if horizontal {
+            r == 0 || r == rows - 1
+        } else {
+            c == 0 || c == cols - 1
+        };
+        if on_perimeter && self.cfg.motorway_ring {
+            return HighwayClass::Motorway;
+        }
+        // Interior ring roads at fixed insets.
+        for ring in 1..=self.cfg.ring_count {
+            let inset = ring * (rows.min(cols) / (2 * (self.cfg.ring_count + 1)));
+            let on_ring = if horizontal {
+                (r == inset || r == rows - 1 - inset) && c >= inset && c < cols - inset
+            } else {
+                (c == inset || c == cols - 1 - inset) && r >= inset && r < rows - inset
+            };
+            if on_ring {
+                return HighwayClass::Trunk;
+            }
+        }
+        // Arterial avenues.
+        let arterial = if horizontal {
+            r % self.cfg.arterial_every == 0
+        } else {
+            c % self.cfg.arterial_every == 0
+        };
+        if arterial {
+            return HighwayClass::Primary;
+        }
+        // Secondary connectors between arterials, everything else local.
+        let semi = if horizontal {
+            r % self.cfg.arterial_every == self.cfg.arterial_every / 2
+        } else {
+            c % self.cfg.arterial_every == self.cfg.arterial_every / 2
+        };
+        if semi {
+            HighwayClass::Secondary
+        } else if (r + c) % 3 == 0 {
+            HighwayClass::Tertiary
+        } else {
+            HighwayClass::Residential
+        }
+    }
+
+    fn lay_streets(&mut self) -> Vec<Street> {
+        let mut streets = Vec::new();
+        for r in 0..self.cfg.rows {
+            for c in 0..self.cfg.cols {
+                // horizontal street (c, c+1)
+                if c + 1 < self.cfg.cols {
+                    let class = self.street_class(r, c, true);
+                    if self.keep_street(class) {
+                        streets.push(Street {
+                            a: self.node_id(r, c),
+                            b: self.node_id(r, c + 1),
+                            class,
+                            oneway: self.oneway(class),
+                        });
+                    }
+                }
+                // vertical street (r, r+1)
+                if r + 1 < self.cfg.rows {
+                    let class = self.street_class(r, c, false);
+                    if self.keep_street(class) {
+                        streets.push(Street {
+                            a: self.node_id(r, c),
+                            b: self.node_id(r + 1, c),
+                            class,
+                            oneway: self.oneway(class),
+                        });
+                    }
+                }
+            }
+        }
+        streets
+    }
+
+    fn keep_street(&mut self, class: HighwayClass) -> bool {
+        if class >= HighwayClass::Tertiary {
+            self.rng.gen_bool(1.0 - self.cfg.street_removal)
+        } else {
+            true
+        }
+    }
+
+    fn oneway(&mut self, class: HighwayClass) -> bool {
+        class >= HighwayClass::Secondary && self.rng.gen_bool(self.cfg.oneway_frac)
+    }
+
+    /// Splits streets into directed sub-segment chains and wires up
+    /// intersection connectivity (no U-turns onto the reverse twin).
+    fn build_segments(
+        &mut self,
+        intersections: &[Point],
+        streets: &[Street],
+    ) -> (Vec<RoadSegment>, Vec<(usize, usize)>) {
+        let mut segments: Vec<RoadSegment> = Vec::new();
+        let mut twin: Vec<Option<usize>> = Vec::new();
+        let mut connectivity: Vec<(usize, usize)> = Vec::new();
+        // Per intersection: segments departing / arriving.
+        let mut departing: Vec<Vec<usize>> = vec![Vec::new(); intersections.len()];
+        let mut arriving: Vec<Vec<usize>> = vec![Vec::new(); intersections.len()];
+
+        for street in streets {
+            let pa = intersections[street.a];
+            let pb = intersections[street.b];
+            let len = sarn_geo::haversine_m(&pa, &pb);
+            let chunks = ((len / self.cfg.chunk_len_m).round() as usize).max(1);
+            let fwd = self.make_chain(street, pa, pb, chunks, &mut segments);
+            wire_chain(&fwd, street.a, street.b, &mut connectivity, &mut departing, &mut arriving);
+            twin.resize(segments.len(), None);
+            if !street.oneway {
+                let bwd = self.make_chain(street, pb, pa, chunks, &mut segments);
+                wire_chain(&bwd, street.b, street.a, &mut connectivity, &mut departing, &mut arriving);
+                twin.resize(segments.len(), None);
+                for k in 0..chunks {
+                    twin[fwd[k]] = Some(bwd[chunks - 1 - k]);
+                    twin[bwd[chunks - 1 - k]] = Some(fwd[k]);
+                }
+            }
+        }
+
+        // Intersection connectivity: every arriving segment continues onto
+        // every departing segment except its own reverse twin.
+        for node in 0..intersections.len() {
+            for &ain in &arriving[node] {
+                for &dout in &departing[node] {
+                    if twin[ain] == Some(dout) {
+                        continue;
+                    }
+                    connectivity.push((ain, dout));
+                }
+            }
+        }
+        (segments, connectivity)
+    }
+
+    /// Creates the chain of sub-segments for one direction of a street.
+    fn make_chain(
+        &mut self,
+        street: &Street,
+        from: Point,
+        to: Point,
+        chunks: usize,
+        segments: &mut Vec<RoadSegment>,
+    ) -> Vec<usize> {
+        let (fx, fy) = self.proj.project(&from);
+        let (tx, ty) = self.proj.project(&to);
+        let mut ids = Vec::with_capacity(chunks);
+        let mut prev = from;
+        for k in 1..=chunks {
+            let t = k as f64 / chunks as f64;
+            // Slight lateral wobble on interior cut points keeps radians from
+            // being perfectly collinear along a street.
+            let wobble = if k < chunks {
+                self.rng.gen_range(-3.0..=3.0)
+            } else {
+                0.0
+            };
+            let x = fx + (tx - fx) * t + wobble;
+            let y = fy + (ty - fy) * t + wobble;
+            let next = if k == chunks { to } else { self.proj.unproject(x, y) };
+            segments.push(RoadSegment::between(street.class, prev, next));
+            ids.push(segments.len() - 1);
+            prev = next;
+        }
+        ids
+    }
+
+    /// Assigns speed-limit labels: road-type base speed shifted by circular
+    /// zones, snapped to 10 km/h steps, surveyed on `label_frac` of segments.
+    fn assign_speed_limits(&mut self, net: &mut RoadNetwork) {
+        let bbox = *net.bbox();
+        // Zone radii scale with the map so the type/limit correlation (the
+        // paper's NMI caveat) does not collapse on reduced-scale networks:
+        // each zone covers roughly 10-30% of the map's extent.
+        let extent = bbox.width_m().max(bbox.height_m());
+        let zones: Vec<(Point, f64, i32)> = (0..self.cfg.speed_zone_count)
+            .map(|_| {
+                let lat = self.rng.gen_range(bbox.min_lat..=bbox.max_lat);
+                let lon = self.rng.gen_range(bbox.min_lon..=bbox.max_lon);
+                let radius = self.rng.gen_range(0.1..0.3) * extent;
+                let shift = *[-20, -10, 10]
+                    .get(self.rng.gen_range(0..3))
+                    .unwrap();
+                (Point::new(lat, lon), radius, shift)
+            })
+            .collect();
+        let n = net.num_segments();
+        for i in 0..n {
+            if !self.rng.gen_bool(self.cfg.label_frac) {
+                continue;
+            }
+            let seg = net.segment(i);
+            let mid = seg.midpoint();
+            let mut speed = seg.class.base_speed_kmh() as i32;
+            for (center, radius, shift) in &zones {
+                if sarn_geo::haversine_m(&mid, center) < *radius {
+                    speed += shift;
+                }
+            }
+            let speed = ((speed.max(20) + 5) / 10 * 10) as u32;
+            net.segments_mut()[i].speed_limit_kmh = Some(speed);
+        }
+    }
+}
+
+fn wire_chain(
+    chain: &[usize],
+    from_node: usize,
+    to_node: usize,
+    connectivity: &mut Vec<(usize, usize)>,
+    departing: &mut [Vec<usize>],
+    arriving: &mut [Vec<usize>],
+) {
+    for pair in chain.windows(2) {
+        connectivity.push((pair[0], pair[1]));
+    }
+    departing[from_node].push(chain[0]);
+    arriving[to_node].push(*chain.last().unwrap());
+}
+
+/// Keeps only the largest weakly-connected component, remapping indices.
+fn largest_component(
+    segments: Vec<RoadSegment>,
+    connectivity: Vec<(usize, usize)>,
+) -> (Vec<RoadSegment>, Vec<(usize, usize)>) {
+    let n = segments.len();
+    let edges: Vec<(usize, usize, f64)> =
+        connectivity.iter().map(|&(a, b)| (a, b, 1.0)).collect();
+    let g = DiGraph::from_edges(n, &edges);
+    let comp = weakly_connected_components(&g);
+    let num_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; num_comps];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let keep = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut remap = vec![usize::MAX; n];
+    let mut kept_segments = Vec::new();
+    for (i, seg) in segments.into_iter().enumerate() {
+        if comp[i] == keep {
+            remap[i] = kept_segments.len();
+            kept_segments.push(seg);
+        }
+    }
+    let kept_conn = connectivity
+        .into_iter()
+        .filter(|&(a, b)| remap[a] != usize::MAX && remap[b] != usize::MAX)
+        .map(|(a, b)| (remap[a], remap[b]))
+        .collect();
+    (kept_segments, kept_conn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cd_preset_has_table3_like_shape() {
+        let net = SynthConfig::city(City::Chengdu).generate();
+        let s = net.stats();
+        assert!(s.num_segments > 1200, "{} segments", s.num_segments);
+        assert!(s.num_segments < 4000, "{} segments", s.num_segments);
+        // The paper's edge/segment ratio is ~1.7 (50,325 / 29,593).
+        let ratio = s.num_topo_edges as f64 / s.num_segments as f64;
+        assert!((1.1..2.8).contains(&ratio), "A^t ratio {ratio}");
+        assert!(
+            (40.0..110.0).contains(&s.mean_segment_len_m),
+            "mean len {}",
+            s.mean_segment_len_m
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = SynthConfig::city(City::Chengdu).generate();
+        let b = SynthConfig::city(City::Chengdu).generate();
+        assert_eq!(a.num_segments(), b.num_segments());
+        assert_eq!(a.topo_edges().len(), b.topo_edges().len());
+        let c = SynthConfig::city(City::Chengdu).with_seed(123).generate();
+        assert_ne!(a.num_segments(), 0);
+        // Different seed almost surely changes the removal pattern.
+        assert!(a.num_segments() != c.num_segments() || a.topo_edges().len() != c.topo_edges().len());
+    }
+
+    #[test]
+    fn network_is_weakly_connected() {
+        let net = SynthConfig::city(City::SanFrancisco).generate();
+        let comp = weakly_connected_components(&net.topo_digraph());
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn size_presets_scale_two_fold() {
+        let s = SynthConfig::city(City::SanFranciscoSmall).generate().num_segments();
+        let m = SynthConfig::city(City::SanFrancisco).generate().num_segments();
+        let l = SynthConfig::city(City::SanFranciscoLarge).generate().num_segments();
+        assert!(m as f64 / s as f64 > 1.5, "SF/SF-S = {}", m as f64 / s as f64);
+        assert!(l as f64 / m as f64 > 1.5, "SF-L/SF = {}", l as f64 / m as f64);
+    }
+
+    #[test]
+    fn labels_exist_and_take_several_values() {
+        let net = SynthConfig::city(City::SanFrancisco).generate();
+        let labeled = net.labeled_segments();
+        assert!(labeled.len() > 100, "{} labels", labeled.len());
+        let mut values: Vec<u32> = labeled
+            .iter()
+            .map(|&i| net.segment(i).speed_limit_kmh.unwrap())
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        assert!(values.len() >= 4, "{} distinct limits", values.len());
+    }
+
+    #[test]
+    fn motorway_ring_exists_on_perimeter() {
+        let net = SynthConfig::city(City::Chengdu).generate();
+        let motorways = net
+            .segments()
+            .iter()
+            .filter(|s| s.class == HighwayClass::Motorway)
+            .count();
+        assert!(motorways > 50, "{motorways} motorway segments");
+    }
+
+    #[test]
+    fn no_u_turn_connectivity() {
+        // No topological edge may connect a segment to its exact reverse.
+        let net = SynthConfig::city(City::Chengdu).generate();
+        for &(i, j, _) in net.topo_edges() {
+            let (a, b) = (net.segment(i), net.segment(j));
+            let reversed = sarn_geo::haversine_m(&a.start, &b.end) < 1.0
+                && sarn_geo::haversine_m(&a.end, &b.start) < 1.0;
+            assert!(!reversed, "U-turn edge {i} -> {j}");
+        }
+    }
+
+    #[test]
+    fn scaled_config_grows_lattice() {
+        let base = SynthConfig::city(City::Chengdu);
+        let grown = base.clone().scaled(1.5);
+        assert_eq!(grown.cols, 24);
+        assert_eq!(grown.rows, 27);
+    }
+}

@@ -1,0 +1,157 @@
+//! Road segments and OSM-like highway classes.
+
+use sarn_geo::{normalize_radian, Point};
+
+/// OSM-like road type ("highway" tag), ordered from most to least important.
+///
+/// The SARN paper derives segment weights from these types, "e.g., 6.0 for
+/// motorways and 2.0 for residential roads" (Eq. 1 discussion); the weights
+/// here interpolate that scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HighwayClass {
+    /// Restricted-access major divided highway.
+    Motorway,
+    /// Important national road that is not a motorway.
+    Trunk,
+    /// Major arterial road.
+    Primary,
+    /// Secondary arterial.
+    Secondary,
+    /// Local connector.
+    Tertiary,
+    /// Local access street.
+    Residential,
+    /// Parking aisles, alleys, and other minor ways.
+    Service,
+}
+
+impl HighwayClass {
+    /// All classes in importance order.
+    pub const ALL: [HighwayClass; 7] = [
+        HighwayClass::Motorway,
+        HighwayClass::Trunk,
+        HighwayClass::Primary,
+        HighwayClass::Secondary,
+        HighwayClass::Tertiary,
+        HighwayClass::Residential,
+        HighwayClass::Service,
+    ];
+
+    /// Importance weight used for `A^t` (Eq. 1) and augmentation (Eq. 6).
+    pub fn weight(self) -> f64 {
+        match self {
+            HighwayClass::Motorway => 6.0,
+            HighwayClass::Trunk => 5.0,
+            HighwayClass::Primary => 4.5,
+            HighwayClass::Secondary => 4.0,
+            HighwayClass::Tertiary => 3.0,
+            HighwayClass::Residential => 2.0,
+            HighwayClass::Service => 1.5,
+        }
+    }
+
+    /// Dense integer id (used as the type-feature vocabulary index).
+    pub fn index(self) -> usize {
+        match self {
+            HighwayClass::Motorway => 0,
+            HighwayClass::Trunk => 1,
+            HighwayClass::Primary => 2,
+            HighwayClass::Secondary => 3,
+            HighwayClass::Tertiary => 4,
+            HighwayClass::Residential => 5,
+            HighwayClass::Service => 6,
+        }
+    }
+
+    /// Typical legal speed in km/h before zone modifiers.
+    pub fn base_speed_kmh(self) -> u32 {
+        match self {
+            HighwayClass::Motorway => 100,
+            HighwayClass::Trunk => 80,
+            HighwayClass::Primary => 60,
+            HighwayClass::Secondary => 50,
+            HighwayClass::Tertiary => 40,
+            HighwayClass::Residential => 30,
+            HighwayClass::Service => 20,
+        }
+    }
+}
+
+/// One directed road segment — a vertex of the road-network graph.
+///
+/// Matches the paper's 5-tuple
+/// `⟨type, length, radian, start, end⟩` (§3); `speed_limit_kmh` is a
+/// downstream-task label and is **not** part of the model input features.
+#[derive(Clone, Debug)]
+pub struct RoadSegment {
+    /// Road type.
+    pub class: HighwayClass,
+    /// Length in meters.
+    pub length_m: f64,
+    /// Travel direction in radians, clockwise from north, in `[0, 2π)`.
+    pub radian: f64,
+    /// Start point.
+    pub start: Point,
+    /// End point.
+    pub end: Point,
+    /// Posted speed limit, if surveyed (downstream label only).
+    pub speed_limit_kmh: Option<u32>,
+}
+
+impl RoadSegment {
+    /// Builds a segment between two points, deriving length and radian.
+    pub fn between(class: HighwayClass, start: Point, end: Point) -> Self {
+        Self {
+            class,
+            length_m: sarn_geo::haversine_m(&start, &end),
+            radian: normalize_radian(start.bearing_to(&end)),
+            start,
+            end,
+            speed_limit_kmh: None,
+        }
+    }
+
+    /// Midpoint of the segment (used by `A^s` and the sampling grid).
+    pub fn midpoint(&self) -> Point {
+        self.start.midpoint(&self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_decrease_with_importance() {
+        let mut prev = f64::INFINITY;
+        for c in HighwayClass::ALL {
+            assert!(c.weight() < prev, "{c:?} weight not decreasing");
+            prev = c.weight();
+        }
+        assert_eq!(HighwayClass::Motorway.weight(), 6.0);
+        assert_eq!(HighwayClass::Residential.weight(), 2.0);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = vec![false; HighwayClass::ALL.len()];
+        for c in HighwayClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn between_derives_geometry() {
+        let s = RoadSegment::between(
+            HighwayClass::Primary,
+            Point::new(30.0, 104.0),
+            Point::new(30.001, 104.0),
+        );
+        assert!((s.length_m - 111.2).abs() < 1.0, "len {}", s.length_m);
+        assert!(s.radian.abs() < 1e-6, "northbound radian {}", s.radian);
+        let m = s.midpoint();
+        assert!((m.lat - 30.0005).abs() < 1e-9);
+    }
+}

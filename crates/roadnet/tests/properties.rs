@@ -1,0 +1,69 @@
+//! Property-based tests on the synthetic road-network generator.
+
+use proptest::prelude::*;
+use sarn_graph::weakly_connected_components;
+use sarn_roadnet::{City, SynthConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn generated_networks_are_structurally_sound(
+        seed in 0u64..1000,
+        scale in 0.25f64..0.5,
+    ) {
+        let net = SynthConfig::city(City::Chengdu)
+            .scaled(scale)
+            .with_seed(seed)
+            .generate();
+        let n = net.num_segments();
+        prop_assert!(n > 20, "degenerate network: {n} segments");
+
+        // Connectivity endpoints are valid and weights follow Eq. 1.
+        for &(i, j, w) in net.topo_edges() {
+            prop_assert!(i < n && j < n);
+            let expect = (net.segment(i).class.weight() + net.segment(j).class.weight()) / 2.0;
+            prop_assert!((w - expect).abs() < 1e-12);
+        }
+
+        // Weak connectivity (the generator keeps the largest component).
+        let comp = weakly_connected_components(&net.topo_digraph());
+        prop_assert!(comp.iter().all(|&c| c == comp[0]));
+
+        // Geometry sanity: every segment has positive length, a normalized
+        // radian, and its endpoints inside the bounding box.
+        for seg in net.segments() {
+            prop_assert!(seg.length_m > 0.0);
+            prop_assert!((0.0..2.0 * std::f64::consts::PI).contains(&seg.radian));
+            prop_assert!(net.bbox().contains(&seg.start));
+            prop_assert!(net.bbox().contains(&seg.end));
+        }
+    }
+
+    #[test]
+    fn connected_segments_share_an_endpoint(seed in 0u64..100) {
+        let net = SynthConfig::city(City::SanFrancisco)
+            .scaled(0.3)
+            .with_seed(seed)
+            .generate();
+        for &(i, j, _) in net.topo_edges().iter().take(500) {
+            // s_j departs where s_i arrives (within lattice jitter).
+            let gap = sarn_geo::haversine_m(&net.segment(i).end, &net.segment(j).start);
+            prop_assert!(gap < 1.0, "edge ({i},{j}) gap {gap} m");
+        }
+    }
+
+    #[test]
+    fn speed_limits_are_plausible(seed in 0u64..100) {
+        let mut cfg = SynthConfig::city(City::SanFrancisco).scaled(0.3).with_seed(seed);
+        cfg.label_frac = 0.3;
+        let net = cfg.generate();
+        let labeled = net.labeled_segments();
+        prop_assert!(!labeled.is_empty());
+        for &i in &labeled {
+            let s = net.segment(i).speed_limit_kmh.unwrap();
+            prop_assert!((20..=120).contains(&s), "speed {s}");
+            prop_assert_eq!(s % 10, 0, "speed {} not a multiple of 10", s);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # sarn-tasks
+//!
+//! The SARN paper's downstream evaluation harness (§5.2): road property
+//! (speed limit) prediction, trajectory similarity prediction, and
+//! shortest-path distance prediction, each driven by an
+//! [`EmbeddingSource`] that abstracts over frozen self-supervised
+//! embeddings, SARN\* fine-tuning, and fully supervised end-to-end models.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+mod road_property;
+mod source;
+mod spd;
+mod traj_sim;
+
+pub use road_property::{road_property, RoadPropertyConfig, RoadPropertyResult};
+pub use source::{EmbedFn, EmbeddingSource};
+pub use spd::{spd, SpdConfig, SpdResult};
+pub use traj_sim::{traj_sim, TrajSimConfig, TrajSimResult};

@@ -1,0 +1,260 @@
+//! Evaluation metrics used across the three downstream tasks.
+
+/// Macro-averaged F1 score over classes present in the ground truth.
+pub fn macro_f1(truth: &[usize], pred: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut f1_sum = 0.0;
+    let mut classes = 0;
+    for c in 0..num_classes {
+        let tp = truth
+            .iter()
+            .zip(pred)
+            .filter(|&(&t, &p)| t == c && p == c)
+            .count() as f64;
+        let fp = truth
+            .iter()
+            .zip(pred)
+            .filter(|&(&t, &p)| t != c && p == c)
+            .count() as f64;
+        let fn_ = truth
+            .iter()
+            .zip(pred)
+            .filter(|&(&t, &p)| t == c && p != c)
+            .count() as f64;
+        if tp + fn_ == 0.0 {
+            continue; // class absent from ground truth
+        }
+        classes += 1;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = tp / (tp + fn_);
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        f1_sum / classes as f64
+    }
+}
+
+/// Macro-averaged one-vs-rest ROC AUC from per-class scores.
+///
+/// `scores[i]` holds a score per class for example `i` (e.g. softmax
+/// probabilities). Classes absent from the ground truth, or present in every
+/// example, are skipped.
+pub fn macro_auc_ovr(truth: &[usize], scores: &[Vec<f64>], num_classes: usize) -> f64 {
+    assert_eq!(truth.len(), scores.len());
+    let mut auc_sum = 0.0;
+    let mut classes = 0;
+    for c in 0..num_classes {
+        let pos: Vec<f64> = truth
+            .iter()
+            .zip(scores)
+            .filter(|&(&t, _)| t == c)
+            .map(|(_, s)| s[c])
+            .collect();
+        let neg: Vec<f64> = truth
+            .iter()
+            .zip(scores)
+            .filter(|&(&t, _)| t != c)
+            .map(|(_, s)| s[c])
+            .collect();
+        if pos.is_empty() || neg.is_empty() {
+            continue;
+        }
+        classes += 1;
+        // AUC = P(score_pos > score_neg) + 0.5 P(tie), by pair counting.
+        let mut wins = 0.0;
+        for &p in &pos {
+            for &n in &neg {
+                if p > n {
+                    wins += 1.0;
+                } else if (p - n).abs() < 1e-12 {
+                    wins += 0.5;
+                }
+            }
+        }
+        auc_sum += wins / (pos.len() * neg.len()) as f64;
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        auc_sum / classes as f64
+    }
+}
+
+/// Hit ratio `HR@k`: fraction of the true top-`k` items found in the
+/// predicted top-`k` (averaged over queries by the caller).
+pub fn hit_ratio_at_k(true_ranking: &[usize], pred_ranking: &[usize], k: usize) -> f64 {
+    let k = k.min(true_ranking.len()).min(pred_ranking.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let true_top: std::collections::HashSet<usize> = true_ranking[..k].iter().copied().collect();
+    let hits = pred_ranking[..k]
+        .iter()
+        .filter(|i| true_top.contains(i))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// `R5@20`-style recall: fraction of the true top-`k_true` found in the
+/// predicted top-`k_pred`.
+pub fn recall_k_at_m(
+    true_ranking: &[usize],
+    pred_ranking: &[usize],
+    k_true: usize,
+    k_pred: usize,
+) -> f64 {
+    let k_true = k_true.min(true_ranking.len());
+    let k_pred = k_pred.min(pred_ranking.len());
+    if k_true == 0 {
+        return 0.0;
+    }
+    let true_top: std::collections::HashSet<usize> =
+        true_ranking[..k_true].iter().copied().collect();
+    let hits = pred_ranking[..k_pred]
+        .iter()
+        .filter(|i| true_top.contains(i))
+        .count();
+    hits as f64 / k_true as f64
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len().max(1) as f64
+}
+
+/// Mean relative error `|pred - true| / true` (zero-truth pairs skipped).
+pub fn mre(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut sum = 0.0;
+    let mut n = 0;
+    for (t, p) in truth.iter().zip(pred) {
+        if *t > 0.0 {
+            sum += (t - p).abs() / t;
+            n += 1;
+        }
+    }
+    sum / n.max(1) as f64
+}
+
+/// Ranking of indices `0..n` (excluding `query`) by ascending key.
+pub fn ranking_by<F: Fn(usize) -> f64>(n: usize, query: usize, key: F) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).filter(|&i| i != query).collect();
+    idx.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+    idx
+}
+
+/// Mean and (population) standard deviation of repeated measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Mean value.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+}
+
+impl Stats {
+    /// Computes stats over the samples (0/0 for an empty slice).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / samples.len() as f64;
+        Self {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_perfect_and_inverted() {
+        let truth = vec![0, 1, 0, 1];
+        assert_eq!(macro_f1(&truth, &truth, 2), 1.0);
+        let flipped = vec![1, 0, 1, 0];
+        assert_eq!(macro_f1(&truth, &flipped, 2), 0.0);
+    }
+
+    #[test]
+    fn f1_skips_absent_classes() {
+        let truth = vec![0, 0, 0];
+        let pred = vec![0, 0, 1];
+        // class 1 absent from truth -> only class 0 counted.
+        let f1 = macro_f1(&truth, &pred, 3);
+        assert!((f1 - 0.8).abs() < 1e-9); // p = 1, r = 2/3 -> f1 = 0.8
+    }
+
+    #[test]
+    fn auc_separable_is_one_random_is_half() {
+        let truth = vec![1, 1, 0, 0];
+        let scores = vec![
+            vec![0.1, 0.9],
+            vec![0.2, 0.8],
+            vec![0.8, 0.2],
+            vec![0.9, 0.1],
+        ];
+        assert!((macro_auc_ovr(&truth, &scores, 2) - 1.0).abs() < 1e-9);
+        let tied = vec![vec![0.5, 0.5]; 4];
+        assert!((macro_auc_ovr(&truth, &tied, 2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_ratio_counts_overlap() {
+        let truth = vec![3, 1, 4, 1, 5];
+        let pred = vec![3, 9, 4, 2, 6];
+        assert!((hit_ratio_at_k(&truth, &pred, 3) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(hit_ratio_at_k(&truth, &truth, 5), 1.0);
+    }
+
+    #[test]
+    fn recall_5_at_20_finds_all_when_contained() {
+        let truth: Vec<usize> = (0..5).collect();
+        let pred: Vec<usize> = (0..20).rev().collect();
+        assert_eq!(recall_k_at_m(&truth, &pred, 5, 20), 1.0);
+        let pred_missing: Vec<usize> = (10..30).collect();
+        assert_eq!(recall_k_at_m(&truth, &pred_missing, 5, 20), 0.0);
+    }
+
+    #[test]
+    fn mae_mre_basics() {
+        let t = vec![100.0, 200.0];
+        let p = vec![110.0, 180.0];
+        assert!((mae(&t, &p) - 15.0).abs() < 1e-9);
+        assert!((mre(&t, &p) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_sorts_and_excludes_query() {
+        let d = [0.0, 3.0, 1.0, 2.0];
+        let r = ranking_by(4, 0, |i| d[i]);
+        assert_eq!(r, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn stats_mean_std() {
+        let s = Stats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.std - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! Downstream task 1: road property (speed limit) prediction (§5.2.1).
+//!
+//! A one-hidden-layer FFN (32 nodes) classifies each labeled segment's
+//! speed limit from its embedding; 6:2:2 split; F1 and one-vs-rest AUC.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::layers::{Activation, Ffn};
+use sarn_tensor::optim::{Adam, EarlyStopping};
+use sarn_tensor::Graph;
+use sarn_traj::split_indices;
+
+use crate::metrics::{macro_auc_ovr, macro_f1};
+use crate::source::EmbeddingSource;
+
+/// Probe configuration for the road property task.
+#[derive(Clone, Debug)]
+pub struct RoadPropertyConfig {
+    /// Hidden width of the classifier (paper: 32).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Early-stopping patience (on validation loss).
+    pub patience: u32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Split / init seed.
+    pub seed: u64,
+}
+
+impl Default for RoadPropertyConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            epochs: 120,
+            patience: 15,
+            lr: 0.01,
+            seed: 5,
+        }
+    }
+}
+
+/// Result of the road property task.
+#[derive(Clone, Copy, Debug)]
+pub struct RoadPropertyResult {
+    /// Macro F1, percent.
+    pub f1_pct: f64,
+    /// Macro one-vs-rest AUC, percent.
+    pub auc_pct: f64,
+}
+
+/// Trains the speed-limit classifier on a source of embeddings and
+/// evaluates on the held-out test split.
+///
+/// # Panics
+/// Panics if the network has fewer than 10 labeled segments.
+pub fn road_property(
+    net: &RoadNetwork,
+    source: &mut EmbeddingSource,
+    cfg: &RoadPropertyConfig,
+) -> RoadPropertyResult {
+    let labeled = net.labeled_segments();
+    assert!(labeled.len() >= 10, "too few labeled segments");
+    // Speed values -> dense class ids.
+    let mut values: Vec<u32> = labeled
+        .iter()
+        .map(|&i| net.segment(i).speed_limit_kmh.unwrap())
+        .collect();
+    values.sort_unstable();
+    values.dedup();
+    let class_of = |speed: u32| values.binary_search(&speed).unwrap();
+    let labels: Vec<usize> = labeled
+        .iter()
+        .map(|&i| class_of(net.segment(i).speed_limit_kmh.unwrap()))
+        .collect();
+    let num_classes = values.len();
+
+    let (train, val, test) = split_indices(labeled.len(), cfg.seed);
+    let seg_ids = |split: &[usize]| -> Vec<usize> { split.iter().map(|&k| labeled[k]).collect() };
+    let label_ids = |split: &[usize]| -> Vec<usize> { split.iter().map(|&k| labels[k]).collect() };
+    let (train_segs, val_segs, test_segs) = (seg_ids(&train), seg_ids(&val), seg_ids(&test));
+    let (train_y, val_y, test_y) = (label_ids(&train), label_ids(&val), label_ids(&test));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1);
+    let head = Ffn::new(
+        &mut source.store,
+        &mut rng,
+        "prop_head",
+        &[source.d, cfg.hidden, num_classes],
+        Activation::Relu,
+    );
+    let mut opt = Adam::new(cfg.lr);
+    let mut stopper = EarlyStopping::new(cfg.patience);
+
+    for _ in 0..cfg.epochs {
+        source.store.zero_grads();
+        let g = Graph::new();
+        let h_all = source.embed(&g);
+        let h_train = g.gather_rows(h_all, &train_segs);
+        let logits = head.forward(&g, &source.store, h_train);
+        let loss = g.cross_entropy(logits, &train_y);
+        g.backward(loss);
+        g.accumulate_grads(&mut source.store);
+        source.mask_frozen_grads();
+        opt.step(&mut source.store);
+
+        // Validation loss for early stopping.
+        let gv = Graph::new();
+        let h_all = source.embed(&gv);
+        let h_val = gv.gather_rows(h_all, &val_segs);
+        let vlogits = head.forward(&gv, &source.store, h_val);
+        let vloss = gv.value(gv.cross_entropy(vlogits, &val_y)).item();
+        if stopper.update(vloss) {
+            break;
+        }
+    }
+
+    // Test evaluation.
+    let g = Graph::new();
+    let h_all = source.embed(&g);
+    let h_test = g.gather_rows(h_all, &test_segs);
+    let logits = head.forward(&g, &source.store, h_test);
+    let probs = g.value(g.softmax_rows(logits));
+    let pred: Vec<usize> = (0..test_segs.len())
+        .map(|i| {
+            probs
+                .row_slice(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(c, _)| c)
+                .unwrap()
+        })
+        .collect();
+    let scores: Vec<Vec<f64>> = (0..test_segs.len())
+        .map(|i| probs.row_slice(i).iter().map(|&v| v as f64).collect())
+        .collect();
+    RoadPropertyResult {
+        f1_pct: 100.0 * macro_f1(&test_y, &pred, num_classes),
+        auc_pct: 100.0 * macro_auc_ovr(&test_y, &scores, num_classes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+    use sarn_tensor::Tensor;
+
+    fn labeled_net() -> RoadNetwork {
+        // SF preset has the highest label fraction.
+        SynthConfig::city(City::SanFrancisco).scaled(0.35).generate()
+    }
+
+    #[test]
+    fn informative_embeddings_beat_random_ones() {
+        let net = labeled_net();
+        // "Informative": one-hot-ish encoding of the true class.
+        let labeled = net.labeled_segments();
+        assert!(labeled.len() >= 30);
+        let n = net.num_segments();
+        let d = 12;
+        let mut informative = Tensor::zeros(n, d);
+        for i in 0..n {
+            if let Some(s) = net.segment(i).speed_limit_kmh {
+                informative.set(i, (s as usize / 10) % d, 1.0);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let random = sarn_tensor::init::normal(&mut rng, n, d, 1.0);
+
+        let cfg = RoadPropertyConfig {
+            epochs: 60,
+            ..Default::default()
+        };
+        let mut src_good = EmbeddingSource::frozen(&informative);
+        let good = road_property(&net, &mut src_good, &cfg);
+        let mut src_bad = EmbeddingSource::frozen(&random);
+        let bad = road_property(&net, &mut src_bad, &cfg);
+        assert!(
+            good.f1_pct > bad.f1_pct + 10.0,
+            "good {} vs bad {}",
+            good.f1_pct,
+            bad.f1_pct
+        );
+        assert!(good.auc_pct > 90.0, "auc {}", good.auc_pct);
+    }
+
+    #[test]
+    fn results_are_percentages() {
+        let net = labeled_net();
+        let n = net.num_segments();
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = sarn_tensor::init::normal(&mut rng, n, 8, 1.0);
+        let cfg = RoadPropertyConfig {
+            epochs: 10,
+            ..Default::default()
+        };
+        let mut src = EmbeddingSource::frozen(&emb);
+        let r = road_property(&net, &mut src, &cfg);
+        assert!((0.0..=100.0).contains(&r.f1_pct));
+        assert!((0.0..=100.0).contains(&r.auc_pct));
+    }
+}

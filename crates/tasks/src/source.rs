@@ -1,0 +1,128 @@
+//! Embedding sources: where a downstream task gets its segment embeddings.
+//!
+//! The paper evaluates three regimes (§5.2):
+//! - **frozen** self-supervised embeddings with a small trainable probe;
+//! - **fine-tuned** SARN\* — the final GAT layer trains together with the
+//!   task head;
+//! - **end-to-end supervised** models (HRNR) where everything trains.
+//!
+//! [`EmbeddingSource`] abstracts over all three: it materializes the
+//! `n x d` embedding matrix on a task's autograd tape and says which base
+//! parameters may receive gradients (task-head parameters registered later
+//! into [`EmbeddingSource::store`] always train).
+
+use sarn_core::SarnTrained;
+use sarn_tensor::{Graph, ParamId, ParamStore, Tensor, Var};
+
+/// Closure materializing the embedding matrix on a tape.
+pub type EmbedFn<'a> = Box<dyn Fn(&Graph, &ParamStore) -> Var + 'a>;
+
+/// A source of segment embeddings for a downstream task.
+pub struct EmbeddingSource<'a> {
+    embed: EmbedFn<'a>,
+    /// Base parameters (plus any task-head parameters the task registers).
+    pub store: ParamStore,
+    /// Base parameters allowed to train: `None` = all, `Some(ids)` = only
+    /// the listed ones (e.g. SARN\*'s final GAT layer). Parameters added to
+    /// [`EmbeddingSource::store`] after construction always train.
+    trainable_base: Option<Vec<ParamId>>,
+    base_len: usize,
+    /// Embedding width `d`.
+    pub d: usize,
+}
+
+impl<'a> EmbeddingSource<'a> {
+    /// Frozen embeddings: the matrix enters the tape as a constant.
+    pub fn frozen(embeddings: &'a Tensor) -> Self {
+        let d = embeddings.cols();
+        Self {
+            embed: Box::new(move |g, _| g.input(embeddings.clone())),
+            store: ParamStore::new(),
+            trainable_base: Some(Vec::new()),
+            base_len: 0,
+            d,
+        }
+    }
+
+    /// SARN\* fine-tuning: the trained model's forward pass runs on the task
+    /// tape and only the final GAT layer of `F` receives gradients.
+    pub fn sarn_finetune(trained: &'a SarnTrained) -> Self {
+        let d = trained.embeddings.cols();
+        let store = trained.model.store.clone();
+        let base_len = store.len();
+        Self {
+            embed: Box::new(move |g, store| {
+                trained.model.encode(g, store, &trained.full_edges)
+            }),
+            store,
+            trainable_base: Some(trained.model.last_gat_layer_ids()),
+            base_len,
+            d,
+        }
+    }
+
+    /// A fully trainable model (e.g. HRNR): `embed` runs the model's forward
+    /// pass against the given store; every parameter trains.
+    pub fn trainable_model(
+        embed: EmbedFn<'a>,
+        store: ParamStore,
+        d: usize,
+    ) -> Self {
+        let base_len = store.len();
+        Self {
+            embed,
+            store,
+            trainable_base: None,
+            base_len,
+            d,
+        }
+    }
+
+    /// Materializes the `n x d` embedding matrix on a tape.
+    pub fn embed(&self, g: &Graph) -> Var {
+        (self.embed)(g, &self.store)
+    }
+
+    /// Zeroes the gradients of every base parameter that must stay frozen.
+    /// Call between `accumulate_grads` and the optimizer step.
+    pub fn mask_frozen_grads(&mut self) {
+        if let Some(keep) = &self.trainable_base {
+            let keep_set: std::collections::HashSet<usize> =
+                keep.iter().map(|p| p.index()).collect();
+            let base_len = self.base_len;
+            let ids: Vec<ParamId> = self.store.ids().collect();
+            for id in ids {
+                let is_base = id.index() < base_len;
+                if is_base && !keep_set.contains(&id.index()) {
+                    self.store.grad_mut(id).scale_mut(0.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_source_materializes_constant() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let src = EmbeddingSource::frozen(&t);
+        assert_eq!(src.d, 3);
+        let g = Graph::new();
+        let v = src.embed(&g);
+        assert_eq!(g.value(v), t);
+    }
+
+    #[test]
+    fn mask_frozen_grads_spares_head_params() {
+        let t = Tensor::ones(2, 3);
+        let mut src = EmbeddingSource::frozen(&t);
+        // A "head" parameter registered by the task.
+        let head = src.store.add("head", Tensor::ones(1, 2));
+        src.store.grad_mut(head).axpy(1.0, &Tensor::ones(1, 2));
+        src.mask_frozen_grads();
+        assert!(src.store.grad(head).norm_sq() > 0.0);
+    }
+}

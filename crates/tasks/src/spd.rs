@@ -1,0 +1,204 @@
+//! Downstream task 3: shortest-path distance prediction (§5.2.3).
+//!
+//! An FFN with a 20-node hidden layer predicts the shortest-path distance
+//! between two segments from the per-dimension difference of their
+//! embeddings; MSE training on sampled reachable pairs, MAE/MRE reporting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sarn_graph::dijkstra;
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::layers::{Activation, Ffn};
+use sarn_tensor::optim::Adam;
+use sarn_tensor::{Graph, Tensor};
+
+use crate::metrics::{mae, mre};
+use crate::source::EmbeddingSource;
+
+/// Probe configuration for the SPD task.
+#[derive(Clone, Debug)]
+pub struct SpdConfig {
+    /// Hidden width of the regressor (paper: 20).
+    pub hidden: usize,
+    /// Training pairs (paper: 1‰ of reachable pairs).
+    pub train_pairs: usize,
+    /// Test pairs (paper: 0.01‰).
+    pub test_pairs: usize,
+    /// Epochs over the training pairs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SpdConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 20,
+            train_pairs: 4000,
+            test_pairs: 400,
+            epochs: 30,
+            batch_size: 256,
+            lr: 0.01,
+            seed: 8,
+        }
+    }
+}
+
+impl SpdConfig {
+    /// Minimal configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            train_pairs: 600,
+            test_pairs: 100,
+            epochs: 12,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of the SPD task (lower is better).
+#[derive(Clone, Copy, Debug)]
+pub struct SpdResult {
+    /// Mean absolute error, meters.
+    pub mae_m: f64,
+    /// Mean relative error, percent.
+    pub mre_pct: f64,
+}
+
+/// Samples `(src, dst, spd)` triples from Dijkstra trees rooted at random
+/// sources.
+fn sample_pairs(
+    net: &RoadNetwork,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<(usize, usize, f64)> {
+    let routing = net.routing_digraph();
+    let n = net.num_segments();
+    let per_source = 40;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let src = rng.gen_range(0..n);
+        let dist = dijkstra(&routing, src);
+        for _ in 0..per_source {
+            if out.len() >= count {
+                break;
+            }
+            let dst = rng.gen_range(0..n);
+            if dst != src && dist[dst].is_finite() && dist[dst] > 0.0 {
+                out.push((src, dst, dist[dst]));
+            }
+        }
+    }
+    out
+}
+
+/// Trains the SPD regressor on a source of embeddings and evaluates on
+/// held-out pairs.
+pub fn spd(net: &RoadNetwork, source: &mut EmbeddingSource, cfg: &SpdConfig) -> SpdResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5D);
+    let train = sample_pairs(net, cfg.train_pairs, &mut rng);
+    let test = sample_pairs(net, cfg.test_pairs, &mut rng);
+    let scale = (train.iter().map(|t| t.2).sum::<f64>() / train.len().max(1) as f64).max(1.0);
+
+    let head = Ffn::new(
+        &mut source.store,
+        &mut rng,
+        "spd_head",
+        &[source.d, cfg.hidden, 1],
+        Activation::Relu,
+    );
+    let mut opt = Adam::new(cfg.lr);
+
+    for _ in 0..cfg.epochs {
+        for chunk in train.chunks(cfg.batch_size) {
+            let is: Vec<usize> = chunk.iter().map(|t| t.0).collect();
+            let js: Vec<usize> = chunk.iter().map(|t| t.1).collect();
+            let target = Tensor::col(
+                &chunk
+                    .iter()
+                    .map(|t| (t.2 / scale) as f32)
+                    .collect::<Vec<_>>(),
+            );
+            source.store.zero_grads();
+            let g = Graph::new();
+            let h_all = source.embed(&g);
+            let diff = g.sub(g.gather_rows(h_all, &is), g.gather_rows(h_all, &js));
+            let pred = head.forward(&g, &source.store, diff);
+            let loss = g.mse(pred, &target);
+            g.backward(loss);
+            g.accumulate_grads(&mut source.store);
+            source.mask_frozen_grads();
+            opt.step(&mut source.store);
+        }
+    }
+
+    // Test.
+    let is: Vec<usize> = test.iter().map(|t| t.0).collect();
+    let js: Vec<usize> = test.iter().map(|t| t.1).collect();
+    let truth: Vec<f64> = test.iter().map(|t| t.2).collect();
+    let g = Graph::new();
+    let h_all = source.embed(&g);
+    let diff = g.sub(g.gather_rows(h_all, &is), g.gather_rows(h_all, &js));
+    let pred_t = g.value(head.forward(&g, &source.store, diff));
+    let pred: Vec<f64> = (0..test.len())
+        .map(|i| (pred_t.at(i, 0) as f64 * scale).max(0.0))
+        .collect();
+    SpdResult {
+        mae_m: mae(&truth, &pred),
+        mre_pct: 100.0 * mre(&truth, &pred),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+
+    #[test]
+    fn coordinate_embeddings_predict_spd_reasonably() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.3).generate();
+        // Embeddings = scaled planar coordinates: SPD on a city grid is
+        // highly correlated with L1 coordinate distance, so the probe
+        // should reach a moderate MRE.
+        let bbox = net.bbox();
+        let proj = sarn_geo::LocalProjection::new(sarn_geo::Point::new(bbox.min_lat, bbox.min_lon));
+        let ext = bbox.width_m().max(bbox.height_m());
+        let mut coord = Tensor::zeros(net.num_segments(), 2);
+        for i in 0..net.num_segments() {
+            let (x, y) = proj.project(&net.segment(i).midpoint());
+            coord.set(i, 0, (x / ext) as f32);
+            coord.set(i, 1, (y / ext) as f32);
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let random = sarn_tensor::init::normal(&mut rng, net.num_segments(), 2, 1.0);
+
+        let cfg = SpdConfig::tiny();
+        let mut src_good = EmbeddingSource::frozen(&coord);
+        let good = spd(&net, &mut src_good, &cfg);
+        let mut src_bad = EmbeddingSource::frozen(&random);
+        let bad = spd(&net, &mut src_bad, &cfg);
+        assert!(
+            good.mre_pct < bad.mre_pct,
+            "good {} vs bad {}",
+            good.mre_pct,
+            bad.mre_pct
+        );
+        assert!(good.mae_m > 0.0 && good.mae_m.is_finite());
+    }
+
+    #[test]
+    fn sampled_pairs_have_positive_finite_distances() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.25).generate();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = sample_pairs(&net, 100, &mut rng);
+        assert_eq!(pairs.len(), 100);
+        for (i, j, d) in pairs {
+            assert_ne!(i, j);
+            assert!(d > 0.0 && d.is_finite());
+        }
+    }
+}

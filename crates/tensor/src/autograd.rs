@@ -1,0 +1,1025 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! A [`Graph`] records every operation applied to [`Var`] handles during a
+//! forward pass. [`Graph::backward`] then walks the tape in reverse, routing
+//! gradients to each input. Model parameters live outside the graph in a
+//! [`ParamStore`]; [`Graph::param`] copies the current value onto the tape and
+//! remembers the parameter id so [`Graph::accumulate_grads`] can push the
+//! computed gradients back after the backward pass.
+//!
+//! Gradient bookkeeping is sparse: a node participates in backpropagation
+//! only if a parameter is reachable from it, so large constant inputs (for
+//! example MoCo negative-sample queues) cost nothing at backward time.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Graph`] tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    pub(crate) id: usize,
+}
+
+enum Op {
+    Leaf,
+    MatMul(usize, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    /// `(n x m) + (1 x m)` row-broadcast addition (bias).
+    AddRow(usize, usize),
+    /// `(n x m) * (n x 1)` column-broadcast multiplication.
+    MulCol(usize, usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    Neg(usize),
+    Exp(usize),
+    Ln(usize),
+    Abs(usize),
+    Sqr(usize),
+    Relu(usize),
+    LeakyRelu(usize, f32),
+    Elu(usize, f32),
+    Sigmoid(usize),
+    Tanh(usize),
+    OneMinus(usize),
+    SoftmaxRows(usize),
+    L2NormalizeRows(usize),
+    SumAll(usize),
+    MeanAll(usize),
+    SumRows(usize),
+    Transpose(usize),
+    ConcatCols(Vec<usize>),
+    ConcatRows(Vec<usize>),
+    GatherRows {
+        src: usize,
+        idx: Rc<Vec<usize>>,
+    },
+    SliceRows {
+        src: usize,
+        start: usize,
+    },
+    /// Softmax over groups of rows of an `e x 1` score column; `seg[e]` is the
+    /// group id of edge `e` and `nseg` the number of groups.
+    SegmentSoftmax {
+        scores: usize,
+        seg: Rc<Vec<usize>>,
+        nseg: usize,
+    },
+    /// `out[seg[e]] += alpha[e] * values[e]` — the weighted aggregation step
+    /// of sparse graph attention.
+    SegmentWeightedSum {
+        alpha: usize,
+        values: usize,
+        seg: Rc<Vec<usize>>,
+    },
+    /// Mean cross-entropy of row-logits against integer labels.
+    CrossEntropy {
+        logits: usize,
+        labels: Rc<Vec<usize>>,
+    },
+    /// Mean squared error against a constant target.
+    MseConst {
+        pred: usize,
+        target: Rc<Tensor>,
+    },
+    /// Mean InfoNCE loss. For each row `i` of `z`, `cands[i]` is a
+    /// `(k_i x d)` candidate matrix whose row 0 is the positive sample; all
+    /// candidates are detached constants (MoCo-style), so gradients flow only
+    /// into `z`.
+    InfoNce {
+        z: usize,
+        cands: Rc<Vec<Tensor>>,
+        tau: f32,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    needs_grad: bool,
+    param: Option<ParamId>,
+}
+
+/// An autograd tape. Create one per forward/backward pass.
+#[derive(Default)]
+pub struct Graph {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, value: Tensor, op: Op, needs_grad: bool, param: Option<ParamId>) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            needs_grad,
+            param,
+        });
+        Var {
+            id: nodes.len() - 1,
+        }
+    }
+
+    fn needs(&self, id: usize) -> bool {
+        self.nodes.borrow()[id].needs_grad
+    }
+
+    /// Adds a constant input (no gradient is computed for it).
+    pub fn input(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false, None)
+    }
+
+    /// Adds a leaf that requires a gradient but is not a registered
+    /// parameter. Useful in tests and for gradient checking.
+    pub fn leaf_grad(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true, None)
+    }
+
+    /// Adds the current value of a parameter to the tape.
+    pub fn param(&self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Leaf, true, Some(id))
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes.borrow()[v.id].value.shape()
+    }
+
+    /// Clones a node's value off the tape.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// Clones a node's gradient, if one was computed.
+    pub fn grad(&self, v: Var) -> Option<Tensor> {
+        self.nodes.borrow()[v.id].grad.clone()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    // ---- ops ------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.matmul(&nodes[b.id].value)
+        };
+        let needs = self.needs(a.id) || self.needs(b.id);
+        self.push(v, Op::MatMul(a.id, b.id), needs, None)
+    }
+
+    /// Elementwise sum of two same-shape tensors.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x + y)
+        };
+        let needs = self.needs(a.id) || self.needs(b.id);
+        self.push(v, Op::Add(a.id, b.id), needs, None)
+    }
+
+    /// Elementwise difference of two same-shape tensors.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x - y)
+        };
+        let needs = self.needs(a.id) || self.needs(b.id);
+        self.push(v, Op::Sub(a.id, b.id), needs, None)
+    }
+
+    /// Elementwise (Hadamard) product of two same-shape tensors.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            nodes[a.id].value.zip(&nodes[b.id].value, |x, y| x * y)
+        };
+        let needs = self.needs(a.id) || self.needs(b.id);
+        self.push(v, Op::Mul(a.id, b.id), needs, None)
+    }
+
+    /// `(n x m) + (1 x m)`: broadcasts a row vector over every row (bias add).
+    pub fn add_row(&self, a: Var, row: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let (m, r) = (&nodes[a.id].value, &nodes[row.id].value);
+            assert_eq!(r.rows(), 1, "add_row rhs must be a row vector");
+            assert_eq!(m.cols(), r.cols(), "add_row width mismatch");
+            let mut out = m.clone();
+            for i in 0..out.rows() {
+                let rr = r.row_slice(0);
+                for (o, &b) in out.row_slice_mut(i).iter_mut().zip(rr.iter()) {
+                    *o += b;
+                }
+            }
+            out
+        };
+        let needs = self.needs(a.id) || self.needs(row.id);
+        self.push(v, Op::AddRow(a.id, row.id), needs, None)
+    }
+
+    /// `(n x m) * (n x 1)`: scales each row by a per-row factor.
+    pub fn mul_col(&self, a: Var, col: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let (m, c) = (&nodes[a.id].value, &nodes[col.id].value);
+            assert_eq!(c.cols(), 1, "mul_col rhs must be a column vector");
+            assert_eq!(m.rows(), c.rows(), "mul_col height mismatch");
+            let mut out = m.clone();
+            for i in 0..out.rows() {
+                let f = c.at(i, 0);
+                for o in out.row_slice_mut(i) {
+                    *o *= f;
+                }
+            }
+            out
+        };
+        let needs = self.needs(a.id) || self.needs(col.id);
+        self.push(v, Op::MulCol(a.id, col.id), needs, None)
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| x * c);
+        let needs = self.needs(a.id);
+        self.push(v, Op::Scale(a.id, c), needs, None)
+    }
+
+    /// Addition of a constant to every element.
+    pub fn add_scalar(&self, a: Var, c: f32) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| x + c);
+        let needs = self.needs(a.id);
+        self.push(v, Op::AddScalar(a.id), needs, None)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| -x);
+        let needs = self.needs(a.id);
+        self.push(v, Op::Neg(a.id), needs, None)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::exp);
+        let needs = self.needs(a.id);
+        self.push(v, Op::Exp(a.id), needs, None)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::ln);
+        let needs = self.needs(a.id);
+        self.push(v, Op::Ln(a.id), needs, None)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::abs);
+        let needs = self.needs(a.id);
+        self.push(v, Op::Abs(a.id), needs, None)
+    }
+
+    /// Elementwise square.
+    pub fn sqr(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| x * x);
+        let needs = self.needs(a.id);
+        self.push(v, Op::Sqr(a.id), needs, None)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| x.max(0.0));
+        let needs = self.needs(a.id);
+        self.push(v, Op::Relu(a.id), needs, None)
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
+        let v = self.nodes.borrow()[a.id]
+            .value
+            .map(|x| if x > 0.0 { x } else { alpha * x });
+        let needs = self.needs(a.id);
+        self.push(v, Op::LeakyRelu(a.id, alpha), needs, None)
+    }
+
+    /// Exponential linear unit: `x` for `x > 0`, `alpha (e^x - 1)` otherwise.
+    pub fn elu(&self, a: Var, alpha: f32) -> Var {
+        let v = self.nodes.borrow()[a.id]
+            .value
+            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let needs = self.needs(a.id);
+        self.push(v, Op::Elu(a.id, alpha), needs, None)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let needs = self.needs(a.id);
+        self.push(v, Op::Sigmoid(a.id), needs, None)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(f32::tanh);
+        let needs = self.needs(a.id);
+        self.push(v, Op::Tanh(a.id), needs, None)
+    }
+
+    /// `1 - x`, elementwise (used by GRU gates).
+    pub fn one_minus(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.map(|x| 1.0 - x);
+        let needs = self.needs(a.id);
+        self.push(v, Op::OneMinus(a.id), needs, None)
+    }
+
+    /// Row-wise L2 normalization: `y_i = x_i / max(||x_i||, eps)`.
+    pub fn l2_normalize_rows(&self, a: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let m = &nodes[a.id].value;
+            let mut out = m.clone();
+            for i in 0..out.rows() {
+                let row = out.row_slice_mut(i);
+                let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+                for v in row.iter_mut() {
+                    *v /= n;
+                }
+            }
+            out
+        };
+        let needs = self.needs(a.id);
+        self.push(v, Op::L2NormalizeRows(a.id), needs, None)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self, a: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            softmax_rows_value(&nodes[a.id].value)
+        };
+        let needs = self.needs(a.id);
+        self.push(v, Op::SoftmaxRows(a.id), needs, None)
+    }
+
+    /// Sum of every element, as a `1 x 1` tensor.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes.borrow()[a.id].value.sum());
+        let needs = self.needs(a.id);
+        self.push(v, Op::SumAll(a.id), needs, None)
+    }
+
+    /// Mean of every element, as a `1 x 1` tensor.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes.borrow()[a.id].value.mean());
+        let needs = self.needs(a.id);
+        self.push(v, Op::MeanAll(a.id), needs, None)
+    }
+
+    /// Per-row sums: `(n x m) -> (n x 1)`.
+    pub fn sum_rows(&self, a: Var) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let m = &nodes[a.id].value;
+            let mut out = Tensor::zeros(m.rows(), 1);
+            for i in 0..m.rows() {
+                out.set(i, 0, m.row_slice(i).iter().sum());
+            }
+            out
+        };
+        let needs = self.needs(a.id);
+        self.push(v, Op::SumRows(a.id), needs, None)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self, a: Var) -> Var {
+        let v = self.nodes.borrow()[a.id].value.transpose();
+        let needs = self.needs(a.id);
+        self.push(v, Op::Transpose(a.id), needs, None)
+    }
+
+    /// Horizontal concatenation of tensors with equal row counts.
+    pub fn concat_cols(&self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of zero vars");
+        let v = {
+            let nodes = self.nodes.borrow();
+            let rows = nodes[parts[0].id].value.rows();
+            let total: usize = parts.iter().map(|p| nodes[p.id].value.cols()).sum();
+            let mut out = Tensor::zeros(rows, total);
+            let mut off = 0;
+            for p in parts {
+                let t = &nodes[p.id].value;
+                assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+                for i in 0..rows {
+                    let dst = &mut out.row_slice_mut(i)[off..off + t.cols()];
+                    dst.copy_from_slice(t.row_slice(i));
+                }
+                off += t.cols();
+            }
+            out
+        };
+        let needs = parts.iter().any(|p| self.needs(p.id));
+        self.push(
+            v,
+            Op::ConcatCols(parts.iter().map(|p| p.id).collect()),
+            needs,
+            None,
+        )
+    }
+
+    /// Vertical concatenation of tensors with equal column counts.
+    pub fn concat_rows(&self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows of zero vars");
+        let v = {
+            let nodes = self.nodes.borrow();
+            let tensors: Vec<&Tensor> = parts.iter().map(|p| &nodes[p.id].value).collect();
+            Tensor::vstack(&tensors)
+        };
+        let needs = parts.iter().any(|p| self.needs(p.id));
+        self.push(
+            v,
+            Op::ConcatRows(parts.iter().map(|p| p.id).collect()),
+            needs,
+            None,
+        )
+    }
+
+    /// Gathers rows of `src` by index (embedding lookup); backward scatters
+    /// gradients back with accumulation for repeated indices.
+    pub fn gather_rows(&self, src: Var, idx: &[usize]) -> Var {
+        let v = self.nodes.borrow()[src.id].value.gather_rows(idx);
+        let needs = self.needs(src.id);
+        self.push(
+            v,
+            Op::GatherRows {
+                src: src.id,
+                idx: Rc::new(idx.to_vec()),
+            },
+            needs,
+            None,
+        )
+    }
+
+    /// Contiguous row slice `[start, start + len)`.
+    pub fn slice_rows(&self, src: Var, start: usize, len: usize) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let m = &nodes[src.id].value;
+            assert!(start + len <= m.rows(), "slice_rows out of bounds");
+            let mut out = Tensor::zeros(len, m.cols());
+            for i in 0..len {
+                out.row_slice_mut(i).copy_from_slice(m.row_slice(start + i));
+            }
+            out
+        };
+        let needs = self.needs(src.id);
+        self.push(
+            v,
+            Op::SliceRows {
+                src: src.id,
+                start,
+            },
+            needs,
+            None,
+        )
+    }
+
+    /// Softmax of an `e x 1` score column within groups given by `seg`
+    /// (values in `0..nseg`). Empty groups are allowed.
+    pub fn segment_softmax(&self, scores: Var, seg: Rc<Vec<usize>>, nseg: usize) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let s = &nodes[scores.id].value;
+            assert_eq!(s.cols(), 1, "segment_softmax expects a column");
+            assert_eq!(s.rows(), seg.len(), "segment id count mismatch");
+            segment_softmax_value(s, &seg, nseg)
+        };
+        let needs = self.needs(scores.id);
+        self.push(
+            v,
+            Op::SegmentSoftmax {
+                scores: scores.id,
+                seg,
+                nseg,
+            },
+            needs,
+            None,
+        )
+    }
+
+    /// `out[seg[e]] += alpha[e] * values[e]` over all edges `e`; `alpha` is
+    /// `e x 1`, `values` is `e x d`, and the output is `nseg x d`.
+    pub fn segment_weighted_sum(
+        &self,
+        alpha: Var,
+        values: Var,
+        seg: Rc<Vec<usize>>,
+        nseg: usize,
+    ) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let a = &nodes[alpha.id].value;
+            let vals = &nodes[values.id].value;
+            assert_eq!(a.cols(), 1, "segment_weighted_sum alpha must be a column");
+            assert_eq!(a.rows(), vals.rows(), "alpha/value count mismatch");
+            assert_eq!(a.rows(), seg.len(), "segment id count mismatch");
+            let mut out = Tensor::zeros(nseg, vals.cols());
+            for e in 0..seg.len() {
+                let w = a.at(e, 0);
+                let dst = out.row_slice_mut(seg[e]);
+                for (o, &x) in dst.iter_mut().zip(vals.row_slice(e).iter()) {
+                    *o += w * x;
+                }
+            }
+            out
+        };
+        let needs = self.needs(alpha.id) || self.needs(values.id);
+        self.push(
+            v,
+            Op::SegmentWeightedSum {
+                alpha: alpha.id,
+                values: values.id,
+                seg,
+            },
+            needs,
+            None,
+        )
+    }
+
+    /// Mean cross-entropy of logits against integer class labels.
+    pub fn cross_entropy(&self, logits: Var, labels: &[usize]) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let l = &nodes[logits.id].value;
+            assert_eq!(l.rows(), labels.len(), "label count mismatch");
+            let probs = softmax_rows_value(l);
+            let mut loss = 0.0;
+            for (i, &y) in labels.iter().enumerate() {
+                loss -= (probs.at(i, y) + 1e-12).ln();
+            }
+            Tensor::scalar(loss / labels.len().max(1) as f32)
+        };
+        let needs = self.needs(logits.id);
+        self.push(
+            v,
+            Op::CrossEntropy {
+                logits: logits.id,
+                labels: Rc::new(labels.to_vec()),
+            },
+            needs,
+            None,
+        )
+    }
+
+    /// Mean squared error against a constant target of the same shape.
+    pub fn mse(&self, pred: Var, target: &Tensor) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            let p = &nodes[pred.id].value;
+            assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
+            let mut acc = 0.0;
+            for (a, b) in p.data().iter().zip(target.data().iter()) {
+                let d = a - b;
+                acc += d * d;
+            }
+            Tensor::scalar(acc / p.len().max(1) as f32)
+        };
+        let needs = self.needs(pred.id);
+        self.push(
+            v,
+            Op::MseConst {
+                pred: pred.id,
+                target: Rc::new(target.clone()),
+            },
+            needs,
+            None,
+        )
+    }
+
+    /// Mean InfoNCE loss over the rows of `z`.
+    ///
+    /// `cands[i]` holds the candidates for anchor `i`: row 0 is the positive
+    /// sample, the remaining rows are negatives. Similarity is the dot
+    /// product scaled by `1/tau`. Candidates are treated as constants (the
+    /// MoCo momentum branch), so gradients flow only into `z`.
+    pub fn info_nce(&self, z: Var, cands: Vec<Tensor>, tau: f32) -> Var {
+        assert!(tau > 0.0, "temperature must be positive");
+        let v = {
+            let nodes = self.nodes.borrow();
+            let zt = &nodes[z.id].value;
+            assert_eq!(zt.rows(), cands.len(), "candidate count mismatch");
+            let mut loss = 0.0;
+            for (i, c) in cands.iter().enumerate() {
+                assert_eq!(c.cols(), zt.cols(), "candidate width mismatch");
+                assert!(c.rows() >= 1, "anchor {i} has no candidates");
+                let zi = zt.row_slice(i);
+                let mut logits: Vec<f32> = (0..c.rows())
+                    .map(|r| Tensor::dot(zi, c.row_slice(r)) / tau)
+                    .collect();
+                let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0;
+                for l in &mut logits {
+                    *l = (*l - m).exp();
+                    denom += *l;
+                }
+                loss -= (logits[0] / denom + 1e-12).ln();
+            }
+            Tensor::scalar(loss / cands.len().max(1) as f32)
+        };
+        let needs = self.needs(z.id);
+        self.push(
+            v,
+            Op::InfoNce {
+                z: z.id,
+                cands: Rc::new(cands),
+                tau,
+            },
+            needs,
+            None,
+        )
+    }
+
+    // ---- backward --------------------------------------------------------
+
+    /// Runs backpropagation from `root` (which must be `1 x 1`).
+    pub fn backward(&self, root: Var) {
+        let mut nodes = self.nodes.borrow_mut();
+        assert_eq!(
+            nodes[root.id].value.shape(),
+            (1, 1),
+            "backward root must be scalar"
+        );
+        nodes[root.id].grad = Some(Tensor::scalar(1.0));
+        for id in (0..=root.id).rev() {
+            if !nodes[id].needs_grad {
+                continue;
+            }
+            let Some(g) = nodes[id].grad.take() else {
+                continue;
+            };
+            // Temporarily move the op out to appease the borrow checker; the
+            // per-op code reads values of other nodes and accumulates into
+            // their gradients.
+            backward_step(&mut nodes, id, &g);
+            nodes[id].grad = Some(g);
+        }
+    }
+
+    /// Adds every parameter gradient on the tape into `store`.
+    pub fn accumulate_grads(&self, store: &mut ParamStore) {
+        let nodes = self.nodes.borrow();
+        for node in nodes.iter() {
+            if let (Some(pid), Some(grad)) = (node.param, node.grad.as_ref()) {
+                store.grad_mut(pid).axpy(1.0, grad);
+            }
+        }
+    }
+}
+
+fn accumulate(nodes: &mut [Node], id: usize, delta: Tensor) {
+    if !nodes[id].needs_grad {
+        return;
+    }
+    match nodes[id].grad.as_mut() {
+        Some(g) => g.axpy(1.0, &delta),
+        None => nodes[id].grad = Some(delta),
+    }
+}
+
+/// Row-wise softmax on a raw tensor (shared by the op and the CE loss).
+pub(crate) fn softmax_rows_value(m: &Tensor) -> Tensor {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_slice_mut(i);
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            denom += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= denom;
+        }
+    }
+    out
+}
+
+fn segment_softmax_value(scores: &Tensor, seg: &[usize], nseg: usize) -> Tensor {
+    let mut maxes = vec![f32::NEG_INFINITY; nseg];
+    for (e, &s) in seg.iter().enumerate() {
+        maxes[s] = maxes[s].max(scores.at(e, 0));
+    }
+    let mut sums = vec![0.0f32; nseg];
+    let mut out = Tensor::zeros(scores.rows(), 1);
+    for (e, &s) in seg.iter().enumerate() {
+        let v = (scores.at(e, 0) - maxes[s]).exp();
+        out.set(e, 0, v);
+        sums[s] += v;
+    }
+    for (e, &s) in seg.iter().enumerate() {
+        out.set(e, 0, out.at(e, 0) / sums[s]);
+    }
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
+    // Move the op out so we can mutably borrow the node list while matching.
+    let op = std::mem::replace(&mut nodes[id].op, Op::Leaf);
+    match &op {
+        Op::Leaf => {}
+        Op::MatMul(a, b) => {
+            let da = g.matmul_t(&nodes[*b].value);
+            let db = nodes[*a].value.t_matmul(g);
+            accumulate(nodes, *a, da);
+            accumulate(nodes, *b, db);
+        }
+        Op::Add(a, b) => {
+            accumulate(nodes, *a, g.clone());
+            accumulate(nodes, *b, g.clone());
+        }
+        Op::Sub(a, b) => {
+            accumulate(nodes, *a, g.clone());
+            accumulate(nodes, *b, g.map(|x| -x));
+        }
+        Op::Mul(a, b) => {
+            let da = g.zip(&nodes[*b].value, |x, y| x * y);
+            let db = g.zip(&nodes[*a].value, |x, y| x * y);
+            accumulate(nodes, *a, da);
+            accumulate(nodes, *b, db);
+        }
+        Op::AddRow(a, row) => {
+            accumulate(nodes, *a, g.clone());
+            let mut dr = Tensor::zeros(1, g.cols());
+            for i in 0..g.rows() {
+                for (o, &x) in dr.row_slice_mut(0).iter_mut().zip(g.row_slice(i)) {
+                    *o += x;
+                }
+            }
+            accumulate(nodes, *row, dr);
+        }
+        Op::MulCol(a, col) => {
+            let c = nodes[*col].value.clone();
+            let av = nodes[*a].value.clone();
+            let mut da = g.clone();
+            for i in 0..da.rows() {
+                let f = c.at(i, 0);
+                for v in da.row_slice_mut(i) {
+                    *v *= f;
+                }
+            }
+            let mut dc = Tensor::zeros(c.rows(), 1);
+            for i in 0..g.rows() {
+                dc.set(i, 0, Tensor::dot(g.row_slice(i), av.row_slice(i)));
+            }
+            accumulate(nodes, *a, da);
+            accumulate(nodes, *col, dc);
+        }
+        Op::Scale(a, c) => accumulate(nodes, *a, g.map(|x| x * c)),
+        Op::AddScalar(a) => accumulate(nodes, *a, g.clone()),
+        Op::Neg(a) => accumulate(nodes, *a, g.map(|x| -x)),
+        Op::Exp(a) => {
+            let d = g.zip(&nodes[id].value, |x, y| x * y);
+            accumulate(nodes, *a, d);
+        }
+        Op::Ln(a) => {
+            let d = g.zip(&nodes[*a].value, |x, y| x / y);
+            accumulate(nodes, *a, d);
+        }
+        Op::Abs(a) => {
+            let d = g.zip(&nodes[*a].value, |x, y| {
+                if y > 0.0 {
+                    x
+                } else if y < 0.0 {
+                    -x
+                } else {
+                    0.0
+                }
+            });
+            accumulate(nodes, *a, d);
+        }
+        Op::Sqr(a) => {
+            let d = g.zip(&nodes[*a].value, |x, y| 2.0 * x * y);
+            accumulate(nodes, *a, d);
+        }
+        Op::Relu(a) => {
+            let d = g.zip(&nodes[*a].value, |x, y| if y > 0.0 { x } else { 0.0 });
+            accumulate(nodes, *a, d);
+        }
+        Op::LeakyRelu(a, alpha) => {
+            let al = *alpha;
+            let d = g.zip(&nodes[*a].value, |x, y| if y > 0.0 { x } else { al * x });
+            accumulate(nodes, *a, d);
+        }
+        Op::Elu(a, alpha) => {
+            let al = *alpha;
+            // d/dx elu = 1 for x > 0, alpha * e^x = value + alpha otherwise.
+            let d = g.zip(&nodes[id].value, |x, out| {
+                if out > 0.0 {
+                    x
+                } else {
+                    x * (out + al)
+                }
+            });
+            accumulate(nodes, *a, d);
+        }
+        Op::Sigmoid(a) => {
+            let d = g.zip(&nodes[id].value, |x, s| x * s * (1.0 - s));
+            accumulate(nodes, *a, d);
+        }
+        Op::Tanh(a) => {
+            let d = g.zip(&nodes[id].value, |x, t| x * (1.0 - t * t));
+            accumulate(nodes, *a, d);
+        }
+        Op::OneMinus(a) => accumulate(nodes, *a, g.map(|x| -x)),
+        Op::L2NormalizeRows(a) => {
+            // y = x / n with n = ||x||: dx = (g - y (g . y)) / n
+            let x = nodes[*a].value.clone();
+            let y = nodes[id].value.clone();
+            let mut d = Tensor::zeros(x.rows(), x.cols());
+            for i in 0..x.rows() {
+                let n = x.row_slice(i).iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+                let gy = Tensor::dot(g.row_slice(i), y.row_slice(i));
+                for c in 0..x.cols() {
+                    d.set(i, c, (g.at(i, c) - y.at(i, c) * gy) / n);
+                }
+            }
+            accumulate(nodes, *a, d);
+        }
+        Op::SoftmaxRows(a) => {
+            let s = nodes[id].value.clone();
+            let mut d = Tensor::zeros(s.rows(), s.cols());
+            for i in 0..s.rows() {
+                let srow = s.row_slice(i);
+                let grow = g.row_slice(i);
+                let dot = Tensor::dot(srow, grow);
+                for c in 0..s.cols() {
+                    d.set(i, c, srow[c] * (grow[c] - dot));
+                }
+            }
+            accumulate(nodes, *a, d);
+        }
+        Op::SumAll(a) => {
+            let (r, c) = nodes[*a].value.shape();
+            accumulate(nodes, *a, Tensor::full(r, c, g.item()));
+        }
+        Op::MeanAll(a) => {
+            let (r, c) = nodes[*a].value.shape();
+            let n = (r * c).max(1) as f32;
+            accumulate(nodes, *a, Tensor::full(r, c, g.item() / n));
+        }
+        Op::SumRows(a) => {
+            let (r, c) = nodes[*a].value.shape();
+            let mut d = Tensor::zeros(r, c);
+            for i in 0..r {
+                let gi = g.at(i, 0);
+                for v in d.row_slice_mut(i) {
+                    *v = gi;
+                }
+            }
+            accumulate(nodes, *a, d);
+        }
+        Op::Transpose(a) => accumulate(nodes, *a, g.transpose()),
+        Op::ConcatCols(parts) => {
+            let mut off = 0;
+            for &p in parts {
+                let (r, c) = nodes[p].value.shape();
+                let mut d = Tensor::zeros(r, c);
+                for i in 0..r {
+                    d.row_slice_mut(i)
+                        .copy_from_slice(&g.row_slice(i)[off..off + c]);
+                }
+                off += c;
+                accumulate(nodes, p, d);
+            }
+        }
+        Op::ConcatRows(parts) => {
+            let mut off = 0;
+            for &p in parts {
+                let (r, c) = nodes[p].value.shape();
+                let mut d = Tensor::zeros(r, c);
+                for i in 0..r {
+                    d.row_slice_mut(i).copy_from_slice(g.row_slice(off + i));
+                }
+                off += r;
+                accumulate(nodes, p, d);
+            }
+        }
+        Op::GatherRows { src, idx } => {
+            let (r, c) = nodes[*src].value.shape();
+            let mut d = Tensor::zeros(r, c);
+            for (e, &i) in idx.iter().enumerate() {
+                let dst = d.row_slice_mut(i);
+                for (o, &x) in dst.iter_mut().zip(g.row_slice(e)) {
+                    *o += x;
+                }
+            }
+            accumulate(nodes, *src, d);
+        }
+        Op::SliceRows { src, start } => {
+            let (r, c) = nodes[*src].value.shape();
+            let mut d = Tensor::zeros(r, c);
+            for i in 0..g.rows() {
+                d.row_slice_mut(start + i).copy_from_slice(g.row_slice(i));
+            }
+            accumulate(nodes, *src, d);
+        }
+        Op::SegmentSoftmax { scores, seg, nseg } => {
+            let alpha = nodes[id].value.clone();
+            let mut seg_dot = vec![0.0f32; *nseg];
+            for (e, &s) in seg.iter().enumerate() {
+                seg_dot[s] += alpha.at(e, 0) * g.at(e, 0);
+            }
+            let mut d = Tensor::zeros(alpha.rows(), 1);
+            for (e, &s) in seg.iter().enumerate() {
+                d.set(e, 0, alpha.at(e, 0) * (g.at(e, 0) - seg_dot[s]));
+            }
+            accumulate(nodes, *scores, d);
+        }
+        Op::SegmentWeightedSum { alpha, values, seg } => {
+            let a = nodes[*alpha].value.clone();
+            let v = nodes[*values].value.clone();
+            let mut da = Tensor::zeros(a.rows(), 1);
+            let mut dv = Tensor::zeros(v.rows(), v.cols());
+            for (e, &s) in seg.iter().enumerate() {
+                let gout = g.row_slice(s);
+                da.set(e, 0, Tensor::dot(gout, v.row_slice(e)));
+                let w = a.at(e, 0);
+                for (o, &x) in dv.row_slice_mut(e).iter_mut().zip(gout) {
+                    *o = w * x;
+                }
+            }
+            accumulate(nodes, *alpha, da);
+            accumulate(nodes, *values, dv);
+        }
+        Op::CrossEntropy { logits, labels } => {
+            let probs = softmax_rows_value(&nodes[*logits].value);
+            let n = labels.len().max(1) as f32;
+            let scale = g.item() / n;
+            let mut d = probs;
+            for (i, &y) in labels.iter().enumerate() {
+                let row = d.row_slice_mut(i);
+                row[y] -= 1.0;
+                for v in row.iter_mut() {
+                    *v *= scale;
+                }
+            }
+            accumulate(nodes, *logits, d);
+        }
+        Op::MseConst { pred, target } => {
+            let p = &nodes[*pred].value;
+            let n = p.len().max(1) as f32;
+            let scale = 2.0 * g.item() / n;
+            let d = p.zip(target, |a, b| scale * (a - b));
+            accumulate(nodes, *pred, d);
+        }
+        Op::InfoNce { z, cands, tau } => {
+            let zt = nodes[*z].value.clone();
+            let b = cands.len().max(1) as f32;
+            let scale = g.item() / (b * tau);
+            let mut d = Tensor::zeros(zt.rows(), zt.cols());
+            for (i, c) in cands.iter().enumerate() {
+                let zi = zt.row_slice(i);
+                let mut logits: Vec<f32> = (0..c.rows())
+                    .map(|r| Tensor::dot(zi, c.row_slice(r)) / tau)
+                    .collect();
+                let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0;
+                for l in &mut logits {
+                    *l = (*l - m).exp();
+                    denom += *l;
+                }
+                let drow = d.row_slice_mut(i);
+                for (r, &e) in logits.iter().enumerate() {
+                    let q = e / denom;
+                    let coef = if r == 0 { q - 1.0 } else { q };
+                    for (o, &cv) in drow.iter_mut().zip(c.row_slice(r)) {
+                        *o += scale * coef * cv;
+                    }
+                }
+            }
+            accumulate(nodes, *z, d);
+        }
+    }
+    nodes[id].op = op;
+}

@@ -1,0 +1,52 @@
+//! Numerical gradient checking by central differences.
+//!
+//! Used by the test suite to validate every autograd op against
+//! finite-difference derivatives.
+
+use crate::autograd::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Compares the analytic gradient of `build` (a scalar-valued function of a
+/// single leaf) against a central-difference estimate.
+///
+/// Returns the maximum absolute deviation, or an error if the analytic
+/// gradient was not produced.
+pub fn max_grad_error(x0: &Tensor, build: impl Fn(&Graph, Var) -> Var, eps: f32) -> Result<f32, String> {
+    // Analytic gradient.
+    let g = Graph::new();
+    let x = g.leaf_grad(x0.clone());
+    let loss = build(&g, x);
+    if g.shape(loss) != (1, 1) {
+        return Err("build must produce a scalar".into());
+    }
+    g.backward(loss);
+    let analytic = g.grad(x).ok_or("no gradient reached the leaf")?;
+
+    // Central differences.
+    let mut max_err = 0.0f32;
+    for k in 0..x0.len() {
+        let eval = |delta: f32| -> f32 {
+            let mut xp = x0.clone();
+            xp.data_mut()[k] += delta;
+            let g = Graph::new();
+            let x = g.input(xp);
+            let loss = build(&g, x);
+            g.value(loss).item()
+        };
+        let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+        let err = (numeric - analytic.data()[k]).abs();
+        if err > max_err {
+            max_err = err;
+        }
+    }
+    Ok(max_err)
+}
+
+/// Asserts the analytic gradient matches finite differences within `tol`.
+///
+/// # Panics
+/// Panics when the deviation exceeds `tol`.
+pub fn assert_grad_close(x0: &Tensor, build: impl Fn(&Graph, Var) -> Var, eps: f32, tol: f32) {
+    let err = max_grad_error(x0, build, eps).expect("gradient check setup failed");
+    assert!(err < tol, "gradient mismatch: max error {err} >= tol {tol}");
+}

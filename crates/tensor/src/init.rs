@@ -1,0 +1,67 @@
+//! Weight initialization helpers.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, -a, a)
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Normal initialization with the given standard deviation (Box–Muller).
+pub fn normal(rng: &mut impl Rng, rows: usize, cols: usize, std: f32) -> Tensor {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < rows * cols {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_fan_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(&mut rng, 20, 30);
+        let a = (6.0f32 / 50.0).sqrt();
+        assert!(t.data().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(&mut rng, 100, 100, 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / (t.len() as f32 - 1.0);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&mut rng, 10, 10, -0.5, 0.25);
+        assert!(t.data().iter().all(|&v| (-0.5..0.25).contains(&v)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Persistence for tensors and parameter stores.
+//!
+//! A deliberately simple little-endian binary format (magic + shape +
+//! payload) so trained embeddings and models survive process restarts
+//! without any serialization dependency.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+const TENSOR_MAGIC: &[u8; 4] = b"SRT1";
+const STORE_MAGIC: &[u8; 4] = b"SRS1";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    write_u32(w, t.rows() as u32)?;
+    write_u32(w, t.cols() as u32)?;
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tensor(r: &mut impl Read) -> io::Result<Tensor> {
+    let rows = read_u32(r)? as usize;
+    let cols = read_u32(r)? as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tensor shape overflow"))?;
+    let mut data = Vec::with_capacity(n);
+    let mut buf = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut buf)?;
+        data.push(f32::from_le_bytes(buf));
+    }
+    Ok(Tensor::from_vec(rows, cols, data))
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "string too long"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+impl Tensor {
+    /// Writes this tensor to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(TENSOR_MAGIC)?;
+        write_tensor(&mut w, self)?;
+        w.flush()
+    }
+
+    /// Reads a tensor written by [`Tensor::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Tensor> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != TENSOR_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a tensor file"));
+        }
+        read_tensor(&mut r)
+    }
+}
+
+impl ParamStore {
+    /// Writes all parameter names and values (gradients are not persisted).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(STORE_MAGIC)?;
+        write_u32(&mut w, self.len() as u32)?;
+        for id in self.ids() {
+            write_str(&mut w, self.name(id))?;
+            write_tensor(&mut w, self.value(id))?;
+        }
+        w.flush()
+    }
+
+    /// Reads a store written by [`ParamStore::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != STORE_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a param-store file"));
+        }
+        let count = read_u32(&mut r)? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let name = read_str(&mut r)?;
+            let value = read_tensor(&mut r)?;
+            store.add(name, value);
+        }
+        Ok(store)
+    }
+
+    /// Loads values from a file into this store; the layout (names and
+    /// shapes, in order) must match.
+    pub fn load_values_from(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let other = ParamStore::load(path)?;
+        if other.len() != self.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("layout mismatch: {} vs {} params", other.len(), self.len()),
+            ));
+        }
+        for (mine, theirs) in self.ids().zip(other.ids()).collect::<Vec<_>>() {
+            if self.name(mine) != other.name(theirs)
+                || self.value(mine).shape() != other.value(theirs).shape()
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("param mismatch at {}", other.name(theirs)),
+                ));
+            }
+            *self.value_mut(mine) = other.value(theirs).clone();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sarn_io_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn tensor_roundtrips() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, -2.5, 3.25, 0.0, f32::MIN_POSITIVE, 1e9]);
+        let p = tmp("tensor");
+        t.save(&p).unwrap();
+        let back = Tensor::load(&p).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn store_roundtrips_names_and_values() {
+        let mut s = ParamStore::new();
+        let a = s.add("layer.w", Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = s.add("layer.b", Tensor::row(&[0.5, -0.5]));
+        let p = tmp("store");
+        s.save(&p).unwrap();
+        let loaded = ParamStore::load(&p).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.value(a), s.value(a));
+        assert_eq!(loaded.value(b), s.value(b));
+        assert_eq!(loaded.name(a), "layer.w");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn load_values_from_rejects_layout_mismatch() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::zeros(1, 2));
+        let p = tmp("mismatch");
+        s.save(&p).unwrap();
+        let mut other = ParamStore::new();
+        other.add("w", Tensor::zeros(2, 2)); // different shape
+        assert!(other.load_values_from(&p).is_err());
+        let mut ok = ParamStore::new();
+        ok.add("w", Tensor::ones(1, 2));
+        ok.load_values_from(&p).unwrap();
+        assert_eq!(ok.value(ok.ids().next().unwrap()).data(), &[0.0, 0.0]);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn loading_garbage_fails_cleanly() {
+        let p = tmp("garbage");
+        std::fs::write(&p, b"not a tensor at all").unwrap();
+        assert!(Tensor::load(&p).is_err());
+        assert!(ParamStore::load(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! Feed-forward network (MLP) with a configurable activation.
+
+use rand::Rng;
+
+use crate::autograd::{Graph, Var};
+use crate::params::{ParamId, ParamStore};
+
+use super::linear::Linear;
+
+/// Activation function applied between FFN layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// x>0 ? x : alpha(e^x - 1) with alpha = 1
+    Elu,
+    /// tanh(x)
+    Tanh,
+    /// logistic sigmoid
+    Sigmoid,
+    /// no activation
+    Identity,
+}
+
+/// A stack of [`Linear`] layers with activations between them (not after the
+/// last layer), e.g. the `FC ∘ ReLU ∘ FC` projection head of Eq. 11.
+#[derive(Clone, Debug)]
+pub struct Ffn {
+    layers: Vec<Linear>,
+    act: Activation,
+}
+
+impl Ffn {
+    /// Builds an FFN with the given layer widths, e.g. `[128, 64, 32]` makes
+    /// two linear layers `128 -> 64 -> 32`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        widths: &[usize],
+        act: Activation,
+    ) -> Self {
+        assert!(widths.len() >= 2, "an FFN needs at least one layer");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1], true))
+            .collect();
+        Self { layers, act }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.layers[0].d_in()
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.layers.last().unwrap().d_out()
+    }
+
+    /// All parameter ids, layer by layer.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(Linear::param_ids).collect()
+    }
+
+    /// Records the full forward pass on the tape.
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            if i + 1 < self.layers.len() {
+                h = match self.act {
+                    Activation::Relu => g.relu(h),
+                    Activation::Elu => g.elu(h, 1.0),
+                    Activation::Tanh => g.tanh(h),
+                    Activation::Sigmoid => g.sigmoid(h),
+                    Activation::Identity => h,
+                };
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ffn_shapes_follow_widths() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ffn = Ffn::new(&mut store, &mut rng, "f", &[8, 16, 4], Activation::Relu);
+        assert_eq!(ffn.d_in(), 8);
+        assert_eq!(ffn.d_out(), 4);
+        let g = Graph::new();
+        let x = g.input(Tensor::ones(3, 8));
+        let y = ffn.forward(&g, &store, x);
+        assert_eq!(g.shape(y), (3, 4));
+        assert_eq!(ffn.param_ids().len(), 4);
+    }
+
+    #[test]
+    fn ffn_learns_xor_like_mapping() {
+        // Tiny sanity check: fit y = x0 * 4 - 1 on 1-d input with 2-layer net.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ffn = Ffn::new(&mut store, &mut rng, "f", &[1, 8, 1], Activation::Tanh);
+        let xs = Tensor::from_vec(4, 1, vec![0.0, 0.25, 0.5, 1.0]);
+        let ys = xs.map(|v| 4.0 * v - 1.0);
+        let mut opt = crate::optim::Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            store.zero_grads();
+            let g = Graph::new();
+            let x = g.input(xs.clone());
+            let p = ffn.forward(&g, &store, x);
+            let loss = g.mse(p, &ys);
+            last = g.value(loss).item();
+            g.backward(loss);
+            g.accumulate_grads(&mut store);
+            opt.step(&mut store);
+        }
+        assert!(last < 1e-2, "loss {last}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Gated recurrent unit (Cho et al., 2014), used by the trajectory
+//! similarity downstream task and the NEUTRAJ baseline.
+
+use rand::Rng;
+
+use crate::autograd::{Graph, Var};
+use crate::init::xavier_uniform;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// A single GRU layer.
+///
+/// Per step: `z = σ(x W_z + h U_z + b_z)`, `r = σ(x W_r + h U_r + b_r)`,
+/// `h~ = tanh(x W_h + (r ⊙ h) U_h + b_h)`, `h' = (1 − z) ⊙ h + z ⊙ h~`.
+pub struct Gru {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    d_in: usize,
+    d_hidden: usize,
+}
+
+impl Gru {
+    /// Registers a GRU layer mapping `d_in` inputs to `d_hidden` state.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_hidden: usize,
+    ) -> Self {
+        let mut w = |suffix: &str, r: usize, c: usize| {
+            store.add(format!("{name}.{suffix}"), xavier_uniform(rng, r, c))
+        };
+        let wz = w("wz", d_in, d_hidden);
+        let uz = w("uz", d_hidden, d_hidden);
+        let wr = w("wr", d_in, d_hidden);
+        let ur = w("ur", d_hidden, d_hidden);
+        let wh = w("wh", d_in, d_hidden);
+        let uh = w("uh", d_hidden, d_hidden);
+        let bz = store.add(format!("{name}.bz"), Tensor::zeros(1, d_hidden));
+        let br = store.add(format!("{name}.br"), Tensor::zeros(1, d_hidden));
+        let bh = store.add(format!("{name}.bh"), Tensor::zeros(1, d_hidden));
+        Self {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            d_in,
+            d_hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Hidden-state width.
+    pub fn d_hidden(&self) -> usize {
+        self.d_hidden
+    }
+
+    /// All parameter ids.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![
+            self.wz, self.uz, self.bz, self.wr, self.ur, self.br, self.wh, self.uh, self.bh,
+        ]
+    }
+
+    /// A zero initial state for a batch of `batch` sequences.
+    pub fn zero_state(&self, g: &Graph, batch: usize) -> Var {
+        g.input(Tensor::zeros(batch, self.d_hidden))
+    }
+
+    /// Records one GRU step: `(x_t, h_{t-1}) -> h_t`.
+    pub fn step(&self, g: &Graph, store: &ParamStore, x: Var, h: Var) -> Var {
+        let gate = |w: ParamId, u: ParamId, b: ParamId, hin: Var| {
+            let xa = g.matmul(x, g.param(store, w));
+            let ha = g.matmul(hin, g.param(store, u));
+            g.add_row(g.add(xa, ha), g.param(store, b))
+        };
+        let z = g.sigmoid(gate(self.wz, self.uz, self.bz, h));
+        let r = g.sigmoid(gate(self.wr, self.ur, self.br, h));
+        let rh = g.mul(r, h);
+        let cand = g.tanh(gate(self.wh, self.uh, self.bh, rh));
+        // h' = (1 - z) * h + z * cand
+        let keep = g.mul(g.one_minus(z), h);
+        let update = g.mul(z, cand);
+        g.add(keep, update)
+    }
+
+    /// Runs the GRU over a sequence of `(batch x d_in)` inputs, with an
+    /// optional per-step `(batch x 1)` validity mask for padded sequences
+    /// (masked steps keep the previous state). Returns the final state.
+    pub fn run(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        xs: &[Var],
+        masks: Option<&[Tensor]>,
+    ) -> Var {
+        assert!(!xs.is_empty(), "empty sequence");
+        if let Some(m) = masks {
+            assert_eq!(m.len(), xs.len(), "mask count mismatch");
+        }
+        let batch = g.shape(xs[0]).0;
+        let mut h = self.zero_state(g, batch);
+        for (t, &x) in xs.iter().enumerate() {
+            let hn = self.step(g, store, x, h);
+            h = match masks {
+                Some(m) => {
+                    let mask = g.input(m[t].clone());
+                    let keep_new = g.mul_col(hn, mask);
+                    let inv = g.input(m[t].map(|v| 1.0 - v));
+                    let keep_old = g.mul_col(h, inv);
+                    g.add(keep_new, keep_old)
+                }
+                None => hn,
+            };
+        }
+        h
+    }
+}
+
+/// A stack of GRU layers (e.g. the 2-layer trajectory encoder of §5.2.2):
+/// layer `k+1` consumes the per-step hidden states of layer `k`.
+pub struct GruStack {
+    layers: Vec<Gru>,
+}
+
+impl GruStack {
+    /// Builds `n_layers` GRU layers: `d_in -> d_hidden -> ... -> d_hidden`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_hidden: usize,
+        n_layers: usize,
+    ) -> Self {
+        assert!(n_layers >= 1, "GRU stack needs at least one layer");
+        let layers = (0..n_layers)
+            .map(|l| {
+                let din = if l == 0 { d_in } else { d_hidden };
+                Gru::new(store, rng, &format!("{name}.l{l}"), din, d_hidden)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Hidden width.
+    pub fn d_hidden(&self) -> usize {
+        self.layers[0].d_hidden()
+    }
+
+    /// All parameter ids.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(Gru::param_ids).collect()
+    }
+
+    /// Runs the stack over a sequence and returns the top layer's final
+    /// state. Masked steps keep the previous state in **every** layer.
+    pub fn run(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        xs: &[Var],
+        masks: Option<&[Tensor]>,
+    ) -> Var {
+        assert!(!xs.is_empty(), "empty sequence");
+        let batch = g.shape(xs[0]).0;
+        let mut states: Vec<Var> = self
+            .layers
+            .iter()
+            .map(|l| l.zero_state(g, batch))
+            .collect();
+        for (t, &x) in xs.iter().enumerate() {
+            let mut input = x;
+            for (l, layer) in self.layers.iter().enumerate() {
+                let hn = layer.step(g, store, input, states[l]);
+                let h = match masks {
+                    Some(m) => {
+                        let mask = g.input(m[t].clone());
+                        let keep_new = g.mul_col(hn, mask);
+                        let inv = g.input(m[t].map(|v| 1.0 - v));
+                        let keep_old = g.mul_col(states[l], inv);
+                        g.add(keep_new, keep_old)
+                    }
+                    None => hn,
+                };
+                states[l] = h;
+                input = h;
+            }
+        }
+        *states.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_and_run_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new(&mut store, &mut rng, "g", 3, 5);
+        let g = Graph::new();
+        let xs: Vec<Var> = (0..4).map(|_| g.input(Tensor::ones(2, 3))).collect();
+        let h = gru.run(&g, &store, &xs, None);
+        assert_eq!(g.shape(h), (2, 5));
+        assert_eq!(gru.param_ids().len(), 9);
+    }
+
+    #[test]
+    fn masked_steps_preserve_state() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new(&mut store, &mut rng, "g", 2, 4);
+        let g = Graph::new();
+        let x0 = g.input(Tensor::ones(1, 2));
+        let pad = g.input(Tensor::full(1, 2, 99.0)); // garbage that must be ignored
+        let masks = vec![Tensor::ones(1, 1), Tensor::zeros(1, 1)];
+        let h_masked = gru.run(&g, &store, &[x0, pad], Some(&masks));
+        let h_single = gru.run(&g, &store, &[x0], None);
+        let a = g.value(h_masked);
+        let b = g.value(h_single);
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stack_runs_and_masks_consistently() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let stack = GruStack::new(&mut store, &mut rng, "s", 3, 6, 2);
+        assert_eq!(stack.param_ids().len(), 18);
+        let g = Graph::new();
+        let x0 = g.input(Tensor::ones(2, 3));
+        let pad = g.input(Tensor::full(2, 3, -7.0));
+        let masks = vec![Tensor::ones(2, 1), Tensor::zeros(2, 1)];
+        let h_masked = stack.run(&g, &store, &[x0, pad], Some(&masks));
+        let h_short = stack.run(&g, &store, &[x0], None);
+        assert_eq!(g.shape(h_masked), (2, 6));
+        let (a, b) = (g.value(h_masked), g.value(h_short));
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gru_learns_to_remember_first_input() {
+        // Target: output mean of hidden state should regress onto the first
+        // element of the sequence, requiring memory across 4 steps.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gru = Gru::new(&mut store, &mut rng, "g", 1, 8);
+        let head = crate::layers::Linear::new(&mut store, &mut rng, "head", 8, 1, true);
+        let mut opt = Adam::new(0.02);
+        let seqs: Vec<(Vec<f32>, f32)> = vec![
+            (vec![1.0, 0.3, -0.2, 0.8], 1.0),
+            (vec![-1.0, 0.3, -0.2, 0.8], -1.0),
+            (vec![0.5, -0.9, 0.1, 0.0], 0.5),
+            (vec![-0.5, -0.9, 0.1, 0.0], -0.5),
+        ];
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            store.zero_grads();
+            let g = Graph::new();
+            let xs: Vec<Var> = (0..4)
+                .map(|t| {
+                    g.input(Tensor::col(
+                        &seqs.iter().map(|(s, _)| s[t]).collect::<Vec<_>>(),
+                    ))
+                })
+                .collect();
+            let h = gru.run(&g, &store, &xs, None);
+            let pred = head.forward(&g, &store, h);
+            let target = Tensor::col(&seqs.iter().map(|(_, y)| *y).collect::<Vec<_>>());
+            let loss = g.mse(pred, &target);
+            last = g.value(loss).item();
+            g.backward(loss);
+            g.accumulate_grads(&mut store);
+            opt.step(&mut store);
+        }
+        assert!(last < 0.05, "loss {last}");
+    }
+}

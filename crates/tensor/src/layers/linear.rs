@@ -1,0 +1,109 @@
+//! Fully connected layer.
+
+use rand::Rng;
+
+use crate::autograd::{Graph, Var};
+use crate::init::xavier_uniform;
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// `y = x W + b` with `W: (d_in x d_out)` and `b: (1 x d_out)`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    d_in: usize,
+    d_out: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(rng, d_in, d_out));
+        let b = bias.then(|| store.add(format!("{name}.b"), Tensor::zeros(1, d_out)));
+        Self { w, b, d_in, d_out }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.d_out
+    }
+
+    /// Parameter ids of this layer (weight first, then bias if present).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = vec![self.w];
+        if let Some(b) = self.b {
+            ids.push(b);
+        }
+        ids
+    }
+
+    /// Records `x W (+ b)` on the tape.
+    pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let y = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = g.param(store, b);
+                g.add_row(y, bv)
+            }
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 3, true);
+        let g = Graph::new();
+        let x = g.input(Tensor::ones(5, 4));
+        let y = lin.forward(&g, &store, x);
+        assert_eq!(g.shape(y), (5, 3));
+        assert_eq!(lin.param_ids().len(), 2);
+    }
+
+    #[test]
+    fn no_bias_layer_registers_one_param() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 3, false);
+        assert_eq!(lin.param_ids().len(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn gradients_flow_to_weight_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, &mut rng, "l", 2, 2, true);
+        let g = Graph::new();
+        let x = g.input(Tensor::ones(3, 2));
+        let y = lin.forward(&g, &store, x);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        g.accumulate_grads(&mut store);
+        for id in lin.param_ids() {
+            assert!(store.grad(id).norm_sq() > 0.0, "no grad for {}", store.name(id));
+        }
+    }
+}

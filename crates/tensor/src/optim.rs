@@ -1,0 +1,211 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+/// Adam optimizer with bias correction (Kingma & Ba, 2015).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Sets L2 weight decay (added to the raw gradient).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (used with a schedule).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step using the gradients accumulated in `store`,
+    /// then leaves the gradients untouched (call
+    /// [`ParamStore::zero_grads`] before the next forward pass).
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = store
+                .ids()
+                .map(|id| {
+                    let (r, c) = store.value(id).shape();
+                    Tensor::zeros(r, c)
+                })
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in store.ids() {
+            let i = id.index();
+            // Split borrows: read grad, then update value.
+            let grad = store.grad(id).clone();
+            let value = store.value_mut(id);
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for k in 0..grad.len() {
+                let mut g = grad.data()[k];
+                if self.weight_decay > 0.0 {
+                    g += self.weight_decay * value.data()[k];
+                }
+                let md = &mut m.data_mut()[k];
+                *md = self.beta1 * *md + (1.0 - self.beta1) * g;
+                let vd = &mut v.data_mut()[k];
+                *vd = self.beta2 * *vd + (1.0 - self.beta2) * g * g;
+                let mhat = *md / bc1;
+                let vhat = *vd / bc2;
+                value.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Cosine-annealing learning-rate schedule:
+/// `lr(t) = lr_min + (lr_max - lr_min) * (1 + cos(pi * t / T)) / 2`.
+#[derive(Clone, Copy, Debug)]
+pub struct CosineAnnealing {
+    lr_max: f32,
+    lr_min: f32,
+    total_steps: u64,
+}
+
+impl CosineAnnealing {
+    /// Creates a schedule decaying from `lr_max` to `lr_min` over
+    /// `total_steps` steps.
+    pub fn new(lr_max: f32, lr_min: f32, total_steps: u64) -> Self {
+        assert!(total_steps > 0, "schedule needs at least one step");
+        Self {
+            lr_max,
+            lr_min,
+            total_steps,
+        }
+    }
+
+    /// Learning rate at step `t` (clamped to the end of the schedule).
+    pub fn lr_at(&self, t: u64) -> f32 {
+        let t = t.min(self.total_steps) as f32 / self.total_steps as f32;
+        self.lr_min
+            + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos()) / 2.0
+    }
+}
+
+/// Early-stopping tracker with a patience budget (lower metric is better).
+#[derive(Clone, Debug)]
+pub struct EarlyStopping {
+    patience: u32,
+    best: f32,
+    bad_epochs: u32,
+}
+
+impl EarlyStopping {
+    /// Creates a tracker allowing `patience` consecutive non-improving epochs.
+    pub fn new(patience: u32) -> Self {
+        Self {
+            patience,
+            best: f32::INFINITY,
+            bad_epochs: 0,
+        }
+    }
+
+    /// Records an epoch metric; returns `true` when training should stop.
+    pub fn update(&mut self, metric: f32) -> bool {
+        if metric < self.best - 1e-6 {
+            self.best = metric;
+            self.bad_epochs = 0;
+        } else {
+            self.bad_epochs += 1;
+        }
+        self.bad_epochs > self.patience
+    }
+
+    /// Best metric seen so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Graph;
+    use crate::params::ParamStore;
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // minimize (w - 3)^2 elementwise
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 2, vec![0.0, 10.0]));
+        let target = Tensor::from_vec(1, 2, vec![3.0, 3.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            store.zero_grads();
+            let g = Graph::new();
+            let wv = g.param(&store, w);
+            let loss = g.mse(wv, &target);
+            g.backward(loss);
+            g.accumulate_grads(&mut store);
+            opt.step(&mut store);
+        }
+        for &v in store.value(w).data() {
+            assert!((v - 3.0).abs() < 1e-2, "converged to {v}");
+        }
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineAnnealing::new(1.0, 0.1, 100);
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-6);
+        let mid = s.lr_at(50);
+        assert!((mid - 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_is_monotone_decreasing() {
+        let s = CosineAnnealing::new(0.005, 0.0, 200);
+        let mut prev = f32::INFINITY;
+        for t in 0..=200 {
+            let lr = s.lr_at(t);
+            assert!(lr <= prev + 1e-9);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn early_stopping_fires_after_patience() {
+        let mut es = EarlyStopping::new(2);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.6)); // bad 1
+        assert!(!es.update(0.7)); // bad 2
+        assert!(es.update(0.8)); // bad 3 > patience
+        assert_eq!(es.best(), 0.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Parameter storage shared by layers and optimizers.
+//!
+//! Parameters live outside the autograd tape so a fresh [`crate::Graph`] can
+//! be built every step. Each parameter owns a persistent gradient buffer that
+//! the tape accumulates into and the optimizer consumes.
+
+use crate::tensor::Tensor;
+
+/// Opaque identifier of a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of this parameter in its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Flat registry of named parameter tensors and their gradients.
+#[derive(Default, Clone)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.names.push(name.into());
+        self.values.push(value);
+        self.grads.push(Tensor::zeros(r, c));
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable value of a parameter.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutable gradient buffer of a parameter.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// Name given to a parameter at registration.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Ids of all parameters, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Resets every gradient buffer to zero.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.scale_mut(0.0);
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(Tensor::norm_sq).sum::<f32>().sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                g.scale_mut(s);
+            }
+        }
+    }
+
+    /// Exponential-moving-average update used by MoCo momentum encoders:
+    /// `self = m * self + (1 - m) * other` (Eq. 12 of the paper).
+    ///
+    /// # Panics
+    /// Panics if the two stores have different parameter layouts.
+    pub fn momentum_update_from(&mut self, other: &ParamStore, m: f32) {
+        assert_eq!(self.len(), other.len(), "parameter layout mismatch");
+        for i in 0..self.values.len() {
+            assert_eq!(
+                self.values[i].shape(),
+                other.values[i].shape(),
+                "parameter {i} shape mismatch"
+            );
+            let dst = self.values[i].data_mut();
+            let src = other.values[i].data();
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = m * *d + (1.0 - m) * s;
+            }
+        }
+    }
+
+    /// Copies all values from another store with the same layout.
+    pub fn copy_from(&mut self, other: &ParamStore) {
+        self.momentum_update_from(other, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_roundtrip() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(s.value(id).data(), &[1.0, 2.0]);
+        assert_eq!(s.name(id), "w");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_weights(), 2);
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulation() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(1, 2));
+        s.grad_mut(id).axpy(1.0, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        assert_eq!(s.grad(id).data(), &[3.0, 4.0]);
+        s.zero_grads();
+        assert_eq!(s.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn momentum_update_interpolates() {
+        let mut a = ParamStore::new();
+        let ia = a.add("w", Tensor::from_vec(1, 2, vec![1.0, 1.0]));
+        let mut b = ParamStore::new();
+        b.add("w", Tensor::from_vec(1, 2, vec![3.0, 5.0]));
+        a.momentum_update_from(&b, 0.5);
+        assert_eq!(a.value(ia).data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn copy_from_duplicates_values() {
+        let mut a = ParamStore::new();
+        let ia = a.add("w", Tensor::zeros(1, 2));
+        let mut b = ParamStore::new();
+        b.add("w", Tensor::from_vec(1, 2, vec![3.0, 5.0]));
+        a.copy_from(&b);
+        assert_eq!(a.value(ia).data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_global_norm() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(1, 2));
+        s.grad_mut(id).axpy(1.0, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+        assert!((s.grad(id).at(0, 0) - 0.6).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on tensor algebra and autograd invariants.
+
+use proptest::prelude::*;
+use sarn_tensor::{Graph, Tensor};
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(3, 4),
+        c in tensor_strategy(4, 2),
+    ) {
+        let lhs = a.zip(&b, |x, y| x + y).matmul(&c);
+        let rhs = {
+            let mut s = a.matmul(&c);
+            s.axpy(1.0, &b.matmul(&c));
+            s
+        };
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+    ) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_vectors(m in tensor_strategy(4, 6)) {
+        let g = Graph::new();
+        let x = g.input(m);
+        let s = g.value(g.softmax_rows(x));
+        for r in 0..s.rows() {
+            let row = s.row_slice(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn gather_then_sum_matches_index_counts(m in tensor_strategy(5, 3), idx in proptest::collection::vec(0usize..5, 1..10)) {
+        let gathered = m.gather_rows(&idx);
+        prop_assert_eq!(gathered.rows(), idx.len());
+        for (e, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(gathered.row_slice(e), m.row_slice(i));
+        }
+    }
+
+    #[test]
+    fn backward_of_linear_matches_input(
+        a in tensor_strategy(3, 3),
+    ) {
+        // d/dx sum(x * a) = a
+        let g = Graph::new();
+        let x = g.leaf_grad(Tensor::ones(3, 3));
+        let av = g.input(a.clone());
+        let loss = g.sum_all(g.mul(x, av));
+        g.backward(loss);
+        let grad = g.grad(x).unwrap();
+        for (gv, av) in grad.data().iter().zip(a.data().iter()) {
+            prop_assert!((gv - av).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(
+        logits in tensor_strategy(4, 3),
+        labels in proptest::collection::vec(0usize..3, 4),
+    ) {
+        let g = Graph::new();
+        let l = g.input(logits);
+        let loss = g.value(g.cross_entropy(l, &labels)).item();
+        prop_assert!(loss >= -1e-5);
+        prop_assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn info_nce_decreases_when_positive_aligns(
+        z in tensor_strategy(1, 4),
+    ) {
+        // Candidates: positive equal to z (scaled), negatives orthogonal-ish.
+        let g = Graph::new();
+        let zn = z.clone();
+        let mut aligned = vec![0.0; 4];
+        aligned.copy_from_slice(zn.row_slice(0));
+        let pos = Tensor::from_vec(1, 4, aligned);
+        let neg = pos.map(|v| -v);
+        let cands_good = Tensor::vstack(&[&pos, &neg]);
+        let cands_bad = Tensor::vstack(&[&neg, &pos]);
+        let zv = g.input(z);
+        let good = g.value(g.info_nce(zv, vec![cands_good], 1.0)).item();
+        let bad = g.value(g.info_nce(zv, vec![cands_bad], 1.0)).item();
+        prop_assert!(good <= bad + 1e-5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Trajectory datasets: generation + matching + splits in one call.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sarn_geo::{LocalProjection, Point};
+use sarn_roadnet::RoadNetwork;
+
+use crate::distance::discrete_frechet;
+use crate::generate::TrajGenConfig;
+use crate::matching::{MapMatcher, MatchedTrajectory};
+
+/// A ready-to-use trajectory dataset over a road network: matched segment
+/// sequences truncated to a maximum length, mirroring the paper's
+/// preprocessing (10k sampled traces, map-matched, truncated to 60 segments).
+#[derive(Clone, Debug)]
+pub struct TrajDataset {
+    /// Matched, truncated trajectories.
+    pub trajectories: Vec<MatchedTrajectory>,
+    /// Maximum segments per trajectory used at construction.
+    pub max_segments: usize,
+}
+
+impl TrajDataset {
+    /// Generates traces, map-matches them, truncates to `max_segments`, and
+    /// drops degenerate (shorter than 3 segments) results.
+    pub fn build(net: &RoadNetwork, gen: &TrajGenConfig, max_segments: usize) -> Self {
+        let matcher = MapMatcher::new(net);
+        let trajectories = gen
+            .generate(net)
+            .iter()
+            .map(|t| matcher.match_trace(&t.points).truncated(max_segments))
+            .filter(|m| m.len() >= 3)
+            .collect();
+        Self {
+            trajectories,
+            max_segments,
+        }
+    }
+
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// True when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Pairwise Fréchet ground-truth distances between trajectories at the
+    /// given indices (symmetric matrix, row-major `idx.len()^2`).
+    pub fn frechet_matrix(&self, net: &RoadNetwork, idx: &[usize]) -> Vec<f64> {
+        let proj = LocalProjection::new(Point::new(net.bbox().min_lat, net.bbox().min_lon));
+        let polylines: Vec<Vec<Point>> = idx
+            .iter()
+            .map(|&i| self.trajectories[i].midpoints(net))
+            .collect();
+        let m = idx.len();
+        let mut out = vec![0.0; m * m];
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let d = discrete_frechet(&polylines[i], &polylines[j], &proj);
+                out[i * m + j] = d;
+                out[j * m + i] = d;
+            }
+        }
+        out
+    }
+}
+
+/// Shuffled 6:2:2 train/validation/test index split (the paper's split).
+pub fn split_indices(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let train_end = n * 6 / 10;
+    let val_end = n * 8 / 10;
+    (
+        idx[..train_end].to_vec(),
+        idx[train_end..val_end].to_vec(),
+        idx[val_end..].to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+
+    #[test]
+    fn build_produces_truncated_matched_trajectories() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.5).generate();
+        let gen = TrajGenConfig {
+            count: 12,
+            ..Default::default()
+        };
+        let ds = TrajDataset::build(&net, &gen, 20);
+        assert!(ds.len() >= 10, "only {} trajectories", ds.len());
+        assert!(ds.trajectories.iter().all(|t| t.len() <= 20 && t.len() >= 3));
+    }
+
+    #[test]
+    fn frechet_matrix_is_symmetric_with_zero_diagonal() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.5).generate();
+        let gen = TrajGenConfig {
+            count: 8,
+            ..Default::default()
+        };
+        let ds = TrajDataset::build(&net, &gen, 30);
+        let idx: Vec<usize> = (0..ds.len().min(5)).collect();
+        let m = ds.frechet_matrix(&net, &idx);
+        let k = idx.len();
+        for i in 0..k {
+            assert_eq!(m[i * k + i], 0.0);
+            for j in 0..k {
+                assert_eq!(m[i * k + j], m[j * k + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (tr, va, te) = split_indices(100, 5);
+        assert_eq!(tr.len(), 60);
+        assert_eq!(va.len(), 20);
+        assert_eq!(te.len(), 20);
+        let mut all: Vec<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(split_indices(50, 1), split_indices(50, 1));
+        assert_ne!(split_indices(50, 1).0, split_indices(50, 2).0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Trajectory distance measures.
+
+use sarn_geo::{LocalProjection, Point};
+
+/// Discrete Fréchet distance between two point sequences, in meters
+/// (Alt & Godau, 1995 — the paper's trajectory-similarity ground truth).
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn discrete_frechet(a: &[Point], b: &[Point], proj: &LocalProjection) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "empty trajectory");
+    let (n, m) = (a.len(), b.len());
+    let ap: Vec<(f64, f64)> = a.iter().map(|p| proj.project(p)).collect();
+    let bp: Vec<(f64, f64)> = b.iter().map(|p| proj.project(p)).collect();
+    let d = |i: usize, j: usize| -> f64 {
+        let (ax, ay) = ap[i];
+        let (bx, by) = bp[j];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    };
+    // Rolling 1-D DP over the coupling matrix.
+    let mut prev = vec![0.0f64; m];
+    let mut cur = vec![0.0f64; m];
+    prev[0] = d(0, 0);
+    for j in 1..m {
+        prev[j] = prev[j - 1].max(d(0, j));
+    }
+    for i in 1..n {
+        cur[0] = prev[0].max(d(i, 0));
+        for j in 1..m {
+            let reach = prev[j].min(prev[j - 1]).min(cur[j - 1]);
+            cur[j] = reach.max(d(i, j));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+/// Dynamic time warping distance between two point sequences, in meters.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn dtw(a: &[Point], b: &[Point], proj: &LocalProjection) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "empty trajectory");
+    let (n, m) = (a.len(), b.len());
+    let ap: Vec<(f64, f64)> = a.iter().map(|p| proj.project(p)).collect();
+    let bp: Vec<(f64, f64)> = b.iter().map(|p| proj.project(p)).collect();
+    let d = |i: usize, j: usize| -> f64 {
+        let (ax, ay) = ap[i];
+        let (bx, by) = bp[j];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    };
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 0..n {
+        cur[0] = f64::INFINITY;
+        for j in 0..m {
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            cur[j + 1] = d(i, j) + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(Point::new(30.0, 104.0))
+    }
+
+    fn line(offsets_m: &[(f64, f64)]) -> Vec<Point> {
+        let p = proj();
+        offsets_m.iter().map(|&(x, y)| p.unproject(x, y)).collect()
+    }
+
+    #[test]
+    fn frechet_of_identical_is_zero() {
+        let a = line(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]);
+        assert!(discrete_frechet(&a, &a, &proj()) < 1e-6);
+    }
+
+    #[test]
+    fn frechet_of_parallel_lines_is_offset() {
+        let a = line(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]);
+        let b = line(&[(0.0, 50.0), (100.0, 50.0), (200.0, 50.0)]);
+        let d = discrete_frechet(&a, &b, &proj());
+        assert!((d - 50.0).abs() < 0.5, "got {d}");
+    }
+
+    #[test]
+    fn frechet_is_symmetric() {
+        let a = line(&[(0.0, 0.0), (100.0, 20.0), (150.0, 80.0)]);
+        let b = line(&[(10.0, 5.0), (90.0, 40.0)]);
+        let p = proj();
+        let d1 = discrete_frechet(&a, &b, &p);
+        let d2 = discrete_frechet(&b, &a, &p);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frechet_dominates_endpoint_distance() {
+        // Fréchet >= distance between endpoints of the coupling.
+        let a = line(&[(0.0, 0.0), (100.0, 0.0)]);
+        let b = line(&[(0.0, 0.0), (100.0, 300.0)]);
+        let d = discrete_frechet(&a, &b, &proj());
+        assert!(d >= 299.0, "got {d}");
+    }
+
+    #[test]
+    fn dtw_zero_on_identical_and_positive_otherwise() {
+        let a = line(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]);
+        let b = line(&[(0.0, 30.0), (100.0, 30.0), (200.0, 30.0)]);
+        let p = proj();
+        assert!(dtw(&a, &a, &p) < 1e-6);
+        let d = dtw(&a, &b, &p);
+        assert!((d - 90.0).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn dtw_handles_different_lengths() {
+        let a = line(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0), (150.0, 0.0)]);
+        let b = line(&[(0.0, 0.0), (150.0, 0.0)]);
+        let d = dtw(&a, &b, &proj());
+        assert!(d < 200.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic GPS trace generation.
+//!
+//! Routes are shortest paths between random origin/destination segments;
+//! GPS points are emitted along the route geometry at a fixed spacing with
+//! Gaussian noise, mimicking vehicle traces like DiDi / T-Drive / SF-Cab
+//! after the paper's preprocessing (split on gaps, clipped to the region).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sarn_geo::{LocalProjection, Point};
+use sarn_graph::dijkstra_path;
+use sarn_roadnet::RoadNetwork;
+
+/// A raw GPS trace plus the ground-truth route it was generated from.
+#[derive(Clone, Debug)]
+pub struct GpsTrace {
+    /// Noisy GPS points.
+    pub points: Vec<Point>,
+    /// The route (segment ids) the vehicle actually drove.
+    pub true_route: Vec<usize>,
+}
+
+/// Configuration of the trace generator.
+#[derive(Clone, Debug)]
+pub struct TrajGenConfig {
+    /// Number of traces to generate.
+    pub count: usize,
+    /// Minimum route length in segments (before truncation).
+    pub min_segments: usize,
+    /// Maximum route length in segments (routes are truncated to this).
+    pub max_segments: usize,
+    /// GPS noise standard deviation in meters.
+    pub noise_std_m: f64,
+    /// Approximate spacing between emitted GPS points in meters.
+    pub sample_every_m: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrajGenConfig {
+    fn default() -> Self {
+        Self {
+            count: 200,
+            min_segments: 10,
+            max_segments: 60,
+            noise_std_m: 15.0,
+            sample_every_m: 80.0,
+            seed: 7,
+        }
+    }
+}
+
+impl TrajGenConfig {
+    /// Generates GPS traces over `net`. Unreachable origin/destination pairs
+    /// are resampled, so the output always holds `count` traces (unless the
+    /// network is pathologically disconnected, in which case fewer are
+    /// returned after a bounded number of attempts).
+    pub fn generate(&self, net: &RoadNetwork) -> Vec<GpsTrace> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let routing = net.routing_digraph();
+        let n = net.num_segments();
+        let proj = LocalProjection::new(Point::new(net.bbox().min_lat, net.bbox().min_lon));
+        let mut traces = Vec::with_capacity(self.count);
+        let mut attempts = 0usize;
+        let max_attempts = self.count * 50;
+        while traces.len() < self.count && attempts < max_attempts {
+            attempts += 1;
+            let src = rng.gen_range(0..n);
+            let dst = rng.gen_range(0..n);
+            if src == dst {
+                continue;
+            }
+            let Some((_, route)) = dijkstra_path(&routing, src, dst) else {
+                continue;
+            };
+            if route.len() < self.min_segments {
+                continue;
+            }
+            let route: Vec<usize> = route.into_iter().take(self.max_segments).collect();
+            let points = self.emit_points(net, &route, &proj, &mut rng);
+            if points.len() >= 2 {
+                traces.push(GpsTrace {
+                    points,
+                    true_route: route,
+                });
+            }
+        }
+        traces
+    }
+
+    /// Walks the route geometry and emits noisy GPS points.
+    fn emit_points(
+        &self,
+        net: &RoadNetwork,
+        route: &[usize],
+        proj: &LocalProjection,
+        rng: &mut StdRng,
+    ) -> Vec<Point> {
+        let mut points = Vec::new();
+        let mut carried = 0.0f64;
+        for &sid in route {
+            let seg = net.segment(sid);
+            let (sx, sy) = proj.project(&seg.start);
+            let (ex, ey) = proj.project(&seg.end);
+            let len = seg.length_m.max(1e-6);
+            let mut pos = carried;
+            while pos < len {
+                let t = pos / len;
+                let x = sx + (ex - sx) * t + gaussian(rng) * self.noise_std_m;
+                let y = sy + (ey - sy) * t + gaussian(rng) * self.noise_std_m;
+                points.push(proj.unproject(x, y));
+                pos += self.sample_every_m;
+            }
+            carried = pos - len;
+        }
+        points
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_roadnet::{City, SynthConfig};
+
+    fn small_net() -> RoadNetwork {
+        SynthConfig::city(City::Chengdu).scaled(0.5).generate()
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let net = small_net();
+        let cfg = TrajGenConfig {
+            count: 20,
+            ..Default::default()
+        };
+        let traces = cfg.generate(&net);
+        assert_eq!(traces.len(), 20);
+    }
+
+    #[test]
+    fn routes_respect_length_bounds() {
+        let net = small_net();
+        let cfg = TrajGenConfig {
+            count: 15,
+            min_segments: 8,
+            max_segments: 30,
+            ..Default::default()
+        };
+        for t in cfg.generate(&net) {
+            assert!(t.true_route.len() >= 8 && t.true_route.len() <= 30);
+        }
+    }
+
+    #[test]
+    fn routes_follow_topology() {
+        let net = small_net();
+        let g = net.topo_digraph();
+        let cfg = TrajGenConfig {
+            count: 10,
+            ..Default::default()
+        };
+        for t in cfg.generate(&net) {
+            for w in t.true_route.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "route jumps {} -> {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn gps_points_stay_near_route() {
+        let net = small_net();
+        let cfg = TrajGenConfig {
+            count: 5,
+            noise_std_m: 10.0,
+            ..Default::default()
+        };
+        let proj = LocalProjection::new(Point::new(net.bbox().min_lat, net.bbox().min_lon));
+        for t in cfg.generate(&net) {
+            for p in &t.points {
+                let min_d = t
+                    .true_route
+                    .iter()
+                    .map(|&sid| proj.distance_m(p, &net.segment(sid).midpoint()))
+                    .fold(f64::INFINITY, f64::min)
+                    ;
+                assert!(min_d < 150.0, "point {min_d} m from route");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = small_net();
+        let cfg = TrajGenConfig {
+            count: 5,
+            ..Default::default()
+        };
+        let a = cfg.generate(&net);
+        let b = cfg.generate(&net);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.true_route, y.true_route);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # sarn-traj
+//!
+//! Trajectory substrate for the SARN reproduction: synthetic GPS traces
+//! generated from shortest-path routes over a [`sarn_roadnet::RoadNetwork`]
+//! (the paper's DiDi/T-Drive/SF-Cab datasets are not redistributable; see
+//! DESIGN.md), a nearest-segment map matcher, and the discrete Fréchet and
+//! DTW distances used as trajectory-similarity ground truth.
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod distance;
+mod generate;
+mod matching;
+
+pub use dataset::{split_indices, TrajDataset};
+pub use distance::{discrete_frechet, dtw};
+pub use generate::{GpsTrace, TrajGenConfig};
+pub use matching::{MapMatcher, MatchedTrajectory};

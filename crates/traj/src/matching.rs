@@ -1,0 +1,222 @@
+//! Map matching: snapping GPS traces onto road segments.
+//!
+//! A simplified connectivity-aware greedy matcher standing in for the
+//! low-sampling-rate HMM matcher the paper cites (Lou et al., 2009): each
+//! point selects the candidate segment minimizing point-to-segment distance
+//! plus a discontinuity penalty against the previously matched segment.
+
+use sarn_geo::{Grid, LocalProjection, Point};
+use sarn_roadnet::RoadNetwork;
+
+/// A map-matched trajectory: the sequence of traversed segment ids, with
+/// consecutive duplicates collapsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchedTrajectory {
+    /// Traversed segment ids.
+    pub segments: Vec<usize>,
+}
+
+impl MatchedTrajectory {
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True for an empty match.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Truncates to at most `max_segments` segments (the paper truncates to
+    /// 60 by default and sweeps 60–180 in Table 7).
+    pub fn truncated(&self, max_segments: usize) -> MatchedTrajectory {
+        MatchedTrajectory {
+            segments: self.segments.iter().copied().take(max_segments).collect(),
+        }
+    }
+
+    /// Midpoint polyline of the matched segments.
+    pub fn midpoints(&self, net: &RoadNetwork) -> Vec<Point> {
+        self.segments.iter().map(|&s| net.segment(s).midpoint()).collect()
+    }
+}
+
+/// Spatially indexed map matcher over a road network.
+pub struct MapMatcher<'n> {
+    net: &'n RoadNetwork,
+    proj: LocalProjection,
+    grid: Grid,
+    /// Segment ids per grid cell (indexed by midpoint).
+    cell_segments: Vec<Vec<usize>>,
+    /// Penalty (meters) added when a candidate is not topologically adjacent
+    /// to the previous match.
+    discontinuity_penalty_m: f64,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl<'n> MapMatcher<'n> {
+    /// Builds a matcher with a ~250 m candidate grid.
+    pub fn new(net: &'n RoadNetwork) -> Self {
+        let grid = Grid::new(*net.bbox(), 250.0);
+        let mut cell_segments = vec![Vec::new(); grid.num_cells()];
+        for (i, seg) in net.segments().iter().enumerate() {
+            cell_segments[grid.cell_of(&seg.midpoint())].push(i);
+        }
+        let mut adjacency = vec![Vec::new(); net.num_segments()];
+        for &(a, b, _) in net.topo_edges() {
+            adjacency[a].push(b);
+        }
+        Self {
+            net,
+            proj: LocalProjection::new(Point::new(net.bbox().min_lat, net.bbox().min_lon)),
+            grid,
+            cell_segments,
+            discontinuity_penalty_m: 60.0,
+            adjacency,
+        }
+    }
+
+    /// Distance from a point to a segment (projected planar geometry).
+    fn point_segment_distance(&self, p: &Point, seg_id: usize) -> f64 {
+        let seg = self.net.segment(seg_id);
+        let (px, py) = self.proj.project(p);
+        let (ax, ay) = self.proj.project(&seg.start);
+        let (bx, by) = self.proj.project(&seg.end);
+        let (dx, dy) = (bx - ax, by - ay);
+        let len_sq = dx * dx + dy * dy;
+        let t = if len_sq > 0.0 {
+            (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let (cx, cy) = (ax + t * dx, ay + t * dy);
+        ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+    }
+
+    /// Candidate segments near a point (expanding ring search).
+    fn candidates(&self, p: &Point) -> Vec<usize> {
+        let cell = self.grid.cell_of(p);
+        for radius in 1..=3 {
+            let cands: Vec<usize> = self
+                .grid
+                .neighborhood(cell, radius)
+                .into_iter()
+                .flat_map(|c| self.cell_segments[c].iter().copied())
+                .collect();
+            if !cands.is_empty() {
+                return cands;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Matches a single GPS trace to a segment sequence.
+    pub fn match_trace(&self, points: &[Point]) -> MatchedTrajectory {
+        let mut matched: Vec<usize> = Vec::new();
+        for p in points {
+            let cands = self.candidates(p);
+            if cands.is_empty() {
+                continue;
+            }
+            let prev = matched.last().copied();
+            let best = cands
+                .into_iter()
+                .map(|c| {
+                    let mut cost = self.point_segment_distance(p, c);
+                    if let Some(pr) = prev {
+                        let adjacent = pr == c || self.adjacency[pr].contains(&c);
+                        if !adjacent {
+                            cost += self.discontinuity_penalty_m;
+                        }
+                    }
+                    (cost, c)
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+                .map(|(_, c)| c);
+            if let Some(b) = best {
+                if matched.last() != Some(&b) {
+                    matched.push(b);
+                }
+            }
+        }
+        MatchedTrajectory { segments: matched }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TrajGenConfig;
+    use sarn_roadnet::{City, SynthConfig};
+
+    fn net() -> RoadNetwork {
+        SynthConfig::city(City::Chengdu).scaled(0.5).generate()
+    }
+
+    #[test]
+    fn matching_recovers_most_of_the_true_route() {
+        let net = net();
+        let matcher = MapMatcher::new(&net);
+        let cfg = TrajGenConfig {
+            count: 10,
+            noise_std_m: 8.0,
+            sample_every_m: 40.0,
+            ..Default::default()
+        };
+        let mut recalls = Vec::new();
+        for trace in cfg.generate(&net) {
+            let m = matcher.match_trace(&trace.points);
+            assert!(!m.is_empty());
+            let hit = trace
+                .true_route
+                .iter()
+                .filter(|s| m.segments.contains(s))
+                .count();
+            recalls.push(hit as f64 / trace.true_route.len() as f64);
+        }
+        let mean = recalls.iter().sum::<f64>() / recalls.len() as f64;
+        assert!(mean > 0.5, "mean route recall {mean}");
+    }
+
+    #[test]
+    fn matched_points_are_close_to_inputs() {
+        let net = net();
+        let matcher = MapMatcher::new(&net);
+        let cfg = TrajGenConfig {
+            count: 3,
+            ..Default::default()
+        };
+        let proj = LocalProjection::new(Point::new(net.bbox().min_lat, net.bbox().min_lon));
+        for trace in cfg.generate(&net) {
+            let m = matcher.match_trace(&trace.points);
+            for &sid in &m.segments {
+                let mid = net.segment(sid).midpoint();
+                let d = trace
+                    .points
+                    .iter()
+                    .map(|p| proj.distance_m(p, &mid))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(d < 300.0, "matched segment {d} m from trace");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_bounds_length() {
+        let t = MatchedTrajectory {
+            segments: (0..100).collect(),
+        };
+        assert_eq!(t.truncated(60).len(), 60);
+        assert_eq!(t.truncated(200).len(), 100);
+    }
+
+    #[test]
+    fn consecutive_duplicates_collapse() {
+        let net = net();
+        let matcher = MapMatcher::new(&net);
+        // Repeating the same point many times must not repeat the segment.
+        let p = net.segment(0).midpoint();
+        let m = matcher.match_trace(&[p, p, p, p]);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests on trajectory distances.
+
+use proptest::prelude::*;
+use sarn_geo::{LocalProjection, Point};
+use sarn_traj::{discrete_frechet, dtw};
+
+fn proj() -> LocalProjection {
+    LocalProjection::new(Point::new(30.0, 104.0))
+}
+
+fn polyline() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..2000.0, 0.0f64..2000.0), 1..20).prop_map(|pts| {
+        let p = proj();
+        pts.into_iter().map(|(x, y)| p.unproject(x, y)).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn frechet_is_symmetric_and_nonnegative(a in polyline(), b in polyline()) {
+        let p = proj();
+        let d1 = discrete_frechet(&a, &b, &p);
+        let d2 = discrete_frechet(&b, &a, &p);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        prop_assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn frechet_identity_of_indiscernibles(a in polyline()) {
+        prop_assert!(discrete_frechet(&a, &a, &proj()) < 1e-6);
+    }
+
+    #[test]
+    fn frechet_at_least_max_endpoint_gap(a in polyline(), b in polyline()) {
+        // The coupling must match first-with-first and last-with-last, so
+        // the Fréchet distance is bounded below by both endpoint gaps.
+        let p = proj();
+        let d = discrete_frechet(&a, &b, &p);
+        let start_gap = p.distance_m(&a[0], &b[0]);
+        let end_gap = p.distance_m(a.last().unwrap(), b.last().unwrap());
+        prop_assert!(d + 1e-6 >= start_gap.max(end_gap));
+    }
+
+    #[test]
+    fn frechet_bounded_by_hausdorff_like_max(a in polyline(), b in polyline()) {
+        // Upper bound: the max over all pairwise point distances.
+        let p = proj();
+        let d = discrete_frechet(&a, &b, &p);
+        let max_pair = a
+            .iter()
+            .flat_map(|x| b.iter().map(move |y| p.distance_m(x, y)))
+            .fold(0.0f64, f64::max);
+        prop_assert!(d <= max_pair + 1e-6);
+    }
+
+    #[test]
+    fn dtw_nonnegative_and_zero_on_identical(a in polyline(), b in polyline()) {
+        let p = proj();
+        prop_assert!(dtw(&a, &b, &p) >= 0.0);
+        prop_assert!(dtw(&a, &a, &p) < 1e-6);
+    }
+
+    #[test]
+    fn dtw_dominates_frechet_scaled(a in polyline(), b in polyline()) {
+        // DTW sums per-step costs, Fréchet takes the max of a coupling, so
+        // DTW >= Fréchet for any pair.
+        let p = proj();
+        prop_assert!(dtw(&a, &b, &p) + 1e-6 >= discrete_frechet(&a, &b, &p));
+    }
+}

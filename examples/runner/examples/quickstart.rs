@@ -1,0 +1,80 @@
+//! Quickstart: generate a road network, train SARN, and inspect what the
+//! embeddings learned.
+//!
+//! ```sh
+//! cargo run --release -p sarn-examples --example quickstart
+//! ```
+
+use sarn_core::{train, SarnConfig, SpatialSimilarity, SpatialSimilarityConfig};
+use sarn_roadnet::{City, SynthConfig};
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    dot / (na * nb + 1e-9)
+}
+
+fn main() {
+    // 1. A Chengdu-like road network (synthetic; see DESIGN.md).
+    let net = SynthConfig::city(City::Chengdu).scaled(0.5).generate();
+    let stats = net.stats();
+    println!(
+        "Road network: {} segments, {} topological edges, {:.1} m mean length",
+        stats.num_segments, stats.num_topo_edges, stats.mean_segment_len_m
+    );
+
+    // 2. Train SARN (CPU-friendly configuration).
+    let mut cfg = SarnConfig::small();
+    cfg.max_epochs = 12;
+    println!("Training SARN ({} epochs max)...", cfg.max_epochs);
+    let trained = train(&net, &cfg);
+    println!(
+        "Trained in {:.1} s ({} epochs, final loss {:.4})",
+        trained.train_seconds,
+        trained.epochs_run,
+        trained.loss_history.last().unwrap()
+    );
+
+    // 3. The embeddings encode spatial structure: spatially similar
+    //    segments (close + same heading) have higher cosine similarity
+    //    than random pairs.
+    let emb = &trained.embeddings;
+    let sim = SpatialSimilarity::build(&net, &SpatialSimilarityConfig::default());
+    let spatial_mean: f32 = sim
+        .edges()
+        .iter()
+        .take(500)
+        .map(|&(i, j, _)| cosine(emb.row_slice(i), emb.row_slice(j)))
+        .sum::<f32>()
+        / sim.edges().len().min(500) as f32;
+    let n = net.num_segments();
+    let random_mean: f32 = (0..500)
+        .map(|k| cosine(emb.row_slice(k % n), emb.row_slice((k * 7 + n / 2) % n)))
+        .sum::<f32>()
+        / 500.0;
+    println!("Mean cosine similarity of spatial-edge pairs: {spatial_mean:.3}");
+    println!("Mean cosine similarity of random pairs:       {random_mean:.3}");
+
+    // 4. Nearest neighbors of one segment in embedding space.
+    let query = n / 2;
+    let mut ranked: Vec<(usize, f32)> = (0..n)
+        .filter(|&i| i != query)
+        .map(|i| (i, cosine(emb.row_slice(query), emb.row_slice(i))))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let qm = net.segment(query).midpoint();
+    println!(
+        "\nTop-5 embedding neighbors of segment {query} ({:?}, {:.0} m long):",
+        net.segment(query).class,
+        net.segment(query).length_m
+    );
+    for &(i, s) in ranked.iter().take(5) {
+        let d = sarn_geo::haversine_m(&qm, &net.segment(i).midpoint());
+        println!(
+            "  segment {i:5}  cos {s:.3}  {:6.0} m away  {:?}",
+            d,
+            net.segment(i).class
+        );
+    }
+}

@@ -1,0 +1,3 @@
+//! Runnable examples for the SARN reproduction. See the `examples/`
+//! directory: `quickstart`, `trajectory_search`, `distance_oracle`, and
+//! `ablation_tour`.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the SARN evaluation and stores the
+# output under results/. Scale knobs are tuned for a single-core CPU run of
+# roughly an hour; raise SARN_NET_SCALE / SARN_SEEDS / SARN_EPOCHS for
+# larger reproductions.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+BIN=target/release
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  "$@" > "results/$name.txt" 2> "results/$name.log"
+  echo "--- $name finished ($(date +%H:%M:%S))"
+}
+
+cargo build --release -p sarn-bench --bins 2>/dev/null
+
+run table3 env SARN_NET_SCALE=0.5 $BIN/table3
+run table4 env SARN_NET_SCALE=0.5 SARN_SEEDS=2 SARN_EPOCHS=12 $BIN/table4
+run table6 env SARN_NET_SCALE=0.5 SARN_SEEDS=2 SARN_EPOCHS=12 $BIN/table6
+run fig5   env SARN_NET_SCALE=0.5 SARN_SEEDS=2 SARN_EPOCHS=12 $BIN/fig5
+run table5 env SARN_NET_SCALE=0.5 SARN_SEEDS=1 SARN_EPOCHS=12 $BIN/table5
+run fig4   env SARN_NET_SCALE=0.9 SARN_SEEDS=1 SARN_EPOCHS=5 $BIN/fig4
+run table7 env SARN_NET_SCALE=0.5 SARN_SEEDS=1 SARN_EPOCHS=12 SARN_MAX_TRAJ_SEGMENTS=30 $BIN/table7
+run table8 env SARN_NET_SCALE=0.7 SARN_SEEDS=1 SARN_EPOCHS=10 SARN_MEMORY_MB=48 $BIN/table8
+run fig6   env SARN_NET_SCALE=0.4 SARN_SEEDS=1 SARN_EPOCHS=10 $BIN/fig6
+echo "ALL EXPERIMENTS DONE ($(date +%H:%M:%S))"

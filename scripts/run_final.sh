@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Final experiment pass with the extent-matched sampling grid, label floor,
+# and tuned baseline budgets. Overwrites results/ tables it reruns.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+BIN=target/release
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  "$@" > "results/$name.txt" 2> "results/$name.log"
+  echo "--- $name finished ($(date +%H:%M:%S))"
+}
+
+run table4 env SARN_NET_SCALE=0.5 SARN_SEEDS=3 SARN_EPOCHS=30 $BIN/table4
+run fig5   env SARN_NET_SCALE=0.5 SARN_SEEDS=2 SARN_EPOCHS=30 $BIN/fig5
+run table5 env SARN_NET_SCALE=0.5 SARN_SEEDS=1 SARN_EPOCHS=20 $BIN/table5
+run table6 env SARN_NET_SCALE=0.5 SARN_SEEDS=2 SARN_EPOCHS=20 $BIN/table6
+run table8 env SARN_NET_SCALE=0.6 SARN_SEEDS=1 SARN_EPOCHS=10 SARN_MEMORY_MB=32 $BIN/table8
+run fig6   env SARN_NET_SCALE=0.35 SARN_SEEDS=1 SARN_EPOCHS=10 $BIN/fig6
+echo "FINAL PASS DONE ($(date +%H:%M:%S))"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Compressed remainder of the final pass (time-boxed single-core settings).
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+BIN=target/release
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  "$@" > "results/$name.txt" 2> "results/$name.log"
+  echo "--- $name finished ($(date +%H:%M:%S))"
+}
+
+run fig5   env SARN_NET_SCALE=0.5 SARN_SEEDS=1 SARN_EPOCHS=20 $BIN/fig5
+run table5 env SARN_NET_SCALE=0.5 SARN_SEEDS=1 SARN_EPOCHS=20 $BIN/table5
+run table8 env SARN_NET_SCALE=0.55 SARN_SEEDS=1 SARN_EPOCHS=8 SARN_MEMORY_MB=24 $BIN/table8
+run fig6   env SARN_NET_SCALE=0.3 SARN_SEEDS=1 SARN_EPOCHS=8 $BIN/fig6
+run design_ablations env SARN_NET_SCALE=0.35 SARN_SEEDS=1 SARN_EPOCHS=10 $BIN/design_ablations
+run table6 env SARN_NET_SCALE=0.5 SARN_SEEDS=1 SARN_EPOCHS=20 $BIN/table6
+echo "REMAINDER DONE ($(date +%H:%M:%S))"

@@ -1,0 +1,1 @@
+//! Integration-test crate for the SARN workspace; see `tests/`.

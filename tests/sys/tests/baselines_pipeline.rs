@@ -1,0 +1,134 @@
+//! Every baseline produces usable embeddings / predictions on a shared
+//! synthetic network.
+
+use sarn_baselines::{
+    Gca, GcaConfig, GclBackboneConfig, GraphCl, GraphClConfig, Hrnr, HrnrConfig, MemoryBudget,
+    Node2Vec, Node2VecConfig, Rne, RneConfig, Srn2Vec, Srn2VecConfig, TrainError,
+};
+use sarn_roadnet::{City, RoadNetwork, SynthConfig};
+use sarn_tasks::{road_property, EmbeddingSource, RoadPropertyConfig};
+use sarn_tensor::Tensor;
+
+fn network() -> RoadNetwork {
+    let mut cfg = SynthConfig::city(City::SanFrancisco).scaled(0.28);
+    cfg.label_frac = 0.3;
+    cfg.generate()
+}
+
+fn assert_usable(net: &RoadNetwork, emb: &Tensor, name: &str) {
+    assert_eq!(emb.rows(), net.num_segments(), "{name} row count");
+    assert!(emb.all_finite(), "{name} non-finite embeddings");
+    let mut src = EmbeddingSource::frozen(emb);
+    let r = road_property(
+        net,
+        &mut src,
+        &RoadPropertyConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+    );
+    assert!((0.0..=100.0).contains(&r.f1_pct), "{name} F1 {}", r.f1_pct);
+}
+
+#[test]
+fn all_frozen_embedding_baselines_run_the_property_task() {
+    let net = network();
+    let n2v = Node2Vec::train(
+        &net,
+        &Node2VecConfig {
+            d: 16,
+            epochs: 1,
+            ..Default::default()
+        },
+    );
+    assert_usable(&net, &n2v.embeddings, "node2vec");
+
+    let srn = Srn2Vec::train(
+        &net,
+        &Srn2VecConfig {
+            d: 16,
+            pairs_per_epoch: 3000,
+            epochs: 2,
+            ..Default::default()
+        },
+    );
+    assert_usable(&net, &srn.embeddings, "SRN2Vec");
+
+    let gcl = GraphCl::train(
+        &net,
+        &GraphClConfig {
+            backbone: GclBackboneConfig::tiny(),
+            epochs: 2,
+            ..Default::default()
+        },
+    );
+    assert_usable(&net, &gcl.embeddings, "GraphCL");
+
+    let gca = Gca::train(
+        &net,
+        &GcaConfig {
+            backbone: GclBackboneConfig::tiny(),
+            epochs: 2,
+            ..Default::default()
+        },
+    )
+    .expect("GCA fits on this network");
+    assert_usable(&net, &gca.embeddings, "GCA");
+
+    let rne = Rne::train(
+        &net,
+        &RneConfig {
+            d: 16,
+            sources: 20,
+            epochs: 4,
+            ..Default::default()
+        },
+    );
+    assert_usable(&net, &rne.embeddings, "RNE");
+}
+
+#[test]
+fn hrnr_trains_end_to_end_through_the_task_harness() {
+    let net = network();
+    let hrnr = Hrnr::new(&net, &HrnrConfig::tiny()).unwrap();
+    let d = 16;
+    let store = hrnr.store.clone();
+    let mut src = EmbeddingSource::trainable_model(
+        Box::new(move |g, s| hrnr.forward_with(g, s)),
+        store,
+        d,
+    );
+    let r = road_property(
+        &net,
+        &mut src,
+        &RoadPropertyConfig {
+            epochs: 15,
+            ..Default::default()
+        },
+    );
+    assert!((0.0..=100.0).contains(&r.f1_pct));
+}
+
+#[test]
+fn quadratic_memory_methods_oom_like_the_paper() {
+    // A budget below the SF requirement: both GCA and HRNR must refuse.
+    let net = network();
+    let tiny_budget = MemoryBudget { bytes: 4096 };
+    let gca = Gca::train(
+        &net,
+        &GcaConfig {
+            backbone: GclBackboneConfig::tiny(),
+            memory: tiny_budget,
+            ..Default::default()
+        },
+    );
+    assert!(matches!(gca, Err(TrainError::OutOfMemory { .. })));
+    let hrnr = Hrnr::new(
+        &net,
+        &HrnrConfig {
+            memory: tiny_budget,
+            ..HrnrConfig::tiny()
+        },
+    );
+    assert!(matches!(hrnr, Err(TrainError::OutOfMemory { .. })));
+}

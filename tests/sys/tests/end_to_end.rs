@@ -1,0 +1,142 @@
+//! End-to-end pipeline: synthetic city -> SARN training -> all three
+//! downstream tasks.
+
+use sarn_core::{train, SarnConfig};
+use sarn_roadnet::{City, RoadNetwork, SynthConfig};
+use sarn_tasks::{
+    road_property, spd, traj_sim, EmbeddingSource, RoadPropertyConfig, SpdConfig, TrajSimConfig,
+};
+use sarn_traj::{TrajDataset, TrajGenConfig};
+
+fn network() -> RoadNetwork {
+    let mut cfg = SynthConfig::city(City::SanFrancisco).scaled(0.3);
+    cfg.label_frac = 0.3;
+    cfg.generate()
+}
+
+fn sarn_cfg() -> SarnConfig {
+    let mut cfg = SarnConfig::tiny();
+    cfg.max_epochs = 6;
+    cfg
+}
+
+#[test]
+fn sarn_embeddings_drive_all_three_tasks() {
+    let net = network();
+    let trained = train(&net, &sarn_cfg());
+    assert_eq!(trained.embeddings.rows(), net.num_segments());
+
+    // Task 1: road property prediction.
+    let mut src = EmbeddingSource::frozen(&trained.embeddings);
+    let prop = road_property(
+        &net,
+        &mut src,
+        &RoadPropertyConfig {
+            epochs: 40,
+            ..Default::default()
+        },
+    );
+    assert!((0.0..=100.0).contains(&prop.f1_pct));
+    assert!(prop.auc_pct > 40.0, "AUC {} is worse than chance", prop.auc_pct);
+
+    // Task 2: trajectory similarity.
+    let gen = TrajGenConfig {
+        count: 50,
+        min_segments: 6,
+        max_segments: 15,
+        ..Default::default()
+    };
+    let data = TrajDataset::build(&net, &gen, 15);
+    let mut src = EmbeddingSource::frozen(&trained.embeddings);
+    let ts = traj_sim(&net, &data, &mut src, &TrajSimConfig::tiny());
+    assert!((0.0..=100.0).contains(&ts.hr5_pct));
+    assert!(ts.hr20_pct >= ts.hr5_pct * 0.5, "HR@20 {} vs HR@5 {}", ts.hr20_pct, ts.hr5_pct);
+
+    // Task 3: shortest-path distance.
+    let mut src = EmbeddingSource::frozen(&trained.embeddings);
+    let sr = spd(&net, &mut src, &SpdConfig::tiny());
+    assert!(sr.mae_m.is_finite() && sr.mae_m > 0.0);
+    assert!(sr.mre_pct < 200.0, "MRE {}", sr.mre_pct);
+}
+
+#[test]
+fn sarn_star_finetuning_runs_and_changes_the_encoder() {
+    let net = network();
+    let trained = train(&net, &sarn_cfg());
+    let before = trained.embeddings.clone();
+    let mut src = EmbeddingSource::sarn_finetune(&trained);
+    let _ = road_property(
+        &net,
+        &mut src,
+        &RoadPropertyConfig {
+            epochs: 15,
+            ..Default::default()
+        },
+    );
+    // The fine-tuned store differs from the original on the last GAT layer
+    // only.
+    let last: std::collections::HashSet<usize> = trained
+        .model
+        .last_gat_layer_ids()
+        .iter()
+        .map(|p| p.index())
+        .collect();
+    let mut changed = 0;
+    let mut frozen_changed = 0;
+    for id in trained.model.store.ids() {
+        let a = trained.model.store.value(id);
+        let b = src.store.value(id);
+        let diff = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .any(|(x, y)| (x - y).abs() > 1e-7);
+        if diff {
+            if last.contains(&id.index()) {
+                changed += 1;
+            } else {
+                frozen_changed += 1;
+            }
+        }
+    }
+    assert!(changed > 0, "fine-tuning did not touch the last GAT layer");
+    assert_eq!(frozen_changed, 0, "fine-tuning leaked into frozen layers");
+    let _ = before;
+}
+
+#[test]
+fn sarn_beats_untrained_embeddings_on_trajectory_retrieval() {
+    let net = network();
+    let trained = train(&net, &sarn_cfg());
+    let gen = TrajGenConfig {
+        count: 60,
+        min_segments: 6,
+        max_segments: 15,
+        seed: 3,
+        ..Default::default()
+    };
+    let data = TrajDataset::build(&net, &gen, 15);
+    let mut probe = TrajSimConfig::tiny();
+    probe.epochs = 5;
+    probe.pairs_per_epoch = 250;
+
+    let mut src = EmbeddingSource::frozen(&trained.embeddings);
+    let good = traj_sim(&net, &data, &mut src, &probe);
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let random = sarn_tensor::init::normal(
+        &mut rng,
+        net.num_segments(),
+        trained.embeddings.cols(),
+        1.0,
+    );
+    let mut src = EmbeddingSource::frozen(&random);
+    let bad = traj_sim(&net, &data, &mut src, &probe);
+    assert!(
+        good.hr20_pct >= bad.hr20_pct,
+        "SARN {} vs random {}",
+        good.hr20_pct,
+        bad.hr20_pct
+    );
+}
