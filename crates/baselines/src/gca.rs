@@ -131,6 +131,17 @@ impl Gca {
     }
 }
 
+/// In-place row L2 normalization (cosine-similarity InfoNCE).
+fn normalize_rows(t: &mut Tensor) {
+    for i in 0..t.rows() {
+        let row = t.row_slice_mut(i);
+        let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,18 +171,10 @@ mod tests {
         };
         match Gca::train(&net, &cfg) {
             Err(TrainError::OutOfMemory { .. }) => {}
-            other => panic!("expected OOM, got {:?}", other.map(|m| m.embeddings.shape())),
-        }
-    }
-}
-
-/// In-place row L2 normalization (cosine-similarity InfoNCE).
-fn normalize_rows(t: &mut Tensor) {
-    for i in 0..t.rows() {
-        let row = t.row_slice_mut(i);
-        let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-        for v in row.iter_mut() {
-            *v /= n;
+            other => panic!(
+                "expected OOM, got {:?}",
+                other.map(|m| m.embeddings.shape())
+            ),
         }
     }
 }

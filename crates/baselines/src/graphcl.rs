@@ -66,8 +66,7 @@ impl GraphCl {
         let backbone = GclBackbone::new(net, &cfg.backbone, cfg.seed);
         let mut backbone = backbone;
         let mut opt = Adam::new(cfg.lr);
-        let edges: Vec<(usize, usize)> =
-            net.topo_edges().iter().map(|&(i, j, _)| (i, j)).collect();
+        let edges: Vec<(usize, usize)> = net.topo_edges().iter().map(|&(i, j, _)| (i, j)).collect();
         let full = view_from(&edges, n, 0.0, &mut rng);
         let mut order: Vec<usize> = (0..n).collect();
         let mut loss_history = Vec::new();
@@ -122,17 +121,23 @@ impl GraphCl {
 }
 
 /// Uniformly drops a fraction of directed edges and builds the message index.
-fn view_from(
-    edges: &[(usize, usize)],
-    n: usize,
-    drop_rate: f64,
-    rng: &mut StdRng,
-) -> EdgeIndex {
+fn view_from(edges: &[(usize, usize)], n: usize, drop_rate: f64, rng: &mut StdRng) -> EdgeIndex {
     let kept = edges
         .iter()
         .filter(|_| !rng.gen_bool(drop_rate))
         .map(|&(i, j)| (j, i));
     EdgeIndex::with_self_loops(n, kept)
+}
+
+/// In-place row L2 normalization (cosine-similarity InfoNCE).
+fn normalize_rows(t: &mut Tensor) {
+    for i in 0..t.rows() {
+        let row = t.row_slice_mut(i);
+        let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,16 +161,5 @@ mod tests {
         let first = m.loss_history[0];
         let last = *m.loss_history.last().unwrap();
         assert!(last < first, "loss did not drop: {first} -> {last}");
-    }
-}
-
-/// In-place row L2 normalization (cosine-similarity InfoNCE).
-fn normalize_rows(t: &mut Tensor) {
-    for i in 0..t.rows() {
-        let row = t.row_slice_mut(i);
-        let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-        for v in row.iter_mut() {
-            *v /= n;
-        }
     }
 }

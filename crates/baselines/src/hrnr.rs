@@ -104,7 +104,8 @@ impl Hrnr {
         let feats = DiscretizedFeatures::from_network(net);
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let femb = FeatureEmbedding::new(&mut store, &mut rng, "hrnr.femb", &feats, cfg.d_per_feature);
+        let femb =
+            FeatureEmbedding::new(&mut store, &mut rng, "hrnr.femb", &feats, cfg.d_per_feature);
         let encoder = GatEncoder::new(
             &mut store,
             &mut rng,
@@ -128,10 +129,7 @@ impl Hrnr {
         let region_alpha = mean_pool_alpha(&region_of, region_grid.num_cells());
         let zone_alpha = mean_pool_alpha(&zone_of, zone_grid.num_cells());
 
-        let edges = EdgeIndex::with_self_loops(
-            n,
-            net.topo_edges().iter().map(|&(i, j, _)| (j, i)),
-        );
+        let edges = EdgeIndex::with_self_loops(n, net.topo_edges().iter().map(|&(i, j, _)| (j, i)));
         Ok(Self {
             feats,
             femb,

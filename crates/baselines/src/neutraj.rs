@@ -83,7 +83,12 @@ pub struct Neutraj {
 impl Neutraj {
     /// Trains NEUTRAJ on the trajectories at `train_idx` with Fréchet
     /// ground-truth targets.
-    pub fn train(net: &RoadNetwork, data: &TrajDataset, train_idx: &[usize], cfg: &NeutrajConfig) -> Self {
+    pub fn train(
+        net: &RoadNetwork,
+        data: &TrajDataset,
+        train_idx: &[usize],
+        cfg: &NeutrajConfig,
+    ) -> Self {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
@@ -118,10 +123,14 @@ impl Neutraj {
                 .filter(|(a, b)| a != b)
                 .collect();
             for chunk in pairs.chunks(cfg.batch_size) {
-                let lhs: Vec<&MatchedTrajectory> =
-                    chunk.iter().map(|&(a, _)| &data.trajectories[train_idx[a]]).collect();
-                let rhs: Vec<&MatchedTrajectory> =
-                    chunk.iter().map(|&(_, b)| &data.trajectories[train_idx[b]]).collect();
+                let lhs: Vec<&MatchedTrajectory> = chunk
+                    .iter()
+                    .map(|&(a, _)| &data.trajectories[train_idx[a]])
+                    .collect();
+                let rhs: Vec<&MatchedTrajectory> = chunk
+                    .iter()
+                    .map(|&(_, b)| &data.trajectories[train_idx[b]])
+                    .collect();
                 let target = Tensor::col(
                     &chunk
                         .iter()

@@ -5,8 +5,8 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sarn_roadnet::RoadNetwork;
 use sarn_graph::{BiasedWalker, WalkConfig};
+use sarn_roadnet::RoadNetwork;
 use sarn_tensor::{init, Tensor};
 
 /// node2vec hyper-parameters.
@@ -73,11 +73,10 @@ impl Node2Vec {
                 for (c, &center) in walk.iter().enumerate() {
                     let lo = c.saturating_sub(cfg.window);
                     let hi = (c + cfg.window + 1).min(walk.len());
-                    for t in lo..hi {
+                    for (t, &context) in walk.iter().enumerate().take(hi).skip(lo) {
                         if t == c {
                             continue;
                         }
-                        let context = walk[t];
                         sgd_pair(&mut emb_in, &mut emb_out, center, context, true, cfg.lr);
                         for _ in 0..cfg.negatives {
                             let neg = rng.gen_range(0..n);

@@ -78,8 +78,8 @@ impl Rne {
                 }
             }
         }
-        let scale_m = (triples.iter().map(|t| t.2).sum::<f64>() / triples.len().max(1) as f64)
-            .max(1.0);
+        let scale_m =
+            (triples.iter().map(|t| t.2).sum::<f64>() / triples.len().max(1) as f64).max(1.0);
 
         let mut store = ParamStore::new();
         let table = store.add("rne.table", init::normal(&mut rng, n, cfg.d, 0.1));
@@ -137,9 +137,9 @@ mod tests {
             .generate();
         let cfg = RneConfig {
             d: 16,
-            sources: 30,
-            pairs_per_source: 80,
-            epochs: 12,
+            sources: 60,
+            pairs_per_source: 120,
+            epochs: 40,
             ..Default::default()
         };
         let m = Rne::train(&net, &cfg);
@@ -150,7 +150,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let mut preds = Vec::new();
         let mut trues = Vec::new();
-        while preds.len() < 60 {
+        while preds.len() < 200 {
             let i = rng.gen_range(0..net.num_segments());
             let j = rng.gen_range(0..net.num_segments());
             if i == j {

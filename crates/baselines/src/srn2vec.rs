@@ -88,7 +88,10 @@ impl Srn2Vec {
                 let cell = grid.cell_of(&net.segment(i).midpoint());
                 let nearby = grid.neighborhood(cell, 1);
                 let cands = &members[nearby[rng.gen_range(0..nearby.len())]];
-                if let Some(&j) = cands.get(rng.gen_range(0..cands.len().max(1)).min(cands.len().saturating_sub(1))) {
+                if let Some(&j) = cands.get(
+                    rng.gen_range(0..cands.len().max(1))
+                        .min(cands.len().saturating_sub(1)),
+                ) {
                     if i != j {
                         pairs.push((i, j));
                     }
@@ -108,10 +111,7 @@ impl Srn2Vec {
                 let y_close: Vec<usize> = chunk
                     .iter()
                     .map(|&(i, j)| {
-                        let d = haversine_m(
-                            &net.segment(i).midpoint(),
-                            &net.segment(j).midpoint(),
-                        );
+                        let d = haversine_m(&net.segment(i).midpoint(), &net.segment(j).midpoint());
                         usize::from(d < cfg.close_m)
                     })
                     .collect();

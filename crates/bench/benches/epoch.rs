@@ -1,0 +1,50 @@
+//! Serial vs. parallel wall-clock for one SARN training epoch.
+//!
+//! Each benchmark runs `sarn_core::train` for exactly one epoch — spatial
+//! similarity build, two-view augmentation, every mini-batch forward /
+//! backward, queue maintenance — at three network scales, once on the
+//! serial path (`num_threads = 1`) and once on the parallel backend
+//! (`num_threads = 4`). Because every kernel is deterministic, the two
+//! configurations compute identical numbers; only the wall-clock differs.
+//!
+//! On a single-core host the parallel rows measure pure backend overhead
+//! (thread spawns with no extra cores to absorb them); the ≥2x headline
+//! requires a multi-core machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sarn_core::{train, SarnConfig};
+use sarn_roadnet::{City, RoadNetwork, SynthConfig};
+
+/// (label, lattice scale): ~170, ~560, and ~1350 segments.
+const SCALES: [(&str, f64); 3] = [("small", 0.3), ("medium", 0.5), ("large", 0.8)];
+
+fn epoch_config(threads: usize) -> SarnConfig {
+    let mut cfg = SarnConfig::small();
+    cfg.max_epochs = 1;
+    cfg.patience = 1;
+    cfg.num_threads = threads;
+    cfg
+}
+
+fn bench_epoch_at(c: &mut Criterion, label: &str, net: &RoadNetwork) {
+    for threads in [1usize, 4] {
+        let cfg = epoch_config(threads);
+        let name = format!("train_epoch_{label}_{}threads", threads);
+        c.bench_function(&name, |b| b.iter(|| train(net, &cfg)));
+    }
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    for (label, scale) in SCALES {
+        let net = SynthConfig::city(City::Chengdu).scaled(scale).generate();
+        println!("network '{label}': {} segments", net.num_segments());
+        bench_epoch_at(c, label, &net);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench_epochs
+}
+criterion_main!(benches);

@@ -20,10 +20,17 @@ fn main() {
     let data = scale.trajectories(&net, scale.max_traj_segments, 500);
 
     if arg == "d" || arg == "all" {
-        sweep(&scale, &net, &data, "Figure 6a: embedding dimensionality d", &[16, 32, 64, 128], |cfg, &d| {
-            cfg.d = d;
-            cfg.d_z = d / 2;
-        });
+        sweep(
+            &scale,
+            &net,
+            &data,
+            "Figure 6a: embedding dimensionality d",
+            &[16, 32, 64, 128],
+            |cfg, &d| {
+                cfg.d = d;
+                cfg.d_z = d / 2;
+            },
+        );
     }
     if arg == "clen" || arg == "all" {
         // The paper sweeps 200-800 m on a ~5.7 km region; sweep the same
@@ -31,31 +38,47 @@ fn main() {
         let extent = net.bbox().width_m().max(net.bbox().height_m());
         let fracs = [0.035, 0.07, 0.105, 0.14, 0.2];
         let values: Vec<usize> = fracs.iter().map(|f| (f * extent) as usize).collect();
-        sweep(&scale, &net, &data, "Figure 6b: cell side length clen (m)", &values, |cfg, &c| {
-            cfg.clen_m = c as f64;
-        });
+        sweep(
+            &scale,
+            &net,
+            &data,
+            "Figure 6b: cell side length clen (m)",
+            &values,
+            |cfg, &c| {
+                cfg.clen_m = c as f64;
+            },
+        );
     }
     if arg == "lambda" || arg == "all" {
-        sweep(&scale, &net, &data, "Figure 6c: loss trade-off lambda", &[0, 20, 40, 60, 80, 100], |cfg, &l| {
-            cfg.lambda = l as f32 / 100.0;
-        });
+        sweep(
+            &scale,
+            &net,
+            &data,
+            "Figure 6c: loss trade-off lambda",
+            &[0, 20, 40, 60, 80, 100],
+            |cfg, &l| {
+                cfg.lambda = l as f32 / 100.0;
+            },
+        );
     }
     if arg == "k" || arg == "all" {
-        sweep(&scale, &net, &data, "Figure 6d: total negative-queue size K", &[250, 500, 1000, 2000, 4000], |cfg, &k| {
-            cfg.total_k = k;
-        });
+        sweep(
+            &scale,
+            &net,
+            &data,
+            "Figure 6d: total negative-queue size K",
+            &[250, 500, 1000, 2000, 4000],
+            |cfg, &k| {
+                cfg.total_k = k;
+            },
+        );
     }
     if arg == "rho" || arg == "all" {
         rho_heatmap(&scale, &net, &data);
     }
 }
 
-fn hr_for(
-    net: &RoadNetwork,
-    data: &TrajDataset,
-    cfg: &SarnConfig,
-    seed: u64,
-) -> (f64, f64) {
+fn hr_for(net: &RoadNetwork, data: &TrajDataset, cfg: &SarnConfig, seed: u64) -> (f64, f64) {
     let mut cfg = cfg.clone();
     cfg.seed = seed;
     let trained = sarn_train(net, &cfg);

@@ -8,7 +8,10 @@ use sarn_roadnet::City;
 fn main() {
     let scale = ExperimentScale::from_env();
     let mut table = Table::new(
-        format!("Table 3: Road Network Datasets (net_scale={})", scale.net_scale),
+        format!(
+            "Table 3: Road Network Datasets (net_scale={})",
+            scale.net_scale
+        ),
         &["", "CD", "BJ", "SF"],
     );
     let cities = [City::Chengdu, City::Beijing, City::SanFrancisco];

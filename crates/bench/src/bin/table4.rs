@@ -17,7 +17,9 @@ fn main() {
             "Table 4: Road Property Prediction (F1% / AUC%), {} seed(s)",
             scale.seeds
         ),
-        &["Method", "CD F1", "CD AUC", "BJ F1", "BJ AUC", "SF F1", "SF AUC"],
+        &[
+            "Method", "CD F1", "CD AUC", "BJ F1", "BJ AUC", "SF F1", "SF AUC",
+        ],
     );
     for method in methods {
         let mut cells = vec![method.label()];

@@ -20,7 +20,10 @@ fn main() {
 
     for (metric_idx, metric_name) in ["HR@5 (%)", "HR@20 (%)", "R5@20 (%)"].iter().enumerate() {
         let mut table = Table::new(
-            format!("Table 7: {} vs max segments per trajectory (BJ)", metric_name),
+            format!(
+                "Table 7: {} vs max segments per trajectory (BJ)",
+                metric_name
+            ),
             &[
                 "Method",
                 &lengths[0].to_string(),

@@ -19,7 +19,11 @@ fn main() {
     ];
     let nets: Vec<_> = cities.iter().map(|&c| scale.network(c)).collect();
     for (c, n) in cities.iter().zip(&nets) {
-        eprintln!("[table8] {} has {} segments", c.short_name(), n.num_segments());
+        eprintln!(
+            "[table8] {} has {} segments",
+            c.short_name(),
+            n.num_segments()
+        );
     }
     let trajs: Vec<_> = nets
         .iter()
@@ -59,7 +63,11 @@ fn main() {
     };
 
     for method in frozen_methods {
-        let (mut f1c, mut hrc, mut mrec) = (vec![method.label()], vec![method.label()], vec![method.label()]);
+        let (mut f1c, mut hrc, mut mrec) = (
+            vec![method.label()],
+            vec![method.label()],
+            vec![method.label()],
+        );
         for (net, data) in nets.iter().zip(&trajs) {
             let (mut f1, mut hr5, mut mre) = (Vec::new(), Vec::new(), Vec::new());
             for s in 0..scale.seeds {
@@ -84,7 +92,11 @@ fn main() {
     }
 
     for method in live_methods {
-        let (mut f1c, mut hrc, mut mrec) = (vec![method.label()], vec![method.label()], vec![method.label()]);
+        let (mut f1c, mut hrc, mut mrec) = (
+            vec![method.label()],
+            vec![method.label()],
+            vec![method.label()],
+        );
         for (net, data) in nets.iter().zip(&trajs) {
             let (mut f1, mut hr5, mut mre) = (Vec::new(), Vec::new(), Vec::new());
             for s in 0..scale.seeds {

@@ -7,8 +7,8 @@ use sarn_baselines::{
 use sarn_core::{train as sarn_train, SarnVariant};
 use sarn_roadnet::RoadNetwork;
 use sarn_tasks::{
-    metrics, road_property, spd, traj_sim, EmbeddingSource, RoadPropertyConfig,
-    RoadPropertyResult, SpdConfig, SpdResult, TrajSimConfig, TrajSimResult,
+    metrics, road_property, spd, traj_sim, EmbeddingSource, RoadPropertyConfig, RoadPropertyResult,
+    SpdConfig, SpdResult, TrajSimConfig, TrajSimResult,
 };
 use sarn_tensor::Tensor;
 use sarn_traj::{split_indices, MatchedTrajectory, TrajDataset};
@@ -238,7 +238,14 @@ pub fn eval_road_property(
             Ok(road_property(net, &mut src, &cfg))
         }
         Method::Hrnr => {
-            let hrnr = Hrnr::new(net, &HrnrConfig { seed, memory: memory_budget(), ..Default::default() })?;
+            let hrnr = Hrnr::new(
+                net,
+                &HrnrConfig {
+                    seed,
+                    memory: memory_budget(),
+                    ..Default::default()
+                },
+            )?;
             let store = hrnr.store.clone();
             let mut src = EmbeddingSource::trainable_model(
                 Box::new(move |g, s| hrnr.forward_with(g, s)),
@@ -272,7 +279,14 @@ pub fn eval_traj_sim(
             Ok(traj_sim(net, data, &mut src, &cfg))
         }
         Method::Hrnr => {
-            let hrnr = Hrnr::new(net, &HrnrConfig { seed, memory: memory_budget(), ..Default::default() })?;
+            let hrnr = Hrnr::new(
+                net,
+                &HrnrConfig {
+                    seed,
+                    memory: memory_budget(),
+                    ..Default::default()
+                },
+            )?;
             let store = hrnr.store.clone();
             let mut src = EmbeddingSource::trainable_model(
                 Box::new(move |g, s| hrnr.forward_with(g, s)),
@@ -305,7 +319,14 @@ pub fn eval_spd(
             Ok(spd(net, &mut src, &cfg))
         }
         Method::Hrnr => {
-            let hrnr = Hrnr::new(net, &HrnrConfig { seed, memory: memory_budget(), ..Default::default() })?;
+            let hrnr = Hrnr::new(
+                net,
+                &HrnrConfig {
+                    seed,
+                    memory: memory_budget(),
+                    ..Default::default()
+                },
+            )?;
             let store = hrnr.store.clone();
             let mut src = EmbeddingSource::trainable_model(
                 Box::new(move |g, s| hrnr.forward_with(g, s)),
@@ -335,8 +356,7 @@ fn eval_neutraj(net: &RoadNetwork, data: &TrajDataset, seed: u64) -> TrajSimResu
         ..Default::default()
     };
     let model = Neutraj::train(net, data, &train, &cfg);
-    let test_refs: Vec<&MatchedTrajectory> =
-        test.iter().map(|&i| &data.trajectories[i]).collect();
+    let test_refs: Vec<&MatchedTrajectory> = test.iter().map(|&i| &data.trajectories[i]).collect();
     let emb = model.embed(net, &test_refs);
     let truth = data.frechet_matrix(net, &test);
     let k = test.len();

@@ -17,6 +17,9 @@ pub struct ExperimentScale {
     pub traj_count: usize,
     /// Maximum segments per trajectory (paper default: 60).
     pub max_traj_segments: usize,
+    /// Worker threads for the parallel compute backend (`SARN_NUM_THREADS`;
+    /// `0` = automatic, `1` = serial).
+    pub num_threads: usize,
 }
 
 impl ExperimentScale {
@@ -35,6 +38,7 @@ impl ExperimentScale {
             epochs: get("SARN_EPOCHS", 15.0) as usize,
             traj_count: get("SARN_TRAJ_COUNT", 140.0) as usize,
             max_traj_segments: get("SARN_MAX_TRAJ_SEGMENTS", 30.0) as usize,
+            num_threads: get("SARN_NUM_THREADS", 1.0) as usize,
         }
     }
 
@@ -77,6 +81,7 @@ impl ExperimentScale {
         cfg.max_epochs = self.epochs;
         cfg.patience = (self.epochs as u32 / 3).max(3);
         cfg.seed = seed;
+        cfg.num_threads = self.num_threads;
         cfg
     }
 
@@ -105,6 +110,7 @@ mod tests {
             epochs: 2,
             traj_count: 20,
             max_traj_segments: 15,
+            num_threads: 1,
         };
         let net = s.network(City::Chengdu);
         assert!(net.num_segments() > 100);

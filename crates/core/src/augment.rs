@@ -11,7 +11,7 @@
 
 use std::collections::HashSet;
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use sarn_tensor::layers::EdgeIndex;
 
 /// Augmentation parameters.
@@ -128,6 +128,20 @@ impl Augmenter {
             self.topo.iter().map(|&(i, j, _)| (i, j)),
             self.spatial.iter().map(|&(i, j, _)| (i, j)),
         )
+    }
+
+    /// Generates one corrupted view from a dedicated RNG stream.
+    ///
+    /// The stream is owned by this call, so the result depends only on
+    /// `seed` — not on the calling thread or on any other sampling running
+    /// concurrently. The training loop draws one seed per view from its
+    /// main RNG and runs the two views through [`sarn_par::join`]; because
+    /// each view replays exactly the serial draw order of
+    /// [`Augmenter::corrupt`] under its own stream, the views are
+    /// bit-identical at every thread count.
+    pub fn corrupt_with_seed(&self, seed: u64) -> GraphView {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.corrupt(&mut rng)
     }
 
     /// Generates one corrupted view.
@@ -267,10 +281,7 @@ mod tests {
                 light += 1; // weight 2.0 edge
             }
         }
-        assert!(
-            heavy > light + 40,
-            "heavy kept {heavy}, light kept {light}"
-        );
+        assert!(heavy > light + 40, "heavy kept {heavy}, light kept {light}");
     }
 
     #[test]
@@ -286,7 +297,10 @@ mod tests {
                 break;
             }
         }
-        assert!(removed_once, "epsilon clamp failed to keep heavy edge mortal");
+        assert!(
+            removed_once,
+            "epsilon clamp failed to keep heavy edge mortal"
+        );
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct SarnConfig {
     pub patience: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the parallel compute backend: `0` = automatic
+    /// (`RAYON_NUM_THREADS`, then the machine), `1` = serial (default),
+    /// `n` = exactly `n`. Results are identical at every setting — the
+    /// backend only splits work, never reorders accumulation.
+    pub num_threads: usize,
     /// Active components.
     pub variant: SarnVariant,
     /// InfoNCE similarity (design-choice ablation; default cosine).
@@ -131,6 +136,7 @@ impl Default for SarnConfig {
             max_epochs: 200,
             patience: 20,
             seed: 1,
+            num_threads: 1,
             variant: SarnVariant::Full,
             loss_similarity: LossSimilarity::Cosine,
             readout: Readout::Mean,
@@ -181,6 +187,13 @@ impl SarnConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the worker-thread count of the parallel compute backend
+    /// (`0` = automatic, `1` = serial, `n` = exactly `n`).
+    pub fn with_num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +214,9 @@ mod tests {
         assert_eq!(c.max_epochs, 200);
         assert_eq!(c.patience, 20);
         assert_eq!(c.batch_size, 128);
+        // The compute backend defaults to the serial path.
+        assert_eq!(c.num_threads, 1);
+        assert_eq!(c.with_num_threads(4).num_threads, 4);
     }
 
     #[test]

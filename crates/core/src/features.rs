@@ -204,10 +204,8 @@ mod tests {
         let mut found = false;
         'outer: for i in 0..net.num_segments() {
             for j in (i + 1)..net.num_segments() {
-                let d = sarn_geo::haversine_m(
-                    &net.segment(i).midpoint(),
-                    &net.segment(j).midpoint(),
-                );
+                let d =
+                    sarn_geo::haversine_m(&net.segment(i).midpoint(), &net.segment(j).midpoint());
                 if d < 10.0 {
                     let agree = (3..7).filter(|&c| f.id(i, c) == f.id(j, c)).count();
                     assert!(agree >= 2, "only {agree} coord bins agree");

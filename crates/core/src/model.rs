@@ -144,7 +144,12 @@ mod tests {
         let (_, mut model, idx) = setup();
         // Perturb the query branch.
         for id in model.all_param_ids() {
-            model.store.value_mut(id).data_mut().iter_mut().for_each(|v| *v += 0.1);
+            model
+                .store
+                .value_mut(id)
+                .data_mut()
+                .iter_mut()
+                .for_each(|v| *v += 0.1);
         }
         let before = model.embed_detached(&model.store_momentum, &idx);
         model.momentum_update(0.5);

@@ -20,6 +20,9 @@ use sarn_tensor::Tensor;
 
 use crate::config::Readout;
 
+/// Below this many cells the batched readout stays serial.
+const PAR_MIN_CELLS: usize = 16;
+
 /// Per-cell embedding queues over a road network.
 pub struct CellQueues {
     grid: Grid,
@@ -176,8 +179,15 @@ impl CellQueues {
 
     /// Readouts of every cell, computed once (for batched candidate
     /// assembly — the readouts are shared by all anchors of a mini-batch).
+    /// Cells are independent, so ranges of them are reduced concurrently
+    /// when the parallel backend is enabled; each readout is produced by
+    /// exactly one thread with the serial accumulation order, and the
+    /// per-range results concatenate back into cell order.
     pub fn all_readouts(&self) -> Vec<Option<Vec<f32>>> {
-        (0..self.num_cells()).map(|c| self.readout(c)).collect()
+        let parts = sarn_par::par_ranges(self.num_cells(), PAR_MIN_CELLS, |range| {
+            range.map(|c| self.readout(c)).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
     }
 
     /// Like [`CellQueues::global_candidates`] but assembling from
@@ -189,9 +199,7 @@ impl CellQueues {
         fallback_positive: &[f32],
     ) -> Tensor {
         let own = self.segment_cell[seg];
-        let pos = readouts[own]
-            .as_deref()
-            .unwrap_or(fallback_positive);
+        let pos = readouts[own].as_deref().unwrap_or(fallback_positive);
         let mut rows = 1;
         let mut data = Vec::with_capacity(readouts.len() * self.dim);
         data.extend_from_slice(pos);
@@ -277,7 +285,9 @@ mod tests {
         q.push(0, &[3.0, 4.0, 5.0, 6.0]);
         let r = q.readout(q.cell_of_segment(0)).unwrap();
         assert_eq!(r, vec![2.0, 3.0, 4.0, 5.0]);
-        assert!(q.readout(q.num_cells() - 1).is_none() || q.cell_of_segment(0) == q.num_cells() - 1);
+        assert!(
+            q.readout(q.num_cells() - 1).is_none() || q.cell_of_segment(0) == q.num_cells() - 1
+        );
     }
 
     #[test]

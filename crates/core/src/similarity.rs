@@ -9,12 +9,20 @@
 //! this keeps `A^s` as sparse as the paper's Table 3 reports).
 //!
 //! Construction uses a `δ_ds`-sized spatial hash, so the cost is near-linear
-//! in the number of segments instead of `O(n^2)`.
+//! in the number of segments instead of `O(n^2)`. When the parallel backend
+//! is enabled (see [`sarn_par::set_num_threads`]), segments are partitioned
+//! into contiguous index ranges scanned concurrently; each range emits its
+//! edges in the serial scan order and the per-range results are concatenated
+//! in range order, so the edge list is identical to the serial build.
 
 use std::f64::consts::PI;
 
 use sarn_geo::{angular_distance, haversine_m, Grid};
 use sarn_roadnet::RoadNetwork;
+
+/// Below this many segments the build stays serial: the whole scan is
+/// cheaper than a thread spawn.
+const PAR_MIN_SEGMENTS: usize = 512;
 
 /// Parameters of `A^s`.
 #[derive(Clone, Copy, Debug)]
@@ -51,20 +59,26 @@ impl SpatialSimilarity {
         for (i, mp) in midpoints.iter().enumerate() {
             cell_members[grid.cell_of(mp)].push(i);
         }
-        let mut edges = Vec::new();
-        for (i, mp) in midpoints.iter().enumerate() {
-            for cell in grid.neighborhood(grid.cell_of(mp), 1) {
-                for &j in &cell_members[cell] {
-                    if j <= i {
-                        continue;
-                    }
-                    if let Some(w) = pairwise_similarity(net, i, j, cfg) {
-                        edges.push((i, j, w));
+        let parts = sarn_par::par_ranges(n, PAR_MIN_SEGMENTS, |range| {
+            let mut edges = Vec::new();
+            for i in range {
+                let mp = &midpoints[i];
+                for cell in grid.neighborhood(grid.cell_of(mp), 1) {
+                    for &j in &cell_members[cell] {
+                        if j <= i {
+                            continue;
+                        }
+                        if let Some(w) = pairwise_similarity(net, i, j, cfg) {
+                            edges.push((i, j, w));
+                        }
                     }
                 }
             }
+            edges
+        });
+        Self {
+            edges: parts.into_iter().flatten().collect(),
         }
-        Self { edges }
     }
 
     /// Undirected spatial edges `(i, j, A^s_{i,j})` with `i < j`.

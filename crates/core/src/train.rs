@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use sarn_roadnet::RoadNetwork;
 use sarn_tensor::layers::EdgeIndex;
 use sarn_tensor::optim::{Adam, CosineAnnealing, EarlyStopping};
@@ -43,7 +43,9 @@ impl SarnTrained {
     /// Recomputes embeddings from the current query store (after
     /// fine-tuning the model in place).
     pub fn refresh_embeddings(&mut self) {
-        self.embeddings = self.model.embed_detached(&self.model.store, &self.full_edges);
+        self.embeddings = self
+            .model
+            .embed_detached(&self.model.store, &self.full_edges);
     }
 
     /// Persists the embeddings and both parameter branches to
@@ -52,14 +54,18 @@ impl SarnTrained {
         let stem = stem.as_ref();
         self.embeddings.save(stem.with_extension("emb"))?;
         self.model.store.save(stem.with_extension("query"))?;
-        self.model.store_momentum.save(stem.with_extension("momentum"))
+        self.model
+            .store_momentum
+            .save(stem.with_extension("momentum"))
     }
 
     /// Restores parameters saved by [`SarnTrained::save`] into a model with
     /// the same configuration, then refreshes the embeddings.
     pub fn load_into(&mut self, stem: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let stem = stem.as_ref();
-        self.model.store.load_values_from(stem.with_extension("query"))?;
+        self.model
+            .store
+            .load_values_from(stem.with_extension("query"))?;
         self.model
             .store_momentum
             .load_values_from(stem.with_extension("momentum"))?;
@@ -72,21 +78,19 @@ impl SarnTrained {
 /// embeddings.
 pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
     let start = Instant::now();
+    sarn_par::set_num_threads(cfg.num_threads);
     let n = net.num_segments();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A4E);
 
     // Graph construction: A^t from the network, A^s per variant.
     let spatial_edges: Vec<(usize, usize, f64)> = if cfg.variant.uses_spatial_matrix() {
-        SpatialSimilarity::build(net, &cfg.similarity).edges().to_vec()
+        SpatialSimilarity::build(net, &cfg.similarity)
+            .edges()
+            .to_vec()
     } else {
         Vec::new()
     };
-    let augmenter = Augmenter::new(
-        n,
-        net.topo_edges().to_vec(),
-        spatial_edges,
-        cfg.augment,
-    );
+    let augmenter = Augmenter::new(n, net.topo_edges().to_vec(), spatial_edges, cfg.augment);
     let full_edges = augmenter.full_view().edge_index();
 
     let mut model = SarnModel::new(net, cfg);
@@ -105,14 +109,30 @@ pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
     for epoch in 0..cfg.max_epochs {
         epochs_run = epoch + 1;
         opt.set_lr(schedule.lr_at(epoch as u64));
-        let view1 = augmenter.corrupt(&mut rng).edge_index();
-        let view2 = augmenter.corrupt(&mut rng).edge_index();
+        // Two-view sampling: the seeds are drawn serially from the main
+        // stream (view 1's first), then each view is corrupted under its
+        // own stream — so the pair of views is the same whether the two
+        // tasks run concurrently or back-to-back.
+        let (seed1, seed2) = (rng.next_u64(), rng.next_u64());
+        let (view1, view2) = sarn_par::join(
+            || augmenter.corrupt_with_seed(seed1),
+            || augmenter.corrupt_with_seed(seed2),
+        );
+        let (view1, view2) = (view1.edge_index(), view2.edge_index());
         order.shuffle(&mut rng);
 
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for batch in order.chunks(cfg.batch_size) {
-            let loss = train_batch(&mut model, cfg, &view1, &view2, batch, &mut opt, queues.as_mut());
+            let loss = train_batch(
+                &mut model,
+                cfg,
+                &view1,
+                &view2,
+                batch,
+                &mut opt,
+                queues.as_mut(),
+            );
             epoch_loss += loss;
             batches += 1;
         }
@@ -145,7 +165,7 @@ fn train_batch(
     view2: &EdgeIndex,
     batch: &[usize],
     opt: &mut Adam,
-    mut queues: Option<&mut CellQueues>,
+    queues: Option<&mut CellQueues>,
 ) -> f32 {
     // Momentum branch on view 2, detached (gradients flow only into the
     // query branch, per MoCo). Projections are L2-normalized so the
@@ -213,7 +233,7 @@ fn train_batch(
     opt.step(&mut model.store);
     model.momentum_update(cfg.momentum);
 
-    if let Some(q) = queues.as_deref_mut() {
+    if let Some(q) = queues {
         for (&i, zp) in batch.iter().zip(&z_prime) {
             q.push(i, zp);
         }
@@ -344,7 +364,13 @@ mod tests {
         let mut trained = train(&net, &cfg);
         let before = trained.embeddings.clone();
         for id in trained.model.all_param_ids() {
-            trained.model.store.value_mut(id).data_mut().iter_mut().for_each(|v| *v += 0.05);
+            trained
+                .model
+                .store
+                .value_mut(id)
+                .data_mut()
+                .iter_mut()
+                .for_each(|v| *v += 0.05);
         }
         trained.refresh_embeddings();
         assert_ne!(before.data(), trained.embeddings.data());

@@ -5,10 +5,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sarn_core::{
     pairwise_similarity, weighted_sample_without_replacement, AugmentConfig, Augmenter,
-    SpatialSimilarityConfig,
+    SpatialSimilarity, SpatialSimilarityConfig,
 };
 use sarn_geo::Point;
-use sarn_roadnet::{HighwayClass, RoadNetwork, RoadSegment};
+use sarn_roadnet::{City, HighwayClass, RoadNetwork, RoadSegment, SynthConfig};
 
 fn seg(lat: f64, lon: f64, dlat: f64, dlon: f64) -> RoadSegment {
     RoadSegment::between(
@@ -110,6 +110,22 @@ proptest! {
     }
 
     #[test]
+    fn seeded_corruption_is_identical_across_thread_counts(
+        seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        let topo: Vec<(usize, usize, f64)> =
+            (0..40).map(|i| (i, i + 1, 1.0 + (i % 5) as f64)).collect();
+        let spatial: Vec<(usize, usize, f64)> =
+            (0..12).map(|i| (i, i + 3, 0.2 + 0.06 * (i % 9) as f64)).collect();
+        let aug = Augmenter::new(41, topo, spatial, AugmentConfig::default());
+        let serial = with_threads(1, || aug.corrupt_with_seed(seed));
+        let parallel = with_threads(threads, || aug.corrupt_with_seed(seed));
+        prop_assert_eq!(serial.topo, parallel.topo);
+        prop_assert_eq!(serial.spatial, parallel.spatial);
+    }
+
+    #[test]
     fn edge_index_self_loops_cover_all_vertices(seed in 0u64..100) {
         let topo: Vec<(usize, usize, f64)> = (0..7).map(|i| (i, (i + 1) % 8, 2.0)).collect();
         let aug = Augmenter::new(8, topo, Vec::new(), AugmentConfig::default());
@@ -117,10 +133,80 @@ proptest! {
         let idx = aug.corrupt(&mut rng).edge_index();
         // Every vertex appears as a center at least once (its self-loop),
         // so segment softmax is defined everywhere.
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for &c in idx.center.iter() {
             seen[c] = true;
         }
         prop_assert!(seen.iter().all(|&s| s));
+    }
+}
+
+/// Runs `f` under a temporary thread-count setting, restoring the serial
+/// default afterwards. The knob is process-global, but every primitive is
+/// deterministic at any setting, so concurrent tests observing a transient
+/// value still compute identical results.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    sarn_par::set_num_threads(n);
+    let r = f();
+    sarn_par::set_num_threads(1);
+    r
+}
+
+proptest! {
+    // These cases build a city-scale network each; a handful suffices.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn parallel_similarity_build_matches_serial(
+        delta_ds in 120.0f64..260.0,
+        threads in 2usize..6,
+    ) {
+        // 800 segments at scale 0.6 clear the build's 512-segment serial
+        // fallback, so the parallel range scan actually runs. The edge
+        // *list* (order included) must match the serial build exactly.
+        let net = SynthConfig::city(City::Chengdu).scaled(0.6).generate();
+        let cfg = SpatialSimilarityConfig {
+            delta_ds_m: delta_ds,
+            ..SpatialSimilarityConfig::default()
+        };
+        let serial = with_threads(1, || SpatialSimilarity::build(&net, &cfg));
+        let parallel = with_threads(threads, || SpatialSimilarity::build(&net, &cfg));
+        prop_assert!(serial.num_edges() > 0, "degenerate case: no spatial edges");
+        prop_assert!(
+            serial.edges() == parallel.edges(),
+            "edge lists differ at {} threads", threads
+        );
+    }
+
+    #[test]
+    fn corruption_rate_stays_clamped_under_parallel_sampler(base_seed in 0u64..100) {
+        // The epsilon clamp keeps every edge's corruption probability inside
+        // [eps, 1 - eps]: over repeated parallel draws each edge must be
+        // removed at least once and retained at least once, and each draw
+        // must remove exactly the requested fraction (the sampler is
+        // without replacement, so the count is fixed).
+        let m = 10usize;
+        let topo: Vec<(usize, usize, f64)> =
+            (0..m).map(|i| (i, i + 1, 1.0 + i as f64)).collect();
+        let cfg = AugmentConfig { rho_t: 0.4, rho_s: 0.4, epsilon: 0.05 };
+        let aug = Augmenter::new(m + 1, topo, Vec::new(), cfg);
+        let draws = 300u64;
+        let expect_drop = (cfg.rho_t * m as f64).round() as usize;
+        let mut removals = vec![0u32; m];
+        for d in 0..draws {
+            let view = with_threads(4, || aug.corrupt_with_seed(base_seed * draws + d));
+            prop_assert_eq!(m - view.topo.len(), expect_drop);
+            for (i, r) in removals.iter_mut().enumerate() {
+                if !view.topo.iter().any(|&(a, b)| (a, b) == (i, i + 1)) {
+                    *r += 1;
+                }
+            }
+        }
+        for (i, &r) in removals.iter().enumerate() {
+            prop_assert!(
+                r > 0 && r < draws as u32,
+                "edge {} removed {}/{} times — outside the epsilon clamp", i, r, draws
+            );
+        }
     }
 }

@@ -105,7 +105,10 @@ impl BoundingBox {
 
     /// True when the point lies inside (inclusive).
     pub fn contains(&self, p: &Point) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Width (east-west extent) in meters, measured at the center latitude.

@@ -114,15 +114,7 @@ mod tests {
     use super::*;
 
     fn diamond() -> DiGraph {
-        DiGraph::from_edges(
-            4,
-            &[
-                (0, 1, 1.0),
-                (0, 2, 2.0),
-                (1, 3, 3.0),
-                (2, 3, 1.0),
-            ],
-        )
+        DiGraph::from_edges(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 1.0)])
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub fn dijkstra(g: &DiGraph, source: usize) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; g.num_vertices()];
     dist[source] = 0.0;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapItem { dist: 0.0, v: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        v: source,
+    });
     while let Some(HeapItem { dist: d, v }) = heap.pop() {
         if d > dist[v] {
             continue;
@@ -61,7 +64,10 @@ pub fn dijkstra_path(g: &DiGraph, source: usize, target: usize) -> Option<(f64, 
     let mut prev = vec![usize::MAX; n];
     dist[source] = 0.0;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapItem { dist: 0.0, v: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        v: source,
+    });
     while let Some(HeapItem { dist: d, v }) = heap.pop() {
         if v == target {
             break;
@@ -165,10 +171,7 @@ mod tests {
 
     #[test]
     fn dijkstra_respects_weights() {
-        let g = DiGraph::from_edges(
-            3,
-            &[(0, 1, 10.0), (0, 2, 1.0), (2, 1, 2.0)],
-        );
+        let g = DiGraph::from_edges(3, &[(0, 1, 10.0), (0, 2, 1.0), (2, 1, 2.0)]);
         let d = dijkstra(&g, 0);
         assert_eq!(d[1], 3.0);
     }

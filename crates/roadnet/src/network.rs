@@ -51,11 +51,7 @@ impl RoadNetwork {
                 (i, j, w)
             })
             .collect();
-        let bbox = BoundingBox::of(
-            segments
-                .iter()
-                .flat_map(|s| [s.start, s.end]),
-        );
+        let bbox = BoundingBox::of(segments.iter().flat_map(|s| [s.start, s.end]));
         Self {
             segments,
             topo_edges,
@@ -119,8 +115,8 @@ impl RoadNetwork {
 
     /// Table 3-style statistics.
     pub fn stats(&self) -> NetworkStats {
-        let mean_len = self.segments.iter().map(|s| s.length_m).sum::<f64>()
-            / self.num_segments() as f64;
+        let mean_len =
+            self.segments.iter().map(|s| s.length_m).sum::<f64>() / self.num_segments() as f64;
         NetworkStats {
             num_segments: self.num_segments(),
             num_topo_edges: self.topo_edges.len(),

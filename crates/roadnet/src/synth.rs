@@ -253,9 +253,9 @@ impl<'c> Generator<'c> {
         }
         // Arterial avenues.
         let arterial = if horizontal {
-            r % self.cfg.arterial_every == 0
+            r.is_multiple_of(self.cfg.arterial_every)
         } else {
-            c % self.cfg.arterial_every == 0
+            c.is_multiple_of(self.cfg.arterial_every)
         };
         if arterial {
             return HighwayClass::Primary;
@@ -268,7 +268,7 @@ impl<'c> Generator<'c> {
         };
         if semi {
             HighwayClass::Secondary
-        } else if (r + c) % 3 == 0 {
+        } else if (r + c).is_multiple_of(3) {
             HighwayClass::Tertiary
         } else {
             HighwayClass::Residential
@@ -340,11 +340,25 @@ impl<'c> Generator<'c> {
             let len = sarn_geo::haversine_m(&pa, &pb);
             let chunks = ((len / self.cfg.chunk_len_m).round() as usize).max(1);
             let fwd = self.make_chain(street, pa, pb, chunks, &mut segments);
-            wire_chain(&fwd, street.a, street.b, &mut connectivity, &mut departing, &mut arriving);
+            wire_chain(
+                &fwd,
+                street.a,
+                street.b,
+                &mut connectivity,
+                &mut departing,
+                &mut arriving,
+            );
             twin.resize(segments.len(), None);
             if !street.oneway {
                 let bwd = self.make_chain(street, pb, pa, chunks, &mut segments);
-                wire_chain(&bwd, street.b, street.a, &mut connectivity, &mut departing, &mut arriving);
+                wire_chain(
+                    &bwd,
+                    street.b,
+                    street.a,
+                    &mut connectivity,
+                    &mut departing,
+                    &mut arriving,
+                );
                 twin.resize(segments.len(), None);
                 for k in 0..chunks {
                     twin[fwd[k]] = Some(bwd[chunks - 1 - k]);
@@ -392,7 +406,11 @@ impl<'c> Generator<'c> {
             };
             let x = fx + (tx - fx) * t + wobble;
             let y = fy + (ty - fy) * t + wobble;
-            let next = if k == chunks { to } else { self.proj.unproject(x, y) };
+            let next = if k == chunks {
+                to
+            } else {
+                self.proj.unproject(x, y)
+            };
             segments.push(RoadSegment::between(street.class, prev, next));
             ids.push(segments.len() - 1);
             prev = next;
@@ -413,9 +431,7 @@ impl<'c> Generator<'c> {
                 let lat = self.rng.gen_range(bbox.min_lat..=bbox.max_lat);
                 let lon = self.rng.gen_range(bbox.min_lon..=bbox.max_lon);
                 let radius = self.rng.gen_range(0.1..0.3) * extent;
-                let shift = *[-20, -10, 10]
-                    .get(self.rng.gen_range(0..3))
-                    .unwrap();
+                let shift = [-20, -10, 10][self.rng.gen_range(0..3usize)];
                 (Point::new(lat, lon), radius, shift)
             })
             .collect();
@@ -459,8 +475,7 @@ fn largest_component(
     connectivity: Vec<(usize, usize)>,
 ) -> (Vec<RoadSegment>, Vec<(usize, usize)>) {
     let n = segments.len();
-    let edges: Vec<(usize, usize, f64)> =
-        connectivity.iter().map(|&(a, b)| (a, b, 1.0)).collect();
+    let edges: Vec<(usize, usize, f64)> = connectivity.iter().map(|&(a, b)| (a, b, 1.0)).collect();
     let g = DiGraph::from_edges(n, &edges);
     let comp = weakly_connected_components(&g);
     let num_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
@@ -519,7 +534,9 @@ mod tests {
         let c = SynthConfig::city(City::Chengdu).with_seed(123).generate();
         assert_ne!(a.num_segments(), 0);
         // Different seed almost surely changes the removal pattern.
-        assert!(a.num_segments() != c.num_segments() || a.topo_edges().len() != c.topo_edges().len());
+        assert!(
+            a.num_segments() != c.num_segments() || a.topo_edges().len() != c.topo_edges().len()
+        );
     }
 
     #[test]
@@ -531,11 +548,25 @@ mod tests {
 
     #[test]
     fn size_presets_scale_two_fold() {
-        let s = SynthConfig::city(City::SanFranciscoSmall).generate().num_segments();
-        let m = SynthConfig::city(City::SanFrancisco).generate().num_segments();
-        let l = SynthConfig::city(City::SanFranciscoLarge).generate().num_segments();
-        assert!(m as f64 / s as f64 > 1.5, "SF/SF-S = {}", m as f64 / s as f64);
-        assert!(l as f64 / m as f64 > 1.5, "SF-L/SF = {}", l as f64 / m as f64);
+        let s = SynthConfig::city(City::SanFranciscoSmall)
+            .generate()
+            .num_segments();
+        let m = SynthConfig::city(City::SanFrancisco)
+            .generate()
+            .num_segments();
+        let l = SynthConfig::city(City::SanFranciscoLarge)
+            .generate()
+            .num_segments();
+        assert!(
+            m as f64 / s as f64 > 1.5,
+            "SF/SF-S = {}",
+            m as f64 / s as f64
+        );
+        assert!(
+            l as f64 / m as f64 > 1.5,
+            "SF-L/SF = {}",
+            l as f64 / m as f64
+        );
     }
 
     #[test]

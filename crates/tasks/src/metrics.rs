@@ -149,7 +149,11 @@ pub fn mre(truth: &[f64], pred: &[f64]) -> f64 {
 /// Ranking of indices `0..n` (excluding `query`) by ascending key.
 pub fn ranking_by<F: Fn(usize) -> f64>(n: usize, query: usize, key: F) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).filter(|&i| i != query).collect();
-    idx.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx
 }
 
@@ -166,11 +170,14 @@ impl Stats {
     /// Computes stats over the samples (0/0 for an empty slice).
     pub fn of(samples: &[f64]) -> Self {
         if samples.is_empty() {
-            return Self { mean: 0.0, std: 0.0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         Self {
             mean,
             std: var.sqrt(),

@@ -150,7 +150,9 @@ mod tests {
 
     fn labeled_net() -> RoadNetwork {
         // SF preset has the highest label fraction.
-        SynthConfig::city(City::SanFrancisco).scaled(0.35).generate()
+        SynthConfig::city(City::SanFrancisco)
+            .scaled(0.35)
+            .generate()
     }
 
     #[test]

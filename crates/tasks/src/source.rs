@@ -51,9 +51,7 @@ impl<'a> EmbeddingSource<'a> {
         let store = trained.model.store.clone();
         let base_len = store.len();
         Self {
-            embed: Box::new(move |g, store| {
-                trained.model.encode(g, store, &trained.full_edges)
-            }),
+            embed: Box::new(move |g, store| trained.model.encode(g, store, &trained.full_edges)),
             store,
             trainable_base: Some(trained.model.last_gat_layer_ids()),
             base_len,
@@ -63,11 +61,7 @@ impl<'a> EmbeddingSource<'a> {
 
     /// A fully trainable model (e.g. HRNR): `embed` runs the model's forward
     /// pass against the given store; every parameter trains.
-    pub fn trainable_model(
-        embed: EmbedFn<'a>,
-        store: ParamStore,
-        d: usize,
-    ) -> Self {
+    pub fn trainable_model(embed: EmbedFn<'a>, store: ParamStore, d: usize) -> Self {
         let base_len = store.len();
         Self {
             embed,

@@ -52,9 +52,9 @@ impl SpdConfig {
     /// Minimal configuration for tests.
     pub fn tiny() -> Self {
         Self {
-            train_pairs: 600,
-            test_pairs: 100,
-            epochs: 12,
+            train_pairs: 1500,
+            test_pairs: 200,
+            epochs: 25,
             ..Default::default()
         }
     }
@@ -71,11 +71,7 @@ pub struct SpdResult {
 
 /// Samples `(src, dst, spd)` triples from Dijkstra trees rooted at random
 /// sources.
-fn sample_pairs(
-    net: &RoadNetwork,
-    count: usize,
-    rng: &mut StdRng,
-) -> Vec<(usize, usize, f64)> {
+fn sample_pairs(net: &RoadNetwork, count: usize, rng: &mut StdRng) -> Vec<(usize, usize, f64)> {
     let routing = net.routing_digraph();
     let n = net.num_segments();
     let per_source = 40;

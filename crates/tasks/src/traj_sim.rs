@@ -166,8 +166,7 @@ pub fn traj_sim(
     }
 
     // Test evaluation: embed all test trajectories, rank by predicted L1.
-    let test_refs: Vec<&MatchedTrajectory> =
-        test.iter().map(|&i| &data.trajectories[i]).collect();
+    let test_refs: Vec<&MatchedTrajectory> = test.iter().map(|&i| &data.trajectories[i]).collect();
     let g = Graph::new();
     let h_all = source.embed(&g);
     let emb = g.value(encode_batch(&g, h_all, &probe, &source.store, &test_refs));

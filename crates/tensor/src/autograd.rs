@@ -11,11 +11,34 @@
 //! only if a parameter is reachable from it, so large constant inputs (for
 //! example MoCo negative-sample queues) cost nothing at backward time.
 
+//! Like the raw tensor kernels, the rowwise, segment, and loss ops here run
+//! on the [`sarn_par`] thread count above per-op work thresholds. Segment
+//! and scatter ops partition **destination rows** into contiguous ranges;
+//! each worker scans the full edge list in ascending order and applies only
+//! the edges that land in its range, so the per-row accumulation order — and
+//! therefore every bit of the result — matches the serial path.
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::params::{ParamId, ParamStore};
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, PAR_MIN_ELEMS};
+
+/// Parallelize segment/scatter ops only above this many edges.
+const PAR_MIN_EDGES: usize = 2048;
+
+/// Parallelize the InfoNCE loss only above this many anchors.
+const PAR_MIN_ANCHORS: usize = 32;
+
+/// `min_len`/`min_per_call` value that engages parallelism iff `engage`.
+#[inline]
+fn par_gate(engage: bool) -> usize {
+    if engage {
+        0
+    } else {
+        usize::MAX
+    }
+}
 
 /// Handle to a node on a [`Graph`] tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -226,12 +249,15 @@ impl Graph {
             assert_eq!(r.rows(), 1, "add_row rhs must be a row vector");
             assert_eq!(m.cols(), r.cols(), "add_row width mismatch");
             let mut out = m.clone();
-            for i in 0..out.rows() {
-                let rr = r.row_slice(0);
-                for (o, &b) in out.row_slice_mut(i).iter_mut().zip(rr.iter()) {
-                    *o += b;
+            let cols = out.cols().max(1);
+            let rr = r.row_slice(0);
+            sarn_par::par_chunks_mut(out.data_mut(), cols, PAR_MIN_ELEMS, |_, chunk| {
+                for row in chunk.chunks_mut(cols) {
+                    for (o, &b) in row.iter_mut().zip(rr.iter()) {
+                        *o += b;
+                    }
                 }
-            }
+            });
             out
         };
         let needs = self.needs(a.id) || self.needs(row.id);
@@ -246,12 +272,16 @@ impl Graph {
             assert_eq!(c.cols(), 1, "mul_col rhs must be a column vector");
             assert_eq!(m.rows(), c.rows(), "mul_col height mismatch");
             let mut out = m.clone();
-            for i in 0..out.rows() {
-                let f = c.at(i, 0);
-                for o in out.row_slice_mut(i) {
-                    *o *= f;
+            let cols = out.cols().max(1);
+            sarn_par::par_chunks_mut(out.data_mut(), cols, PAR_MIN_ELEMS, |offset, chunk| {
+                let i0 = offset / cols;
+                for (di, row) in chunk.chunks_mut(cols).enumerate() {
+                    let f = c.at(i0 + di, 0);
+                    for o in row {
+                        *o *= f;
+                    }
                 }
-            }
+            });
             out
         };
         let needs = self.needs(a.id) || self.needs(col.id);
@@ -325,16 +355,19 @@ impl Graph {
 
     /// Exponential linear unit: `x` for `x > 0`, `alpha (e^x - 1)` otherwise.
     pub fn elu(&self, a: Var, alpha: f32) -> Var {
-        let v = self.nodes.borrow()[a.id]
-            .value
-            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let v =
+            self.nodes.borrow()[a.id]
+                .value
+                .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
         let needs = self.needs(a.id);
         self.push(v, Op::Elu(a.id, alpha), needs, None)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.id].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.nodes.borrow()[a.id]
+            .value
+            .map(|x| 1.0 / (1.0 + (-x).exp()));
         let needs = self.needs(a.id);
         self.push(v, Op::Sigmoid(a.id), needs, None)
     }
@@ -359,13 +392,15 @@ impl Graph {
             let nodes = self.nodes.borrow();
             let m = &nodes[a.id].value;
             let mut out = m.clone();
-            for i in 0..out.rows() {
-                let row = out.row_slice_mut(i);
-                let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-                for v in row.iter_mut() {
-                    *v /= n;
+            let cols = out.cols().max(1);
+            sarn_par::par_chunks_mut(out.data_mut(), cols, PAR_MIN_ELEMS, |_, chunk| {
+                for row in chunk.chunks_mut(cols) {
+                    let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+                    for v in row.iter_mut() {
+                        *v /= n;
+                    }
                 }
-            }
+            });
             out
         };
         let needs = self.needs(a.id);
@@ -401,11 +436,14 @@ impl Graph {
         let v = {
             let nodes = self.nodes.borrow();
             let m = &nodes[a.id].value;
-            let mut out = Tensor::zeros(m.rows(), 1);
-            for i in 0..m.rows() {
-                out.set(i, 0, m.row_slice(i).iter().sum());
-            }
-            out
+            let mut out = vec![0.0f32; m.rows()];
+            let gate = par_gate(m.len() >= PAR_MIN_ELEMS);
+            sarn_par::par_chunks_mut(&mut out, 1, gate, |offset, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    *o = m.row_slice(offset + i).iter().sum();
+                }
+            });
+            Tensor::from_vec(m.rows(), 1, out)
         };
         let needs = self.needs(a.id);
         self.push(v, Op::SumRows(a.id), needs, None)
@@ -493,15 +531,7 @@ impl Graph {
             out
         };
         let needs = self.needs(src.id);
-        self.push(
-            v,
-            Op::SliceRows {
-                src: src.id,
-                start,
-            },
-            needs,
-            None,
-        )
+        self.push(v, Op::SliceRows { src: src.id, start }, needs, None)
     }
 
     /// Softmax of an `e x 1` score column within groups given by `seg`
@@ -543,15 +573,24 @@ impl Graph {
             assert_eq!(a.cols(), 1, "segment_weighted_sum alpha must be a column");
             assert_eq!(a.rows(), vals.rows(), "alpha/value count mismatch");
             assert_eq!(a.rows(), seg.len(), "segment id count mismatch");
-            let mut out = Tensor::zeros(nseg, vals.cols());
-            for e in 0..seg.len() {
-                let w = a.at(e, 0);
-                let dst = out.row_slice_mut(seg[e]);
-                for (o, &x) in dst.iter_mut().zip(vals.row_slice(e).iter()) {
-                    *o += w * x;
+            let cols = vals.cols().max(1);
+            let mut out = vec![0.0f32; nseg * vals.cols()];
+            let seg: &[usize] = &seg;
+            let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
+            sarn_par::par_chunks_mut(&mut out, cols, gate, |offset, chunk| {
+                let (s0, s1) = (offset / cols, (offset + chunk.len()) / cols);
+                for (e, &s) in seg.iter().enumerate() {
+                    if s < s0 || s >= s1 {
+                        continue;
+                    }
+                    let w = a.at(e, 0);
+                    let dst = &mut chunk[(s - s0) * cols..(s - s0 + 1) * cols];
+                    for (o, &x) in dst.iter_mut().zip(vals.row_slice(e).iter()) {
+                        *o += w * x;
+                    }
                 }
-            }
-            out
+            });
+            Tensor::from_vec(nseg, vals.cols(), out)
         };
         let needs = self.needs(alpha.id) || self.needs(values.id);
         self.push(
@@ -628,21 +667,33 @@ impl Graph {
             let nodes = self.nodes.borrow();
             let zt = &nodes[z.id].value;
             assert_eq!(zt.rows(), cands.len(), "candidate count mismatch");
+            // Per-anchor terms are independent; computing them in parallel
+            // and reducing serially in anchor order reproduces the serial
+            // `loss -= term` accumulation bit-for-bit.
+            let gate = par_gate(cands.len() >= PAR_MIN_ANCHORS);
+            let parts = sarn_par::par_ranges(cands.len(), gate, |range| {
+                range
+                    .map(|i| {
+                        let c = &cands[i];
+                        assert_eq!(c.cols(), zt.cols(), "candidate width mismatch");
+                        assert!(c.rows() >= 1, "anchor {i} has no candidates");
+                        let zi = zt.row_slice(i);
+                        let mut logits: Vec<f32> = (0..c.rows())
+                            .map(|r| Tensor::dot(zi, c.row_slice(r)) / tau)
+                            .collect();
+                        let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        let mut denom = 0.0;
+                        for l in &mut logits {
+                            *l = (*l - m).exp();
+                            denom += *l;
+                        }
+                        -(logits[0] / denom + 1e-12).ln()
+                    })
+                    .collect::<Vec<f32>>()
+            });
             let mut loss = 0.0;
-            for (i, c) in cands.iter().enumerate() {
-                assert_eq!(c.cols(), zt.cols(), "candidate width mismatch");
-                assert!(c.rows() >= 1, "anchor {i} has no candidates");
-                let zi = zt.row_slice(i);
-                let mut logits: Vec<f32> = (0..c.rows())
-                    .map(|r| Tensor::dot(zi, c.row_slice(r)) / tau)
-                    .collect();
-                let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut denom = 0.0;
-                for l in &mut logits {
-                    *l = (*l - m).exp();
-                    denom += *l;
-                }
-                loss -= (logits[0] / denom + 1e-12).ln();
+            for term in parts.iter().flatten() {
+                loss += term;
             }
             Tensor::scalar(loss / cands.len().max(1) as f32)
         };
@@ -725,25 +776,45 @@ pub(crate) fn softmax_rows_value(m: &Tensor) -> Tensor {
 }
 
 fn segment_softmax_value(scores: &Tensor, seg: &[usize], nseg: usize) -> Tensor {
-    let mut maxes = vec![f32::NEG_INFINITY; nseg];
-    for (e, &s) in seg.iter().enumerate() {
-        maxes[s] = maxes[s].max(scores.at(e, 0));
+    // Per-segment max and exp-sum, partitioned by segment id: each range
+    // owner scans the whole edge list in ascending order, so the per-segment
+    // accumulation order matches the serial pass exactly.
+    let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
+    let parts = sarn_par::par_ranges(nseg, gate, |r| {
+        let mut maxes = vec![f32::NEG_INFINITY; r.len()];
+        for (e, &s) in seg.iter().enumerate() {
+            if r.contains(&s) {
+                maxes[s - r.start] = maxes[s - r.start].max(scores.at(e, 0));
+            }
+        }
+        let mut sums = vec![0.0f32; r.len()];
+        for (e, &s) in seg.iter().enumerate() {
+            if r.contains(&s) {
+                sums[s - r.start] += (scores.at(e, 0) - maxes[s - r.start]).exp();
+            }
+        }
+        (maxes, sums)
+    });
+    let mut maxes = Vec::with_capacity(nseg);
+    let mut sums = Vec::with_capacity(nseg);
+    for (m, s) in parts {
+        maxes.extend(m);
+        sums.extend(s);
     }
-    let mut sums = vec![0.0f32; nseg];
-    let mut out = Tensor::zeros(scores.rows(), 1);
-    for (e, &s) in seg.iter().enumerate() {
-        let v = (scores.at(e, 0) - maxes[s]).exp();
-        out.set(e, 0, v);
-        sums[s] += v;
-    }
-    for (e, &s) in seg.iter().enumerate() {
-        out.set(e, 0, out.at(e, 0) / sums[s]);
-    }
-    out
+    // The normalized weights are then elementwise over edges.
+    let mut out = vec![0.0f32; seg.len()];
+    sarn_par::par_chunks_mut(&mut out, 1, gate, |offset, chunk| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let e = offset + i;
+            let s = seg[e];
+            *o = (scores.at(e, 0) - maxes[s]).exp() / sums[s];
+        }
+    });
+    Tensor::from_vec(seg.len(), 1, out)
 }
 
 #[allow(clippy::too_many_lines)]
-fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
+fn backward_step(nodes: &mut [Node], id: usize, g: &Tensor) {
     // Move the op out so we can mutably borrow the node list while matching.
     let op = std::mem::replace(&mut nodes[id].op, Op::Leaf);
     match &op {
@@ -770,30 +841,43 @@ fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
         }
         Op::AddRow(a, row) => {
             accumulate(nodes, *a, g.clone());
-            let mut dr = Tensor::zeros(1, g.cols());
-            for i in 0..g.rows() {
-                for (o, &x) in dr.row_slice_mut(0).iter_mut().zip(g.row_slice(i)) {
-                    *o += x;
+            // Column sums, partitioned by column: each owner walks the rows
+            // in ascending order, matching the serial accumulation.
+            let mut dr = vec![0.0f32; g.cols()];
+            let gate = par_gate(g.len() >= PAR_MIN_ELEMS);
+            sarn_par::par_chunks_mut(&mut dr, 1, gate, |offset, chunk| {
+                for i in 0..g.rows() {
+                    let grow = &g.row_slice(i)[offset..offset + chunk.len()];
+                    for (o, &x) in chunk.iter_mut().zip(grow) {
+                        *o += x;
+                    }
                 }
-            }
-            accumulate(nodes, *row, dr);
+            });
+            accumulate(nodes, *row, Tensor::from_vec(1, g.cols(), dr));
         }
         Op::MulCol(a, col) => {
             let c = nodes[*col].value.clone();
             let av = nodes[*a].value.clone();
             let mut da = g.clone();
-            for i in 0..da.rows() {
-                let f = c.at(i, 0);
-                for v in da.row_slice_mut(i) {
-                    *v *= f;
+            let cols = da.cols().max(1);
+            sarn_par::par_chunks_mut(da.data_mut(), cols, PAR_MIN_ELEMS, |offset, chunk| {
+                let i0 = offset / cols;
+                for (di, row) in chunk.chunks_mut(cols).enumerate() {
+                    let f = c.at(i0 + di, 0);
+                    for v in row {
+                        *v *= f;
+                    }
                 }
-            }
-            let mut dc = Tensor::zeros(c.rows(), 1);
-            for i in 0..g.rows() {
-                dc.set(i, 0, Tensor::dot(g.row_slice(i), av.row_slice(i)));
-            }
+            });
+            let mut dc = vec![0.0f32; c.rows()];
+            let gate = par_gate(g.len() >= PAR_MIN_ELEMS);
+            sarn_par::par_chunks_mut(&mut dc, 1, gate, |offset, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    *o = Tensor::dot(g.row_slice(offset + i), av.row_slice(offset + i));
+                }
+            });
             accumulate(nodes, *a, da);
-            accumulate(nodes, *col, dc);
+            accumulate(nodes, *col, Tensor::from_vec(c.rows(), 1, dc));
         }
         Op::Scale(a, c) => accumulate(nodes, *a, g.map(|x| x * c)),
         Op::AddScalar(a) => accumulate(nodes, *a, g.clone()),
@@ -834,13 +918,16 @@ fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
         Op::Elu(a, alpha) => {
             let al = *alpha;
             // d/dx elu = 1 for x > 0, alpha * e^x = value + alpha otherwise.
-            let d = g.zip(&nodes[id].value, |x, out| {
-                if out > 0.0 {
-                    x
-                } else {
-                    x * (out + al)
-                }
-            });
+            let d = g.zip(
+                &nodes[id].value,
+                |x, out| {
+                    if out > 0.0 {
+                        x
+                    } else {
+                        x * (out + al)
+                    }
+                },
+            );
             accumulate(nodes, *a, d);
         }
         Op::Sigmoid(a) => {
@@ -856,28 +943,44 @@ fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
             // y = x / n with n = ||x||: dx = (g - y (g . y)) / n
             let x = nodes[*a].value.clone();
             let y = nodes[id].value.clone();
-            let mut d = Tensor::zeros(x.rows(), x.cols());
-            for i in 0..x.rows() {
-                let n = x.row_slice(i).iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-                let gy = Tensor::dot(g.row_slice(i), y.row_slice(i));
-                for c in 0..x.cols() {
-                    d.set(i, c, (g.at(i, c) - y.at(i, c) * gy) / n);
+            let cols = x.cols().max(1);
+            let mut d = vec![0.0f32; x.len()];
+            sarn_par::par_chunks_mut(&mut d, cols, PAR_MIN_ELEMS, |offset, chunk| {
+                let i0 = offset / cols;
+                for (di, drow) in chunk.chunks_mut(cols).enumerate() {
+                    let i = i0 + di;
+                    let n = x
+                        .row_slice(i)
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>()
+                        .sqrt()
+                        .max(1e-12);
+                    let gy = Tensor::dot(g.row_slice(i), y.row_slice(i));
+                    for (c, o) in drow.iter_mut().enumerate() {
+                        *o = (g.at(i, c) - y.at(i, c) * gy) / n;
+                    }
                 }
-            }
-            accumulate(nodes, *a, d);
+            });
+            accumulate(nodes, *a, Tensor::from_vec(x.rows(), x.cols(), d));
         }
         Op::SoftmaxRows(a) => {
             let s = nodes[id].value.clone();
-            let mut d = Tensor::zeros(s.rows(), s.cols());
-            for i in 0..s.rows() {
-                let srow = s.row_slice(i);
-                let grow = g.row_slice(i);
-                let dot = Tensor::dot(srow, grow);
-                for c in 0..s.cols() {
-                    d.set(i, c, srow[c] * (grow[c] - dot));
+            let cols = s.cols().max(1);
+            let mut d = vec![0.0f32; s.len()];
+            sarn_par::par_chunks_mut(&mut d, cols, PAR_MIN_ELEMS, |offset, chunk| {
+                let i0 = offset / cols;
+                for (di, drow) in chunk.chunks_mut(cols).enumerate() {
+                    let i = i0 + di;
+                    let srow = s.row_slice(i);
+                    let grow = g.row_slice(i);
+                    let dot = Tensor::dot(srow, grow);
+                    for (c, o) in drow.iter_mut().enumerate() {
+                        *o = srow[c] * (grow[c] - dot);
+                    }
                 }
-            }
-            accumulate(nodes, *a, d);
+            });
+            accumulate(nodes, *a, Tensor::from_vec(s.rows(), s.cols(), d));
         }
         Op::SumAll(a) => {
             let (r, c) = nodes[*a].value.shape();
@@ -890,14 +993,15 @@ fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
         }
         Op::SumRows(a) => {
             let (r, c) = nodes[*a].value.shape();
-            let mut d = Tensor::zeros(r, c);
-            for i in 0..r {
-                let gi = g.at(i, 0);
-                for v in d.row_slice_mut(i) {
-                    *v = gi;
+            let cols = c.max(1);
+            let mut d = vec![0.0f32; r * c];
+            sarn_par::par_chunks_mut(&mut d, cols, PAR_MIN_ELEMS, |offset, chunk| {
+                let i0 = offset / cols;
+                for (di, row) in chunk.chunks_mut(cols).enumerate() {
+                    row.fill(g.at(i0 + di, 0));
                 }
-            }
-            accumulate(nodes, *a, d);
+            });
+            accumulate(nodes, *a, Tensor::from_vec(r, c, d));
         }
         Op::Transpose(a) => accumulate(nodes, *a, g.transpose()),
         Op::ConcatCols(parts) => {
@@ -926,15 +1030,27 @@ fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
             }
         }
         Op::GatherRows { src, idx } => {
+            // Scatter-add partitioned by destination row: each owner scans
+            // the full index list in ascending order, so repeated indices
+            // accumulate in the serial order.
             let (r, c) = nodes[*src].value.shape();
-            let mut d = Tensor::zeros(r, c);
-            for (e, &i) in idx.iter().enumerate() {
-                let dst = d.row_slice_mut(i);
-                for (o, &x) in dst.iter_mut().zip(g.row_slice(e)) {
-                    *o += x;
+            let cols = c.max(1);
+            let mut d = vec![0.0f32; r * c];
+            let idx: &[usize] = idx;
+            let gate = par_gate(idx.len() * c >= PAR_MIN_ELEMS);
+            sarn_par::par_chunks_mut(&mut d, cols, gate, |offset, chunk| {
+                let (r0, r1) = (offset / cols, (offset + chunk.len()) / cols);
+                for (e, &i) in idx.iter().enumerate() {
+                    if i < r0 || i >= r1 {
+                        continue;
+                    }
+                    let dst = &mut chunk[(i - r0) * cols..(i - r0 + 1) * cols];
+                    for (o, &x) in dst.iter_mut().zip(g.row_slice(e)) {
+                        *o += x;
+                    }
                 }
-            }
-            accumulate(nodes, *src, d);
+            });
+            accumulate(nodes, *src, Tensor::from_vec(r, c, d));
         }
         Op::SliceRows { src, start } => {
             let (r, c) = nodes[*src].value.shape();
@@ -946,44 +1062,72 @@ fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
         }
         Op::SegmentSoftmax { scores, seg, nseg } => {
             let alpha = nodes[id].value.clone();
-            let mut seg_dot = vec![0.0f32; *nseg];
-            for (e, &s) in seg.iter().enumerate() {
-                seg_dot[s] += alpha.at(e, 0) * g.at(e, 0);
-            }
-            let mut d = Tensor::zeros(alpha.rows(), 1);
-            for (e, &s) in seg.iter().enumerate() {
-                d.set(e, 0, alpha.at(e, 0) * (g.at(e, 0) - seg_dot[s]));
-            }
-            accumulate(nodes, *scores, d);
+            // Per-segment dot, partitioned by segment id (serial order per
+            // segment), then an elementwise pass over edges.
+            let seg: &[usize] = seg;
+            let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
+            let parts = sarn_par::par_ranges(*nseg, gate, |r| {
+                let mut dot = vec![0.0f32; r.len()];
+                for (e, &s) in seg.iter().enumerate() {
+                    if r.contains(&s) {
+                        dot[s - r.start] += alpha.at(e, 0) * g.at(e, 0);
+                    }
+                }
+                dot
+            });
+            let seg_dot: Vec<f32> = parts.into_iter().flatten().collect();
+            let mut d = vec![0.0f32; alpha.rows()];
+            sarn_par::par_chunks_mut(&mut d, 1, gate, |offset, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    let e = offset + i;
+                    *o = alpha.at(e, 0) * (g.at(e, 0) - seg_dot[seg[e]]);
+                }
+            });
+            accumulate(nodes, *scores, Tensor::from_vec(alpha.rows(), 1, d));
         }
         Op::SegmentWeightedSum { alpha, values, seg } => {
             let a = nodes[*alpha].value.clone();
             let v = nodes[*values].value.clone();
-            let mut da = Tensor::zeros(a.rows(), 1);
-            let mut dv = Tensor::zeros(v.rows(), v.cols());
-            for (e, &s) in seg.iter().enumerate() {
-                let gout = g.row_slice(s);
-                da.set(e, 0, Tensor::dot(gout, v.row_slice(e)));
-                let w = a.at(e, 0);
-                for (o, &x) in dv.row_slice_mut(e).iter_mut().zip(gout) {
-                    *o = w * x;
+            // Both gradients are elementwise over edges (no accumulation).
+            let seg: &[usize] = seg;
+            let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
+            let mut da = vec![0.0f32; a.rows()];
+            sarn_par::par_chunks_mut(&mut da, 1, gate, |offset, chunk| {
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    let e = offset + i;
+                    *o = Tensor::dot(g.row_slice(seg[e]), v.row_slice(e));
                 }
-            }
-            accumulate(nodes, *alpha, da);
-            accumulate(nodes, *values, dv);
+            });
+            let cols = v.cols().max(1);
+            let mut dv = vec![0.0f32; v.len()];
+            sarn_par::par_chunks_mut(&mut dv, cols, gate, |offset, chunk| {
+                let e0 = offset / cols;
+                for (de, orow) in chunk.chunks_mut(cols).enumerate() {
+                    let e = e0 + de;
+                    let w = a.at(e, 0);
+                    for (o, &x) in orow.iter_mut().zip(g.row_slice(seg[e])) {
+                        *o = w * x;
+                    }
+                }
+            });
+            accumulate(nodes, *alpha, Tensor::from_vec(a.rows(), 1, da));
+            accumulate(nodes, *values, Tensor::from_vec(v.rows(), v.cols(), dv));
         }
         Op::CrossEntropy { logits, labels } => {
-            let probs = softmax_rows_value(&nodes[*logits].value);
+            let mut d = softmax_rows_value(&nodes[*logits].value);
             let n = labels.len().max(1) as f32;
             let scale = g.item() / n;
-            let mut d = probs;
-            for (i, &y) in labels.iter().enumerate() {
-                let row = d.row_slice_mut(i);
-                row[y] -= 1.0;
-                for v in row.iter_mut() {
-                    *v *= scale;
+            let labels: &[usize] = labels;
+            let cols = d.cols().max(1);
+            sarn_par::par_chunks_mut(d.data_mut(), cols, PAR_MIN_ELEMS, |offset, chunk| {
+                let i0 = offset / cols;
+                for (di, row) in chunk.chunks_mut(cols).enumerate() {
+                    row[labels[i0 + di]] -= 1.0;
+                    for v in row.iter_mut() {
+                        *v *= scale;
+                    }
                 }
-            }
+            });
             accumulate(nodes, *logits, d);
         }
         Op::MseConst { pred, target } => {
@@ -997,28 +1141,36 @@ fn backward_step(nodes: &mut Vec<Node>, id: usize, g: &Tensor) {
             let zt = nodes[*z].value.clone();
             let b = cands.len().max(1) as f32;
             let scale = g.item() / (b * tau);
-            let mut d = Tensor::zeros(zt.rows(), zt.cols());
-            for (i, c) in cands.iter().enumerate() {
-                let zi = zt.row_slice(i);
-                let mut logits: Vec<f32> = (0..c.rows())
-                    .map(|r| Tensor::dot(zi, c.row_slice(r)) / tau)
-                    .collect();
-                let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut denom = 0.0;
-                for l in &mut logits {
-                    *l = (*l - m).exp();
-                    denom += *l;
-                }
-                let drow = d.row_slice_mut(i);
-                for (r, &e) in logits.iter().enumerate() {
-                    let q = e / denom;
-                    let coef = if r == 0 { q - 1.0 } else { q };
-                    for (o, &cv) in drow.iter_mut().zip(c.row_slice(r)) {
-                        *o += scale * coef * cv;
+            let cands: &[Tensor] = cands;
+            // Each anchor owns exactly one gradient row.
+            let cols = zt.cols().max(1);
+            let mut d = vec![0.0f32; zt.len()];
+            let gate = par_gate(cands.len() >= PAR_MIN_ANCHORS);
+            sarn_par::par_chunks_mut(&mut d, cols, gate, |offset, chunk| {
+                let i0 = offset / cols;
+                for (di, drow) in chunk.chunks_mut(cols).enumerate() {
+                    let i = i0 + di;
+                    let c = &cands[i];
+                    let zi = zt.row_slice(i);
+                    let mut logits: Vec<f32> = (0..c.rows())
+                        .map(|r| Tensor::dot(zi, c.row_slice(r)) / tau)
+                        .collect();
+                    let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0.0;
+                    for l in &mut logits {
+                        *l = (*l - m).exp();
+                        denom += *l;
+                    }
+                    for (r, &e) in logits.iter().enumerate() {
+                        let q = e / denom;
+                        let coef = if r == 0 { q - 1.0 } else { q };
+                        for (o, &cv) in drow.iter_mut().zip(c.row_slice(r)) {
+                            *o += scale * coef * cv;
+                        }
                     }
                 }
-            }
-            accumulate(nodes, *z, d);
+            });
+            accumulate(nodes, *z, Tensor::from_vec(zt.rows(), zt.cols(), d));
         }
     }
     nodes[id].op = op;

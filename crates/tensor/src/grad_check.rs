@@ -11,7 +11,11 @@ use crate::tensor::Tensor;
 ///
 /// Returns the maximum absolute deviation, or an error if the analytic
 /// gradient was not produced.
-pub fn max_grad_error(x0: &Tensor, build: impl Fn(&Graph, Var) -> Var, eps: f32) -> Result<f32, String> {
+pub fn max_grad_error(
+    x0: &Tensor,
+    build: impl Fn(&Graph, Var) -> Var,
+    eps: f32,
+) -> Result<f32, String> {
     // Analytic gradient.
     let g = Graph::new();
     let x = g.leaf_grad(x0.clone());

@@ -52,7 +52,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = normal(&mut rng, 100, 100, 2.0);
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / (t.len() as f32 - 1.0);
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());

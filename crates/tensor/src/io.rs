@@ -56,7 +56,10 @@ fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
 fn read_str(r: &mut impl Read) -> io::Result<String> {
     let len = read_u32(r)? as usize;
     if len > 1 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "string too long"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "string too long",
+        ));
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
@@ -78,7 +81,10 @@ impl Tensor {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != TENSOR_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a tensor file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a tensor file",
+            ));
         }
         read_tensor(&mut r)
     }
@@ -103,7 +109,10 @@ impl ParamStore {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != STORE_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a param-store file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a param-store file",
+            ));
         }
         let count = read_u32(&mut r)? as usize;
         let mut store = ParamStore::new();

@@ -180,7 +180,15 @@ impl GatEncoder {
         for l in 0..n_layers {
             let last = l + 1 == n_layers;
             let layer = if last {
-                GatLayer::new(store, rng, &format!("{name}.gat{l}"), width, d_out, n_heads, false)
+                GatLayer::new(
+                    store,
+                    rng,
+                    &format!("{name}.gat{l}"),
+                    width,
+                    d_out,
+                    n_heads,
+                    false,
+                )
             } else {
                 GatLayer::new(
                     store,

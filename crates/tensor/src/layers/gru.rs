@@ -104,13 +104,7 @@ impl Gru {
     /// Runs the GRU over a sequence of `(batch x d_in)` inputs, with an
     /// optional per-step `(batch x 1)` validity mask for padded sequences
     /// (masked steps keep the previous state). Returns the final state.
-    pub fn run(
-        &self,
-        g: &Graph,
-        store: &ParamStore,
-        xs: &[Var],
-        masks: Option<&[Tensor]>,
-    ) -> Var {
+    pub fn run(&self, g: &Graph, store: &ParamStore, xs: &[Var], masks: Option<&[Tensor]>) -> Var {
         assert!(!xs.is_empty(), "empty sequence");
         if let Some(m) = masks {
             assert_eq!(m.len(), xs.len(), "mask count mismatch");
@@ -172,20 +166,10 @@ impl GruStack {
 
     /// Runs the stack over a sequence and returns the top layer's final
     /// state. Masked steps keep the previous state in **every** layer.
-    pub fn run(
-        &self,
-        g: &Graph,
-        store: &ParamStore,
-        xs: &[Var],
-        masks: Option<&[Tensor]>,
-    ) -> Var {
+    pub fn run(&self, g: &Graph, store: &ParamStore, xs: &[Var], masks: Option<&[Tensor]>) -> Var {
         assert!(!xs.is_empty(), "empty sequence");
         let batch = g.shape(xs[0]).0;
-        let mut states: Vec<Var> = self
-            .layers
-            .iter()
-            .map(|l| l.zero_state(g, batch))
-            .collect();
+        let mut states: Vec<Var> = self.layers.iter().map(|l| l.zero_state(g, batch)).collect();
         for (t, &x) in xs.iter().enumerate() {
             let mut input = x;
             for (l, layer) in self.layers.iter().enumerate() {

@@ -103,7 +103,11 @@ mod tests {
         g.backward(loss);
         g.accumulate_grads(&mut store);
         for id in lin.param_ids() {
-            assert!(store.grad(id).norm_sq() > 0.0, "no grad for {}", store.name(id));
+            assert!(
+                store.grad(id).norm_sq() > 0.0,
+                "no grad for {}",
+                store.name(id)
+            );
         }
     }
 }

@@ -111,8 +111,7 @@ impl CosineAnnealing {
     /// Learning rate at step `t` (clamped to the end of the schedule).
     pub fn lr_at(&self, t: u64) -> f32 {
         let t = t.min(self.total_steps) as f32 / self.total_steps as f32;
-        self.lr_min
-            + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos()) / 2.0
+        self.lr_min + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos()) / 2.0
     }
 }
 

@@ -153,7 +153,8 @@ mod tests {
     fn zero_grads_clears_accumulation() {
         let mut s = ParamStore::new();
         let id = s.add("w", Tensor::zeros(1, 2));
-        s.grad_mut(id).axpy(1.0, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        s.grad_mut(id)
+            .axpy(1.0, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
         assert_eq!(s.grad(id).data(), &[3.0, 4.0]);
         s.zero_grads();
         assert_eq!(s.grad(id).data(), &[0.0, 0.0]);
@@ -183,7 +184,8 @@ mod tests {
     fn clip_grad_norm_bounds_global_norm() {
         let mut s = ParamStore::new();
         let id = s.add("w", Tensor::zeros(1, 2));
-        s.grad_mut(id).axpy(1.0, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        s.grad_mut(id)
+            .axpy(1.0, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
         s.clip_grad_norm(1.0);
         assert!((s.grad_norm() - 1.0).abs() < 1e-5);
         assert!((s.grad(id).at(0, 0) - 0.6).abs() < 1e-5);

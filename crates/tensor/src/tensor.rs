@@ -4,8 +4,27 @@
 //! vectors are `1 x n`. The representation is a flat `Vec<f32>` plus a shape,
 //! which keeps the hot loops (matmul, elementwise kernels) friendly to the
 //! optimizer and avoids any dependence on external BLAS.
+//!
+//! The compute kernels honor the process-wide [`sarn_par`] thread count:
+//! above a per-kernel work threshold the output is split into contiguous
+//! row blocks computed concurrently. Every output element is written by
+//! exactly one thread with the same accumulation order as the serial loop,
+//! so results are bit-identical at any thread count.
 
 use std::fmt;
+
+/// Parallelize an elementwise kernel only above this many output elements.
+pub(crate) const PAR_MIN_ELEMS: usize = 32 * 1024;
+
+/// Parallelize a matmul only above this many fused multiply-adds.
+pub(crate) const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// Output-element threshold for a matmul with inner dimension `k`, derived
+/// from [`PAR_MIN_FLOPS`].
+#[inline]
+pub(crate) fn par_min_out(k: usize) -> usize {
+    PAR_MIN_FLOPS / k.max(1)
+}
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -151,19 +170,24 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &rhs.data[kk * m..(kk + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
+        // Row blocks of the output are independent; within a block the
+        // i-k-j order is exactly the serial loop.
+        sarn_par::par_chunks_mut(&mut out, m.max(1), par_min_out(k), |offset, chunk| {
+            let i0 = offset / m.max(1);
+            for (di, orow) in chunk.chunks_mut(m).enumerate() {
+                let i = i0 + di;
+                let arow = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[kk * m..(kk + 1) * m];
+                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(n, m, out)
     }
 
@@ -176,19 +200,26 @@ impl Tensor {
         );
         let (k, n, m) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0f32; n * m];
-        for kk in 0..k {
-            let arow = &self.data[kk * n..(kk + 1) * n];
-            let brow = &rhs.data[kk * m..(kk + 1) * m];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * m..(i + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
+        // Each block owns a contiguous range of output rows and scans the
+        // full `kk` axis in ascending order, applying only the entries that
+        // land in its range — per-element accumulation order is identical
+        // to the serial kk-outer loop.
+        sarn_par::par_chunks_mut(&mut out, m.max(1), par_min_out(k), |offset, chunk| {
+            let (i0, i1) = (offset / m.max(1), (offset + chunk.len()) / m.max(1));
+            for kk in 0..k {
+                let arow = &self.data[kk * n + i0..kk * n + i1];
+                let brow = &rhs.data[kk * m..(kk + 1) * m];
+                for (di, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut chunk[di * m..(di + 1) * m];
+                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(n, m, out)
     }
 
@@ -201,18 +232,20 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, rhs.rows);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * m..(i + 1) * m];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
+        sarn_par::par_chunks_mut(&mut out, m.max(1), par_min_out(k), |offset, chunk| {
+            let i0 = offset / m.max(1);
+            for (di, orow) in chunk.chunks_mut(m).enumerate() {
+                let arow = &self.data[(i0 + di) * k..(i0 + di + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &rhs.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in arow.iter().zip(brow.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
+        });
         Tensor::from_vec(n, m, out)
     }
 
@@ -228,20 +261,30 @@ impl Tensor {
     }
 
     /// Elementwise map.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = vec![0.0f32; self.len()];
+        sarn_par::par_chunks_mut(&mut out, 1, PAR_MIN_ELEMS, |offset, chunk| {
+            for (o, &v) in chunk.iter_mut().zip(&self.data[offset..]) {
+                *o = f(v);
+            }
+        });
+        Tensor::from_vec(self.rows, self.cols, out)
     }
 
     /// Elementwise combine with another tensor of the same shape.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Tensor::from_vec(self.rows, self.cols, data)
+        let mut out = vec![0.0f32; self.len()];
+        sarn_par::par_chunks_mut(&mut out, 1, PAR_MIN_ELEMS, |offset, chunk| {
+            for ((o, &a), &b) in chunk
+                .iter_mut()
+                .zip(&self.data[offset..])
+                .zip(&other.data[offset..])
+            {
+                *o = f(a, b);
+            }
+        });
+        Tensor::from_vec(self.rows, self.cols, out)
     }
 
     /// In-place `self += alpha * other`.
@@ -291,11 +334,15 @@ impl Tensor {
 
     /// Stacks rows gathered from `self` by index.
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
-        let mut out = Vec::with_capacity(idx.len() * self.cols);
-        for &i in idx {
-            out.extend_from_slice(self.row_slice(i));
-        }
-        Tensor::from_vec(idx.len(), self.cols, out)
+        let cols = self.cols;
+        let mut out = vec![0.0f32; idx.len() * cols];
+        sarn_par::par_chunks_mut(&mut out, cols.max(1), PAR_MIN_ELEMS, |offset, chunk| {
+            let r0 = offset / cols.max(1);
+            for (dr, orow) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                orow.copy_from_slice(self.row_slice(idx[r0 + dr]));
+            }
+        });
+        Tensor::from_vec(idx.len(), cols, out)
     }
 
     /// Vertically stacks tensors with matching column counts.
@@ -320,7 +367,12 @@ impl Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor({}x{})[", self.rows, self.cols)?;
-        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.len() > 8 {
             write!(f, ", ...")?;

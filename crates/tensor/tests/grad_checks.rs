@@ -111,9 +111,11 @@ fn grad_mul_col_both_sides() {
     );
 }
 
+type UnaryOp = fn(&Graph, Var) -> Var;
+
 #[test]
 fn grad_unary_smooth_ops() {
-    let build: Vec<(&str, fn(&Graph, Var) -> Var)> = vec![
+    let build: Vec<(&str, UnaryOp)> = vec![
         ("scale", |g, x| g.scale(x, 2.5)),
         ("add_scalar", |g, x| g.add_scalar(x, 1.5)),
         ("neg", |g, x| g.neg(x)),
@@ -125,12 +127,7 @@ fn grad_unary_smooth_ops() {
         ("elu", |g, x| g.elu(x, 1.0)),
     ];
     for (name, f) in build {
-        assert_grad_close(
-            &rand_t(3, 3),
-            |g, x| g.mean_all(g.sqr(f(g, x))),
-            EPS,
-            TOL,
-        );
+        assert_grad_close(&rand_t(3, 3), |g, x| g.mean_all(g.sqr(f(g, x))), EPS, TOL);
         let _ = name;
     }
 }
@@ -157,7 +154,11 @@ fn grad_softmax_rows() {
         |g, x| {
             let s = g.softmax_rows(x);
             // weight rows to create asymmetric gradient
-            let w = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.1).collect()));
+            let w = g.input(Tensor::from_vec(
+                3,
+                4,
+                (0..12).map(|i| i as f32 * 0.1).collect(),
+            ));
             g.mean_all(g.mul(s, w))
         },
         1e-2,
@@ -322,4 +323,166 @@ fn grad_composed_deep_chain() {
         1e-2,
         TOL,
     );
+}
+
+/// Gradient checks with the parallel backend engaged.
+///
+/// The inputs are sized past the backend's serial-fallback thresholds so
+/// that, at 4 threads, the parallel kernels (and not the serial fallback)
+/// produce both the forward values and the analytic gradients being
+/// checked. Running the same checks at 1 thread pins the contract that the
+/// two paths are the same function.
+mod parallel {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The thread-count knob is process-global; tests that flip it hold
+    /// this lock and restore the serial default before releasing.
+    static KNOB: Mutex<()> = Mutex::new(());
+
+    fn with_threads(n: usize, f: impl FnOnce()) {
+        let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        sarn_par::set_num_threads(n);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        sarn_par::set_num_threads(1);
+        if let Err(e) = result {
+            std::panic::resume_unwind(e);
+        }
+    }
+
+    /// A GAT-style aggregation over enough edges to engage the parallel
+    /// segment kernels: neighbor features are gathered, attention scores
+    /// softmax-normalized per destination, and messages summed per segment.
+    fn gat_edges(n_edges: usize, n_nodes: usize) -> (Rc<Vec<usize>>, Vec<usize>) {
+        let seg: Vec<usize> = (0..n_edges).map(|e| e * n_nodes / n_edges).collect();
+        let idx: Vec<usize> = (0..n_edges).map(|e| (e * 7 + 3) % n_nodes).collect();
+        (Rc::new(seg), idx)
+    }
+
+    #[test]
+    fn grad_matmul_family_under_both_thread_settings() {
+        // Shapes clear the 65536-flop matmul gate (out elems > 65536 / k)
+        // while keeping the *perturbed* operand small, so the central-
+        // difference sweep stays cheap. The backward pass runs the parallel
+        // matmul_t and t_matmul kernels on the same shapes.
+        let b = init::normal(&mut rng(), 32, 520, 0.3);
+        let a = init::normal(&mut rng(), 520, 32, 0.3);
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                // 4x32 @ 32x520: perturb the 128-element lhs.
+                assert_grad_close(
+                    &init::normal(&mut rng(), 4, 32, 0.3),
+                    |g, x| {
+                        let bv = g.input(b.clone());
+                        g.mean_all(g.sqr(g.matmul(x, bv)))
+                    },
+                    EPS,
+                    TOL,
+                );
+                // 520x32 @ 32x4: perturb the 128-element rhs.
+                assert_grad_close(
+                    &init::normal(&mut rng(), 32, 4, 0.3),
+                    |g, x| {
+                        let av = g.input(a.clone());
+                        g.mean_all(g.sqr(g.matmul(av, x)))
+                    },
+                    EPS,
+                    TOL,
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn grad_gat_aggregation_under_both_thread_settings() {
+        // 2100 edges exceed the 2048-edge segment gate; 2100 * 16 gathered
+        // elements exceed the 32768-element gather/scatter gate.
+        let (seg, idx) = gat_edges(2100, 32);
+        let scores = init::normal(&mut rng(), 2100, 1, 0.5);
+        for threads in [1, 4] {
+            let seg = Rc::clone(&seg);
+            let idx = idx.clone();
+            let scores = scores.clone();
+            with_threads(threads, || {
+                // Node features drive the loss through gather + weighted sum.
+                assert_grad_close(
+                    &init::normal(&mut rng(), 32, 16, 0.5),
+                    |g, x| {
+                        let s = g.input(scores.clone());
+                        let hn = g.gather_rows(x, &idx);
+                        let alpha = g.segment_softmax(s, Rc::clone(&seg), 32);
+                        let msg = g.segment_weighted_sum(alpha, hn, Rc::clone(&seg), 32);
+                        g.mean_all(g.sqr(msg))
+                    },
+                    EPS,
+                    TOL,
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn grad_attention_scores_under_both_thread_settings() {
+        // Same aggregation, differentiated through the softmax scores; the
+        // edge values are a plain input so the sweep only pays for the
+        // segment kernels under test.
+        let (seg, _) = gat_edges(2100, 64);
+        let edge_vals = init::normal(&mut rng(), 2100, 2, 0.5);
+        for threads in [1, 4] {
+            let seg = Rc::clone(&seg);
+            let edge_vals = edge_vals.clone();
+            with_threads(threads, || {
+                assert_grad_close(
+                    &init::normal(&mut rng(), 2100, 1, 0.5),
+                    |g, x| {
+                        let v = g.input(edge_vals.clone());
+                        let alpha = g.segment_softmax(x, Rc::clone(&seg), 64);
+                        let msg = g.segment_weighted_sum(alpha, v, Rc::clone(&seg), 64);
+                        g.mean_all(g.sqr(msg))
+                    },
+                    1e-2,
+                    TOL,
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_are_bitwise_identical_across_thread_counts() {
+        // The determinism contract is stronger than the grad-check
+        // tolerance: every kernel accumulates in the serial order, so the
+        // values and gradients must agree exactly, not just closely.
+        let (seg, idx) = gat_edges(2100, 64);
+        let w = init::normal(&mut rng(), 16, 16, 0.3);
+        let feats = init::normal(&mut rng(), 64, 16, 0.5);
+        let scores = init::normal(&mut rng(), 2100, 1, 0.5);
+        let run = |threads: usize| {
+            let mut out = Vec::new();
+            with_threads(threads, || {
+                let g = Graph::new();
+                let x = g.leaf_grad(feats.clone());
+                let s = g.leaf_grad(scores.clone());
+                let wv = g.input(w.clone());
+                let h = g.matmul(x, wv);
+                let hn = g.gather_rows(h, &idx);
+                let alpha = g.segment_softmax(s, Rc::clone(&seg), 64);
+                let msg = g.segment_weighted_sum(alpha, hn, Rc::clone(&seg), 64);
+                let loss = g.mean_all(g.sqr(g.l2_normalize_rows(msg)));
+                g.backward(loss);
+                out = vec![
+                    g.value(loss).clone(),
+                    g.grad(x).unwrap().clone(),
+                    g.grad(s).unwrap().clone(),
+                ];
+            });
+            out
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            let par = run(threads);
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.data(), b.data(), "divergence at {threads} threads");
+            }
+        }
+    }
 }

@@ -97,7 +97,10 @@ mod tests {
         };
         let ds = TrajDataset::build(&net, &gen, 20);
         assert!(ds.len() >= 10, "only {} trajectories", ds.len());
-        assert!(ds.trajectories.iter().all(|t| t.len() <= 20 && t.len() >= 3));
+        assert!(ds
+            .trajectories
+            .iter()
+            .all(|t| t.len() <= 20 && t.len() >= 3));
     }
 
     #[test]

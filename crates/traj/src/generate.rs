@@ -188,8 +188,7 @@ mod tests {
                     .true_route
                     .iter()
                     .map(|&sid| proj.distance_m(p, &net.segment(sid).midpoint()))
-                    .fold(f64::INFINITY, f64::min)
-                    ;
+                    .fold(f64::INFINITY, f64::min);
                 assert!(min_d < 150.0, "point {min_d} m from route");
             }
         }

@@ -37,7 +37,10 @@ impl MatchedTrajectory {
 
     /// Midpoint polyline of the matched segments.
     pub fn midpoints(&self, net: &RoadNetwork) -> Vec<Point> {
-        self.segments.iter().map(|&s| net.segment(s).midpoint()).collect()
+        self.segments
+            .iter()
+            .map(|&s| net.segment(s).midpoint())
+            .collect()
     }
 }
 

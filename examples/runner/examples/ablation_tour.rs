@@ -7,15 +7,17 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sarn_core::{
-    AugmentConfig, Augmenter, CellQueues, SpatialSimilarity, SpatialSimilarityConfig,
-};
+use sarn_core::{AugmentConfig, Augmenter, CellQueues, SpatialSimilarity, SpatialSimilarityConfig};
 use sarn_roadnet::{City, SynthConfig};
 
 fn main() {
     let net = SynthConfig::city(City::Beijing).scaled(0.4).generate();
     let n = net.num_segments();
-    println!("Network: {} segments, {} topological edges\n", n, net.topo_edges().len());
+    println!(
+        "Network: {} segments, {} topological edges\n",
+        n,
+        net.topo_edges().len()
+    );
 
     // Contribution 1: the spatial similarity matrix A^s (Eq. 3-5).
     let sim_cfg = SpatialSimilarityConfig::default();

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, the full test suite, and the
+# parallel-equivalence suite under varied thread environments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { echo; echo "=== $* ==="; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo test"
+cargo test -q --workspace
+
+# The equivalence tests pin num_threads explicitly except for the
+# auto-detection path (num_threads = 0), which resolves through
+# RAYON_NUM_THREADS — exercise it at several settings.
+for t in 1 2 4; do
+  step "parallel equivalence (RAYON_NUM_THREADS=$t)"
+  RAYON_NUM_THREADS=$t cargo test -q -p sarn-sys-tests --test parallel_equivalence
+done
+
+echo
+echo "ci: all checks passed"

@@ -93,11 +93,8 @@ fn hrnr_trains_end_to_end_through_the_task_harness() {
     let hrnr = Hrnr::new(&net, &HrnrConfig::tiny()).unwrap();
     let d = 16;
     let store = hrnr.store.clone();
-    let mut src = EmbeddingSource::trainable_model(
-        Box::new(move |g, s| hrnr.forward_with(g, s)),
-        store,
-        d,
-    );
+    let mut src =
+        EmbeddingSource::trainable_model(Box::new(move |g, s| hrnr.forward_with(g, s)), store, d);
     let r = road_property(
         &net,
         &mut src,

@@ -45,7 +45,13 @@ fn dataset_generation_is_fully_deterministic() {
             ..Default::default()
         };
         let data = TrajDataset::build(&net, &gen, 12);
-        (net.stats(), data.trajectories.iter().map(|t| t.segments.clone()).collect::<Vec<_>>())
+        (
+            net.stats(),
+            data.trajectories
+                .iter()
+                .map(|t| t.segments.clone())
+                .collect::<Vec<_>>(),
+        )
     };
     let (s1, t1) = make();
     let (s2, t2) = make();

@@ -37,7 +37,11 @@ fn sarn_embeddings_drive_all_three_tasks() {
         },
     );
     assert!((0.0..=100.0).contains(&prop.f1_pct));
-    assert!(prop.auc_pct > 40.0, "AUC {} is worse than chance", prop.auc_pct);
+    assert!(
+        prop.auc_pct > 40.0,
+        "AUC {} is worse than chance",
+        prop.auc_pct
+    );
 
     // Task 2: trajectory similarity.
     let gen = TrajGenConfig {
@@ -50,7 +54,12 @@ fn sarn_embeddings_drive_all_three_tasks() {
     let mut src = EmbeddingSource::frozen(&trained.embeddings);
     let ts = traj_sim(&net, &data, &mut src, &TrajSimConfig::tiny());
     assert!((0.0..=100.0).contains(&ts.hr5_pct));
-    assert!(ts.hr20_pct >= ts.hr5_pct * 0.5, "HR@20 {} vs HR@5 {}", ts.hr20_pct, ts.hr5_pct);
+    assert!(
+        ts.hr20_pct >= ts.hr5_pct * 0.5,
+        "HR@20 {} vs HR@5 {}",
+        ts.hr20_pct,
+        ts.hr5_pct
+    );
 
     // Task 3: shortest-path distance.
     let mut src = EmbeddingSource::frozen(&trained.embeddings);
@@ -125,12 +134,8 @@ fn sarn_beats_untrained_embeddings_on_trajectory_retrieval() {
 
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let random = sarn_tensor::init::normal(
-        &mut rng,
-        net.num_segments(),
-        trained.embeddings.cols(),
-        1.0,
-    );
+    let random =
+        sarn_tensor::init::normal(&mut rng, net.num_segments(), trained.embeddings.cols(), 1.0);
     let mut src = EmbeddingSource::frozen(&random);
     let bad = traj_sim(&net, &data, &mut src, &probe);
     assert!(

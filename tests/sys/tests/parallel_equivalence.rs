@@ -1,0 +1,76 @@
+//! Serial / parallel training equivalence.
+//!
+//! The parallel compute backend (`sarn-par`) promises that every kernel
+//! splits work without reordering accumulation, so a full training run —
+//! similarity build, per-epoch two-view augmentation, GAT forward/backward,
+//! InfoNCE, queue readouts — must produce the same numbers at any thread
+//! count. These tests train the same small synthetic city at
+//! `num_threads = 1` and `4` and compare the loss histories and final
+//! embeddings. The acceptance tolerance is 1e-5, but the backend's
+//! determinism contract is exact, so bitwise equality is asserted too: if
+//! the exact check ever starts failing, a kernel has silently changed its
+//! accumulation order.
+
+use sarn_core::{train, SarnConfig, SarnVariant};
+use sarn_roadnet::{City, SynthConfig};
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+#[test]
+fn training_is_equivalent_across_thread_counts() {
+    let net = SynthConfig::city(City::Chengdu).scaled(0.22).generate();
+    let mut cfg = SarnConfig::tiny();
+    cfg.max_epochs = 3;
+
+    let serial = train(&net, &cfg.clone().with_num_threads(1));
+    let parallel = train(&net, &cfg.clone().with_num_threads(4));
+
+    assert_eq!(serial.epochs_run, parallel.epochs_run);
+    assert_eq!(serial.loss_history.len(), parallel.loss_history.len());
+    for (e, (a, b)) in serial
+        .loss_history
+        .iter()
+        .zip(&parallel.loss_history)
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() <= 1e-5,
+            "epoch {e} loss diverged: serial {a} vs parallel {b}"
+        );
+    }
+    let emb_diff = max_abs_diff(serial.embeddings.data(), parallel.embeddings.data());
+    assert!(
+        emb_diff <= 1e-5,
+        "final embeddings diverged: max |diff| = {emb_diff}"
+    );
+
+    // Deterministic-accumulation contract: the runs are *identical*.
+    assert_eq!(
+        serial.loss_history, parallel.loss_history,
+        "loss histories differ bitwise"
+    );
+    assert_eq!(
+        serial.embeddings.data(),
+        parallel.embeddings.data(),
+        "embeddings differ bitwise"
+    );
+}
+
+#[test]
+fn auto_thread_count_matches_serial() {
+    // `num_threads = 0` resolves via RAYON_NUM_THREADS / the machine; the
+    // result must still be the serial run's.
+    let net = SynthConfig::city(City::Chengdu).scaled(0.22).generate();
+    let mut cfg = SarnConfig::tiny().with_variant(SarnVariant::WithoutMNL);
+    cfg.max_epochs = 2;
+
+    let serial = train(&net, &cfg.clone().with_num_threads(1));
+    let auto = train(&net, &cfg.clone().with_num_threads(0));
+    assert_eq!(serial.loss_history, auto.loss_history);
+    assert_eq!(serial.embeddings.data(), auto.embeddings.data());
+}
