@@ -1,0 +1,75 @@
+//! End-to-end checkpoint/resume smoke check for CI.
+//!
+//! Drives the harness exactly the way an interrupted table run would:
+//! trains the first half of a run with periodic checkpointing (the
+//! annealing horizon pinned to the full budget, as every restartable run
+//! should), then finishes it with `resume_auto` from the checkpoint
+//! directory, and compares against a straight uninterrupted run. Exits
+//! non-zero unless the resumed run is bitwise-identical and checkpoint
+//! files actually appeared. Scale comes from the usual `SARN_*`
+//! environment knobs; `SARN_CKPT_DIR` must be set.
+
+use sarn_bench::ExperimentScale;
+use sarn_core::{checkpoint, train};
+use sarn_roadnet::City;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let dir = scale
+        .ckpt_dir
+        .clone()
+        .expect("resume_smoke needs SARN_CKPT_DIR");
+    let net = scale.network(City::Chengdu);
+
+    let mut full = scale.sarn_config_for(&net, 1);
+    full.schedule_epochs = full.max_epochs;
+    let halfway = (full.max_epochs / 2).max(1);
+
+    let mut interrupted = full.clone();
+    interrupted.max_epochs = halfway;
+    eprintln!(
+        "[resume_smoke] leg 1: {halfway} of {} epochs",
+        full.max_epochs
+    );
+    let leg1 = train(&net, &interrupted);
+    assert_eq!(leg1.epochs_run, halfway);
+    let saved = checkpoint::list_checkpoints(&dir, Some(full.fingerprint()));
+    assert!(
+        !saved.is_empty(),
+        "no checkpoints appeared in {dir:?} — is SARN_CKPT_EVERY > {halfway}?"
+    );
+
+    let mut resuming = full.clone();
+    resuming.resume_auto = true;
+    eprintln!(
+        "[resume_smoke] leg 2: resuming from {:?}",
+        saved.last().unwrap().1
+    );
+    let resumed = train(&net, &resuming);
+
+    let mut straight_cfg = full.clone();
+    straight_cfg.checkpoint_every = 0;
+    straight_cfg.checkpoint_dir = None;
+    eprintln!(
+        "[resume_smoke] reference: {} epochs straight",
+        full.max_epochs
+    );
+    let straight = train(&net, &straight_cfg);
+
+    assert_eq!(
+        straight.loss_history, resumed.loss_history,
+        "resumed loss history differs from the uninterrupted run"
+    );
+    assert_eq!(
+        straight.embeddings.data(),
+        resumed.embeddings.data(),
+        "resumed embeddings differ from the uninterrupted run"
+    );
+    println!(
+        "resume_smoke OK: {} epochs ({} + {} resumed) bitwise-identical, {} checkpoint file(s) retained",
+        straight.epochs_run,
+        halfway,
+        resumed.epochs_run - halfway,
+        checkpoint::list_checkpoints(&dir, Some(full.fingerprint())).len()
+    );
+}

@@ -14,6 +14,14 @@
 //!   segments per city);
 //! - `SARN_SEEDS` — repeated runs per cell (default 2; paper uses 5);
 //! - `SARN_EPOCHS` — self-supervised training epochs (default 15).
+//!
+//! Long runs can be made restartable with the checkpoint knobs (see
+//! `sarn_core::checkpoint`): `SARN_CKPT_DIR` turns on periodic training
+//! checkpoints into that directory, `SARN_CKPT_EVERY` sets the epoch period
+//! (default 5), `SARN_CKPT_KEEP` the rolling retention (default 3), and
+//! `SARN_RESUME=1` resumes each training run from its newest compatible
+//! checkpoint — every city/seed/variant is fingerprinted separately, so one
+//! directory serves an entire interrupted table sweep.
 
 #![warn(missing_docs)]
 

@@ -13,6 +13,11 @@ pub struct ExperimentScale {
     pub seeds: usize,
     /// Self-supervised training epochs.
     pub epochs: usize,
+    /// Pinned cosine-annealing horizon (`SARN_SCHEDULE_EPOCHS`; 0 =
+    /// follow `SARN_EPOCHS`). Set it when resuming with a larger
+    /// `SARN_EPOCHS` than the interrupted run so both legs train on the
+    /// same learning-rate curve (and hence share a config fingerprint).
+    pub schedule_epochs: usize,
     /// Trajectories generated per dataset.
     pub traj_count: usize,
     /// Maximum segments per trajectory (paper default: 60).
@@ -20,6 +25,19 @@ pub struct ExperimentScale {
     /// Worker threads for the parallel compute backend (`SARN_NUM_THREADS`;
     /// `0` = automatic, `1` = serial).
     pub num_threads: usize,
+    /// Checkpoint directory (`SARN_CKPT_DIR`; unset = no checkpointing).
+    pub ckpt_dir: Option<std::path::PathBuf>,
+    /// Save a checkpoint every this many epochs (`SARN_CKPT_EVERY`,
+    /// default 5; effective only with `ckpt_dir` set).
+    pub ckpt_every: usize,
+    /// Rolling retention per configuration (`SARN_CKPT_KEEP`, default 3;
+    /// `0` keeps everything).
+    pub ckpt_keep: usize,
+    /// Resume interrupted runs from the newest compatible checkpoint in
+    /// `ckpt_dir` (`SARN_RESUME=1`; fresh runs are unaffected). Each
+    /// city/seed/variant has its own config fingerprint, so one directory
+    /// serves a whole table sweep.
+    pub resume: bool,
 }
 
 impl ExperimentScale {
@@ -36,9 +54,17 @@ impl ExperimentScale {
             net_scale: get("SARN_NET_SCALE", 0.45),
             seeds: get("SARN_SEEDS", 2.0) as usize,
             epochs: get("SARN_EPOCHS", 15.0) as usize,
+            schedule_epochs: get("SARN_SCHEDULE_EPOCHS", 0.0) as usize,
             traj_count: get("SARN_TRAJ_COUNT", 140.0) as usize,
             max_traj_segments: get("SARN_MAX_TRAJ_SEGMENTS", 30.0) as usize,
             num_threads: get("SARN_NUM_THREADS", 1.0) as usize,
+            ckpt_dir: std::env::var("SARN_CKPT_DIR")
+                .ok()
+                .filter(|v| !v.is_empty())
+                .map(std::path::PathBuf::from),
+            ckpt_every: get("SARN_CKPT_EVERY", 5.0) as usize,
+            ckpt_keep: get("SARN_CKPT_KEEP", 3.0) as usize,
+            resume: get("SARN_RESUME", 0.0) != 0.0,
         }
     }
 
@@ -75,13 +101,22 @@ impl ExperimentScale {
         TrajDataset::build(net, &gen, max_segments)
     }
 
-    /// SARN configuration at this scale.
+    /// SARN configuration at this scale. With `SARN_CKPT_DIR` set, training
+    /// checkpoints periodically and (under `SARN_RESUME=1`) resumes the
+    /// newest compatible checkpoint, making interrupted table/figure runs
+    /// restartable with the same command line.
     pub fn sarn_config(&self, seed: u64) -> SarnConfig {
         let mut cfg = SarnConfig::small();
         cfg.max_epochs = self.epochs;
+        cfg.schedule_epochs = self.schedule_epochs;
         cfg.patience = (self.epochs as u32 / 3).max(3);
         cfg.seed = seed;
         cfg.num_threads = self.num_threads;
+        if let Some(dir) = &self.ckpt_dir {
+            cfg = cfg.with_checkpointing(dir, self.ckpt_every);
+            cfg.checkpoint_keep = self.ckpt_keep;
+            cfg.resume_auto = self.resume;
+        }
         cfg
     }
 
@@ -108,9 +143,14 @@ mod tests {
             net_scale: 0.3,
             seeds: 1,
             epochs: 2,
+            schedule_epochs: 0,
             traj_count: 20,
             max_traj_segments: 15,
             num_threads: 1,
+            ckpt_dir: None,
+            ckpt_every: 5,
+            ckpt_keep: 3,
+            resume: false,
         };
         let net = s.network(City::Chengdu);
         assert!(net.num_segments() > 100);
@@ -118,5 +158,39 @@ mod tests {
         assert!(data.len() >= 15);
         let cfg = s.sarn_config(1);
         assert_eq!(cfg.max_epochs, 2);
+        // Checkpointing stays off unless a directory is given.
+        assert_eq!(cfg.checkpoint_every, 0);
+        assert!(!cfg.resume_auto);
+    }
+
+    #[test]
+    fn checkpoint_knobs_flow_into_the_config() {
+        let s = ExperimentScale {
+            net_scale: 0.3,
+            seeds: 1,
+            epochs: 2,
+            schedule_epochs: 0,
+            traj_count: 20,
+            max_traj_segments: 15,
+            num_threads: 1,
+            ckpt_dir: Some("/tmp/sarn-ckpts".into()),
+            ckpt_every: 4,
+            ckpt_keep: 2,
+            resume: true,
+        };
+        let cfg = s.sarn_config(7);
+        assert_eq!(cfg.checkpoint_every, 4);
+        assert_eq!(cfg.checkpoint_keep, 2);
+        assert_eq!(
+            cfg.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/sarn-ckpts"))
+        );
+        assert!(cfg.resume_auto);
+        // Different seeds are different runs: their checkpoints must not
+        // collide in the shared directory.
+        assert_ne!(
+            s.sarn_config(7).fingerprint(),
+            s.sarn_config(8).fingerprint()
+        );
     }
 }

@@ -96,6 +96,12 @@ pub struct SarnConfig {
     pub batch_size: usize,
     /// Maximum training epochs (paper: 200).
     pub max_epochs: usize,
+    /// Cosine-annealing horizon in epochs; `0` (default) follows
+    /// `max_epochs`. Pin this when an invocation's epoch budget differs
+    /// from the schedule's intended total — e.g. a run that will be
+    /// interrupted and resumed trains every leg with the same horizon, so
+    /// the learning-rate curve (and hence the trajectory) is unchanged.
+    pub schedule_epochs: usize,
     /// Early-stopping patience in epochs (paper: 20).
     pub patience: u32,
     /// RNG seed.
@@ -111,6 +117,22 @@ pub struct SarnConfig {
     pub loss_similarity: LossSimilarity,
     /// Global-negative readout aggregation (design-choice ablation).
     pub readout: Readout,
+    /// Save a training checkpoint every this many epochs (`0` = never).
+    pub checkpoint_every: usize,
+    /// Directory receiving checkpoint files (required when
+    /// `checkpoint_every > 0`; created on first save).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Rolling retention: keep only the newest this many checkpoints of
+    /// this configuration (`0` = keep everything).
+    pub checkpoint_keep: usize,
+    /// Resume training from this checkpoint file; loading or validation
+    /// failures abort the run with a typed error.
+    pub resume_from: Option<std::path::PathBuf>,
+    /// When set (and `resume_from` is not), resume from the newest
+    /// compatible checkpoint found in `checkpoint_dir`, starting fresh if
+    /// there is none — the mode the bench harness uses, making interrupted
+    /// table/figure runs restartable with the same command line.
+    pub resume_auto: bool,
 }
 
 impl Default for SarnConfig {
@@ -134,12 +156,18 @@ impl Default for SarnConfig {
             lr: 0.005,
             batch_size: 128,
             max_epochs: 200,
+            schedule_epochs: 0,
             patience: 20,
             seed: 1,
             num_threads: 1,
             variant: SarnVariant::Full,
             loss_similarity: LossSimilarity::Cosine,
             readout: Readout::Mean,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            checkpoint_keep: 3,
+            resume_from: None,
+            resume_auto: false,
         }
     }
 }
@@ -194,6 +222,89 @@ impl SarnConfig {
         self.num_threads = n;
         self
     }
+
+    /// Enables periodic checkpointing into `dir` every `every` epochs.
+    pub fn with_checkpointing(mut self, dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes training from an explicit checkpoint file.
+    pub fn with_resume_from(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Effective cosine-annealing horizon: `schedule_epochs` when pinned,
+    /// otherwise `max_epochs`.
+    pub fn schedule_horizon(&self) -> usize {
+        if self.schedule_epochs > 0 {
+            self.schedule_epochs
+        } else {
+            self.max_epochs
+        }
+    }
+
+    /// Fingerprint of every hyper-parameter that shapes the training
+    /// trajectory (model widths, seed, loss knobs, augmentation, variant,
+    /// the annealing horizon…). Checkpoints record it and refuse to resume
+    /// under a different value. Deliberately excluded: `max_epochs` itself
+    /// (with the horizon pinned via `schedule_epochs`, a larger budget
+    /// *extends* a run), `patience`, `num_threads` (training is bitwise
+    /// identical at every thread count), and the checkpoint knobs
+    /// themselves.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for v in [
+            self.schedule_horizon() as u64,
+            self.d as u64,
+            self.d_z as u64,
+            self.d_per_feature as u64,
+            self.n_layers as u64,
+            self.n_heads as u64,
+            self.similarity.delta_ds_m.to_bits(),
+            self.similarity.delta_as_rad.to_bits(),
+            self.augment.rho_t.to_bits(),
+            self.augment.rho_s.to_bits(),
+            self.augment.epsilon.to_bits(),
+            self.clen_m.to_bits(),
+            self.total_k as u64,
+            self.tau.to_bits() as u64,
+            self.lambda.to_bits() as u64,
+            self.momentum.to_bits() as u64,
+            self.lr.to_bits() as u64,
+            self.batch_size as u64,
+            self.seed,
+            self.variant as u64,
+            self.loss_similarity as u64,
+            self.readout as u64,
+        ] {
+            h.write_u64(v);
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a hasher for the config fingerprint (stable across builds,
+/// unlike `std::collections`' randomized hashers).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +328,58 @@ mod tests {
         // The compute backend defaults to the serial path.
         assert_eq!(c.num_threads, 1);
         assert_eq!(c.with_num_threads(4).num_threads, 4);
+    }
+
+    #[test]
+    fn fingerprint_tracks_trajectory_knobs_only() {
+        let base = SarnConfig::tiny();
+        assert_eq!(base.fingerprint(), SarnConfig::tiny().fingerprint());
+        // Trajectory-shaping knobs change the fingerprint.
+        assert_ne!(base.fingerprint(), base.clone().with_seed(2).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            base.clone()
+                .with_variant(SarnVariant::WithoutM)
+                .fingerprint()
+        );
+        let mut wide = base.clone();
+        wide.d += 8;
+        assert_ne!(base.fingerprint(), wide.fingerprint());
+        // The annealing horizon is part of the trajectory: growing
+        // `max_epochs` alone stretches the cosine schedule.
+        let mut stretched = base.clone();
+        stretched.max_epochs += 100;
+        assert_ne!(base.fingerprint(), stretched.fingerprint());
+        // With the horizon pinned, a larger epoch budget extends the same
+        // run; patience/backend/checkpoint knobs never matter.
+        let mut longer = base.clone();
+        longer.schedule_epochs = base.max_epochs;
+        longer.max_epochs += 100;
+        longer.patience += 5;
+        assert_eq!(base.fingerprint(), longer.fingerprint());
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().with_num_threads(8).fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().with_checkpointing("/tmp/x", 2).fingerprint()
+        );
+    }
+
+    #[test]
+    fn checkpointing_is_off_by_default() {
+        let c = SarnConfig::default();
+        assert_eq!(c.checkpoint_every, 0);
+        assert!(c.checkpoint_dir.is_none());
+        assert!(c.resume_from.is_none());
+        assert!(!c.resume_auto);
+        assert_eq!(c.checkpoint_keep, 3);
+        let c = c
+            .with_checkpointing("/tmp/ck", 5)
+            .with_resume_from("/tmp/ck/x");
+        assert_eq!(c.checkpoint_every, 5);
+        assert!(c.checkpoint_dir.is_some() && c.resume_from.is_some());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod augment;
+pub mod checkpoint;
 mod config;
 mod features;
 mod model;
@@ -34,9 +35,10 @@ mod similarity;
 mod train;
 
 pub use augment::{weighted_sample_without_replacement, AugmentConfig, Augmenter, GraphView};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointMeta, OptimState, QueueState};
 pub use config::{LossSimilarity, Readout, SarnConfig, SarnVariant};
 pub use features::{DiscretizedFeatures, FeatureEmbedding, NUM_FEATURES};
 pub use model::SarnModel;
 pub use queues::CellQueues;
 pub use similarity::{pairwise_similarity, SpatialSimilarity, SpatialSimilarityConfig};
-pub use train::{train, zero_grads_except, SarnTrained};
+pub use train::{train, try_train, zero_grads_except, SarnTrained};

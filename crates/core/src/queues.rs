@@ -72,6 +72,69 @@ impl CellQueues {
         self.capacity
     }
 
+    /// Embedding dimensionality of the queued entries.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Snapshot of every cell queue's contents in FIFO order (front first),
+    /// for checkpointing. Re-pushing the entries of each cell in this order
+    /// reproduces the queue state — including its eviction cursor — exactly.
+    pub fn export_entries(&self) -> Vec<Vec<(usize, Vec<f32>)>> {
+        self.queues
+            .iter()
+            .map(|q| q.iter().cloned().collect())
+            .collect()
+    }
+
+    /// Restores a snapshot taken by [`CellQueues::export_entries`],
+    /// replacing the current contents. The snapshot must match this queue
+    /// set's geometry: same cell count, entry dimensionality, per-cell
+    /// occupancy within capacity, and every entry's segment must map to the
+    /// cell it is stored under.
+    pub fn restore_entries(&mut self, cells: &[Vec<(usize, Vec<f32>)>]) -> Result<(), String> {
+        if cells.len() != self.num_cells() {
+            return Err(format!(
+                "queue cell count mismatch: expected {}, found {}",
+                self.num_cells(),
+                cells.len()
+            ));
+        }
+        for (c, entries) in cells.iter().enumerate() {
+            if entries.len() > self.capacity {
+                return Err(format!(
+                    "cell {c} holds {} entries, capacity is {}",
+                    entries.len(),
+                    self.capacity
+                ));
+            }
+            for (seg, e) in entries {
+                if e.len() != self.dim {
+                    return Err(format!(
+                        "cell {c} entry for segment {seg} has dim {}, expected {}",
+                        e.len(),
+                        self.dim
+                    ));
+                }
+                if *self
+                    .segment_cell
+                    .get(*seg)
+                    .ok_or_else(|| format!("cell {c} entry references unknown segment {seg}"))?
+                    != c
+                {
+                    return Err(format!(
+                        "segment {seg} stored under cell {c} but maps to cell {}",
+                        self.segment_cell[*seg]
+                    ));
+                }
+            }
+        }
+        for (q, entries) in self.queues.iter_mut().zip(cells) {
+            *q = entries.iter().cloned().collect();
+        }
+        Ok(())
+    }
+
     /// Number of grid cells.
     pub fn num_cells(&self) -> usize {
         self.grid.num_cells()
@@ -335,6 +398,59 @@ mod tests {
         let readouts = q.all_readouts();
         let cached = q.global_candidates_from(&readouts, a, &[7.0; 4]);
         assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn export_restore_roundtrips_contents_and_cursor() {
+        let (net, mut q) = queues();
+        let cap = q.capacity();
+        for k in 0..(cap + 2) {
+            q.push(0, &[k as f32; 4]); // wraps: eviction cursor advanced
+        }
+        let other = (1..net.num_segments())
+            .find(|&s| q.cell_of_segment(s) != q.cell_of_segment(0))
+            .unwrap();
+        q.push(other, &[7.0; 4]);
+        let snap = q.export_entries();
+
+        let mut fresh = CellQueues::new(&net, 600.0, 100, 4);
+        fresh.restore_entries(&snap).unwrap();
+        assert_eq!(fresh.export_entries(), snap);
+        assert_eq!(fresh.total_entries(), q.total_entries());
+        // The restored FIFO evicts in the same order as the original.
+        fresh.push(0, &[99.0; 4]);
+        q.push(0, &[99.0; 4]);
+        assert_eq!(fresh.export_entries(), q.export_entries());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        let (net, q) = queues();
+        let mut other = CellQueues::new(&net, 600.0, 100, 4);
+        // Wrong cell count.
+        assert!(other.restore_entries(&snapless(q.num_cells() + 1)).is_err());
+        // Entry under the wrong cell.
+        let seg = 0;
+        let wrong_cell = (0..q.num_cells())
+            .find(|&c| c != q.cell_of_segment(seg))
+            .unwrap();
+        let mut cells = snapless(q.num_cells());
+        cells[wrong_cell].push((seg, vec![1.0; 4]));
+        assert!(other.restore_entries(&cells).is_err());
+        // Wrong dimensionality.
+        let mut cells = snapless(q.num_cells());
+        cells[q.cell_of_segment(seg)].push((seg, vec![1.0; 3]));
+        assert!(other.restore_entries(&cells).is_err());
+        // Over capacity.
+        let mut cells = snapless(q.num_cells());
+        for _ in 0..(q.capacity() + 1) {
+            cells[q.cell_of_segment(seg)].push((seg, vec![1.0; 4]));
+        }
+        assert!(other.restore_entries(&cells).is_err());
+    }
+
+    fn snapless(cells: usize) -> Vec<Vec<(usize, Vec<f32>)>> {
+        vec![Vec::new(); cells]
     }
 
     #[test]

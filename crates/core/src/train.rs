@@ -1,4 +1,5 @@
-//! SARN training (paper §4.5, Algorithm 1).
+//! SARN training (paper §4.5, Algorithm 1), with crash-safe periodic
+//! checkpointing and bitwise-identical resume (see [`crate::checkpoint`]).
 
 use std::time::Instant;
 
@@ -11,6 +12,9 @@ use sarn_tensor::optim::{Adam, CosineAnnealing, EarlyStopping};
 use sarn_tensor::{Graph, ParamStore, Tensor};
 
 use crate::augment::Augmenter;
+use crate::checkpoint::{
+    self, Checkpoint, CheckpointError, CheckpointMeta, OptimState, ParamStoreSnapshot, QueueState,
+};
 use crate::config::{LossSimilarity, SarnConfig};
 use crate::model::SarnModel;
 use crate::queues::CellQueues;
@@ -61,14 +65,19 @@ impl SarnTrained {
 
     /// Restores parameters saved by [`SarnTrained::save`] into a model with
     /// the same configuration, then refreshes the embeddings.
+    ///
+    /// Both files are read and validated against the model's layout (names
+    /// and shapes, in order) **before** any parameter is written, so a
+    /// mismatch — e.g. a model built with a different `d` — errors out and
+    /// leaves the model exactly as it was, never partially loaded.
     pub fn load_into(&mut self, stem: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let stem = stem.as_ref();
-        self.model
-            .store
-            .load_values_from(stem.with_extension("query"))?;
-        self.model
-            .store_momentum
-            .load_values_from(stem.with_extension("momentum"))?;
+        let query = ParamStore::load(stem.with_extension("query"))?;
+        let momentum = ParamStore::load(stem.with_extension("momentum"))?;
+        self.model.store.validate_layout_of(&query)?;
+        self.model.store_momentum.validate_layout_of(&momentum)?;
+        self.model.store.copy_values_validated(&query)?;
+        self.model.store_momentum.copy_values_validated(&momentum)?;
         self.refresh_embeddings();
         Ok(())
     }
@@ -76,7 +85,18 @@ impl SarnTrained {
 
 /// Trains SARN on a road network (Algorithm 1) and returns the model and
 /// embeddings.
+///
+/// # Panics
+/// Panics if checkpointing or resuming is configured and fails (missing or
+/// corrupt checkpoint, mismatched configuration, unwritable directory);
+/// use [`try_train`] to handle those as typed errors.
 pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
+    try_train(net, cfg).unwrap_or_else(|e| panic!("sarn training checkpoint failure: {e}"))
+}
+
+/// [`train`] with checkpoint/resume failures surfaced as
+/// [`CheckpointError`] instead of panics.
+pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, CheckpointError> {
     let start = Instant::now();
     sarn_par::set_num_threads(cfg.num_threads);
     let n = net.num_segments();
@@ -100,14 +120,54 @@ pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
         .then(|| CellQueues::with_readout(net, cfg.clen_m, cfg.total_k, cfg.d_z, cfg.readout));
 
     let mut opt = Adam::new(cfg.lr);
-    let schedule = CosineAnnealing::new(cfg.lr, cfg.lr * 0.01, cfg.max_epochs as u64);
+    let schedule = CosineAnnealing::new(cfg.lr, cfg.lr * 0.01, cfg.schedule_horizon() as u64);
     let mut stopper = EarlyStopping::new(cfg.patience);
-    let mut loss_history = Vec::new();
+    let mut loss_history: Vec<f32> = Vec::new();
     let mut order: Vec<usize> = (0..n).collect();
 
-    let mut epochs_run = 0;
-    for epoch in 0..cfg.max_epochs {
-        epochs_run = epoch + 1;
+    let fingerprint = cfg.fingerprint();
+    let mut start_epoch = 0usize;
+    let mut base_seconds = 0.0f64;
+    let mut already_stopped = false;
+    let resume_path = match (&cfg.resume_from, cfg.resume_auto, &cfg.checkpoint_dir) {
+        (Some(p), _, _) => Some(p.clone()),
+        (None, true, Some(dir)) => checkpoint::latest_checkpoint(dir, Some(fingerprint)),
+        _ => None,
+    };
+    if let Some(path) = resume_path {
+        let ckpt = Checkpoint::load(&path)?;
+        if ckpt.meta.fingerprint != fingerprint {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: ckpt.meta.fingerprint,
+                found: fingerprint,
+            });
+        }
+        restore_state(
+            &ckpt,
+            n,
+            &mut model,
+            &mut opt,
+            queues.as_mut(),
+            &mut rng,
+            &mut order,
+        )?;
+        loss_history = ckpt.meta.loss_history;
+        // Replaying the history through a fresh stopper reproduces its
+        // best/patience counters exactly (update order matches the
+        // uninterrupted run).
+        for &l in &loss_history {
+            if stopper.update(l) {
+                already_stopped = true;
+            }
+        }
+        start_epoch = ckpt.meta.next_epoch as usize;
+        base_seconds = ckpt.meta.train_seconds;
+    }
+
+    for epoch in start_epoch..cfg.max_epochs {
+        if already_stopped {
+            break;
+        }
         opt.set_lr(schedule.lr_at(epoch as u64));
         // Two-view sampling: the seeds are drawn serially from the main
         // stream (view 1's first), then each view is corrupted under its
@@ -138,21 +198,191 @@ pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
         }
         let mean_loss = epoch_loss / batches.max(1) as f32;
         loss_history.push(mean_loss);
+
+        if cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0 {
+            if let Some(dir) = &cfg.checkpoint_dir {
+                let ckpt = capture_state(
+                    fingerprint,
+                    epoch + 1,
+                    base_seconds + start.elapsed().as_secs_f64(),
+                    &model,
+                    &opt,
+                    queues.as_ref(),
+                    &rng,
+                    &order,
+                    &loss_history,
+                );
+                std::fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
+                ckpt.save(dir.join(checkpoint::checkpoint_file_name(fingerprint, epoch + 1)))?;
+                checkpoint::prune_checkpoints(dir, fingerprint, cfg.checkpoint_keep)
+                    .map_err(CheckpointError::Io)?;
+            }
+        }
+
         if stopper.update(mean_loss) {
             break;
         }
     }
 
     let embeddings = model.embed_detached(&model.store, &full_edges);
-    SarnTrained {
+    let epochs_run = loss_history.len();
+    Ok(SarnTrained {
         model,
         embeddings,
         loss_history,
         epochs_run,
-        train_seconds: start.elapsed().as_secs_f64(),
+        train_seconds: base_seconds + start.elapsed().as_secs_f64(),
         full_edges,
         cfg: cfg.clone(),
+    })
+}
+
+/// Snapshots the full training state after a completed epoch.
+#[allow(clippy::too_many_arguments)]
+fn capture_state(
+    fingerprint: u64,
+    next_epoch: usize,
+    train_seconds: f64,
+    model: &SarnModel,
+    opt: &Adam,
+    queues: Option<&CellQueues>,
+    rng: &StdRng,
+    order: &[usize],
+    loss_history: &[f32],
+) -> Checkpoint {
+    Checkpoint {
+        meta: CheckpointMeta {
+            fingerprint,
+            next_epoch: next_epoch as u32,
+            train_seconds,
+            rng_state: rng.state(),
+            loss_history: loss_history.to_vec(),
+            order: order.iter().map(|&o| o as u32).collect(),
+        },
+        query: ParamStoreSnapshot::of(&model.store),
+        momentum: ParamStoreSnapshot::of(&model.store_momentum),
+        optim: OptimState {
+            step: opt.step_count(),
+            m: opt.first_moments().to_vec(),
+            v: opt.second_moments().to_vec(),
+        },
+        queues: queues.map(|q| QueueState {
+            dim: q.dim() as u32,
+            capacity: q.capacity() as u32,
+            cells: q
+                .export_entries()
+                .into_iter()
+                .map(|cell| cell.into_iter().map(|(seg, e)| (seg as u32, e)).collect())
+                .collect(),
+        }),
     }
+}
+
+/// Restores a loaded checkpoint into freshly built training state,
+/// validating every piece against the run's geometry first.
+fn restore_state(
+    ckpt: &Checkpoint,
+    n: usize,
+    model: &mut SarnModel,
+    opt: &mut Adam,
+    queues: Option<&mut CellQueues>,
+    rng: &mut StdRng,
+    order: &mut Vec<usize>,
+) -> Result<(), CheckpointError> {
+    ckpt.query.apply_to(&mut model.store)?;
+    ckpt.momentum.apply_to(&mut model.store_momentum)?;
+
+    let optim = &ckpt.optim;
+    if optim.m.len() != optim.v.len() {
+        return Err(CheckpointError::StateMismatch(format!(
+            "optimizer moment counts differ: {} vs {}",
+            optim.m.len(),
+            optim.v.len()
+        )));
+    }
+    if !optim.m.is_empty() {
+        if optim.m.len() != model.store.len() {
+            return Err(CheckpointError::StateMismatch(format!(
+                "optimizer tracks {} params, model has {}",
+                optim.m.len(),
+                model.store.len()
+            )));
+        }
+        for (id, (m, v)) in model.store.ids().zip(optim.m.iter().zip(&optim.v)) {
+            let want = model.store.value(id).shape();
+            if m.shape() != want || v.shape() != want {
+                return Err(CheckpointError::StateMismatch(format!(
+                    "optimizer moment shape mismatch at {}: expected {:?}, found {:?}/{:?}",
+                    model.store.name(id),
+                    want,
+                    m.shape(),
+                    v.shape()
+                )));
+            }
+        }
+    }
+    opt.restore_state(optim.step, optim.m.clone(), optim.v.clone());
+
+    match (queues, &ckpt.queues) {
+        (None, None) => {}
+        (Some(q), Some(state)) => {
+            if state.dim as usize != q.dim() || state.capacity as usize != q.capacity() {
+                return Err(CheckpointError::StateMismatch(format!(
+                    "queue geometry mismatch: checkpoint dim/cap {}/{}, run has {}/{}",
+                    state.dim,
+                    state.capacity,
+                    q.dim(),
+                    q.capacity()
+                )));
+            }
+            let cells: Vec<Vec<(usize, Vec<f32>)>> = state
+                .cells
+                .iter()
+                .map(|cell| {
+                    cell.iter()
+                        .map(|(seg, e)| (*seg as usize, e.clone()))
+                        .collect()
+                })
+                .collect();
+            q.restore_entries(&cells)
+                .map_err(CheckpointError::StateMismatch)?;
+        }
+        (run, ckpt_q) => {
+            return Err(CheckpointError::StateMismatch(format!(
+                "queue presence mismatch: run {}, checkpoint {}",
+                if run.is_some() {
+                    "uses queues"
+                } else {
+                    "has none"
+                },
+                if ckpt_q.is_some() {
+                    "has them"
+                } else {
+                    "does not"
+                },
+            )));
+        }
+    }
+
+    *rng = StdRng::from_state(ckpt.meta.rng_state);
+
+    if ckpt.meta.order.len() != n {
+        return Err(CheckpointError::StateMismatch(format!(
+            "shuffle order covers {} segments, network has {n}",
+            ckpt.meta.order.len()
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &o in &ckpt.meta.order {
+        if (o as usize) >= n || seen[o as usize] {
+            return Err(CheckpointError::StateMismatch(
+                "shuffle order is not a permutation".to_string(),
+            ));
+        }
+        seen[o as usize] = true;
+    }
+    *order = ckpt.meta.order.iter().map(|&o| o as usize).collect();
+    Ok(())
 }
 
 /// One mini-batch step: forward both branches, build candidate sets, apply
@@ -409,6 +639,41 @@ mod tests {
         assert_ne!(fresh.embeddings.data(), trained.embeddings.data());
         fresh.load_into(&stem).unwrap();
         assert_eq!(fresh.embeddings.data(), trained.embeddings.data());
+        for ext in ["emb", "query", "momentum"] {
+            std::fs::remove_file(stem.with_extension(ext)).ok();
+        }
+    }
+
+    #[test]
+    fn load_into_rejects_shape_mismatch_without_mutating() {
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.max_epochs = 1;
+        let trained = train(&net, &cfg);
+        let stem = std::env::temp_dir().join(format!("sarn_mismatch_{}", std::process::id()));
+        trained.save(&stem).unwrap();
+
+        // A model with a different width has the same parameter names but
+        // different shapes; loading must fail and leave it untouched.
+        let mut wider = cfg.clone();
+        wider.d = cfg.d * 2;
+        wider.d_z = cfg.d_z * 2;
+        let mut other = train(&net, &wider);
+        let before: Vec<Vec<f32>> = other
+            .model
+            .store
+            .ids()
+            .map(|id| other.model.store.value(id).data().to_vec())
+            .collect();
+        let err = other.load_into(&stem).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let after: Vec<Vec<f32>> = other
+            .model
+            .store
+            .ids()
+            .map(|id| other.model.store.value(id).data().to_vec())
+            .collect();
+        assert_eq!(before, after, "failed load must not mutate the store");
         for ext in ["emb", "query", "momentum"] {
             std::fs::remove_file(stem.with_extension(ext)).ok();
         }

@@ -1,0 +1,133 @@
+//! Golden-file pin of checkpoint format version 1.
+//!
+//! `tests/golden/checkpoint_v1.sarnckpt` is a committed artifact produced by
+//! [`golden_checkpoint`]. The test below requires today's code to read it
+//! back *and* to re-serialize it to the identical bytes — so any change to
+//! the on-disk layout breaks this test until [`FORMAT_VERSION`] is bumped
+//! (and a new fixture is committed under the new version's name).
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! cargo test -p sarn-core --test checkpoint_golden regenerate -- --ignored
+//! ```
+
+use sarn_core::checkpoint::{
+    Checkpoint, CheckpointMeta, OptimState, ParamStoreSnapshot, QueueState, FORMAT_VERSION,
+};
+use sarn_tensor::Tensor;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("checkpoint_v{FORMAT_VERSION}.sarnckpt"))
+}
+
+/// The fixture's contents, fixed forever (for format version 1).
+fn golden_checkpoint() -> Checkpoint {
+    Checkpoint {
+        meta: CheckpointMeta {
+            fingerprint: 0x5A4E_2023_EDB7_0001,
+            next_epoch: 7,
+            train_seconds: 12.5,
+            rng_state: [
+                0x0123_4567_89AB_CDEF,
+                0xFEDC_BA98_7654_3210,
+                0x0F0F_0F0F_0F0F_0F0F,
+                0xF0F0_F0F0_F0F0_F0F0,
+            ],
+            loss_history: vec![1.5, 1.25, 1.0, 0.875, 0.75, 0.625, 0.5],
+            order: vec![4, 2, 0, 3, 1],
+        },
+        query: ParamStoreSnapshot {
+            params: vec![
+                (
+                    "gat.0.w".to_string(),
+                    Tensor::from_vec(2, 3, vec![0.125, -0.25, 0.5, -1.0, 2.0, -4.0]),
+                ),
+                (
+                    "gat.0.a".to_string(),
+                    Tensor::from_vec(1, 2, vec![0.75, -0.375]),
+                ),
+            ],
+        },
+        momentum: ParamStoreSnapshot {
+            params: vec![
+                (
+                    "gat.0.w".to_string(),
+                    Tensor::from_vec(2, 3, vec![0.0625, -0.125, 0.25, -0.5, 1.0, -2.0]),
+                ),
+                (
+                    "gat.0.a".to_string(),
+                    Tensor::from_vec(1, 2, vec![0.5, -0.25]),
+                ),
+            ],
+        },
+        optim: OptimState {
+            step: 42,
+            m: vec![
+                Tensor::from_vec(2, 3, vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06]),
+                Tensor::from_vec(1, 2, vec![0.07, 0.08]),
+            ],
+            v: vec![
+                Tensor::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+                Tensor::from_vec(1, 2, vec![0.7, 0.8]),
+            ],
+        },
+        queues: Some(QueueState {
+            dim: 2,
+            capacity: 3,
+            cells: vec![
+                vec![
+                    (11, vec![0.5, -0.5]),
+                    (22, vec![0.25, -0.25]),
+                    (33, vec![1.0, -1.0]),
+                ],
+                vec![(44, vec![2.0, -2.0])],
+                vec![],
+            ],
+        }),
+    }
+}
+
+#[test]
+fn format_version_is_one() {
+    // Bumping this constant is the deliberate act the golden test forces;
+    // when you do, regenerate the fixture under the new file name and
+    // update this assertion.
+    assert_eq!(FORMAT_VERSION, 1);
+}
+
+#[test]
+fn golden_fixture_reads_back_and_reserializes_identically() {
+    let path = fixture_path();
+    let on_disk = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {path:?} ({e}); regenerate with \
+             `cargo test -p sarn-core --test checkpoint_golden regenerate -- --ignored`"
+        )
+    });
+    let parsed = Checkpoint::from_bytes(&on_disk).expect("golden fixture no longer parses");
+    assert_eq!(
+        parsed,
+        golden_checkpoint(),
+        "golden fixture decodes to different contents — the format changed; bump FORMAT_VERSION"
+    );
+    assert_eq!(
+        golden_checkpoint().to_bytes(),
+        on_disk,
+        "serializer no longer produces the golden bytes — the format changed; bump FORMAT_VERSION"
+    );
+}
+
+/// Writes the fixture. Run only after an intentional format change (with
+/// `FORMAT_VERSION` bumped), then commit the new file.
+#[test]
+#[ignore = "regenerates the committed golden fixture"]
+fn regenerate() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, golden_checkpoint().to_bytes()).unwrap();
+    eprintln!("wrote {path:?}");
+}

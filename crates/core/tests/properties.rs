@@ -2,13 +2,17 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+use sarn_core::checkpoint::{
+    Checkpoint, CheckpointMeta, OptimState, ParamStoreSnapshot, QueueState,
+};
 use sarn_core::{
     pairwise_similarity, weighted_sample_without_replacement, AugmentConfig, Augmenter,
     SpatialSimilarity, SpatialSimilarityConfig,
 };
 use sarn_geo::Point;
 use sarn_roadnet::{City, HighwayClass, RoadNetwork, RoadSegment, SynthConfig};
+use sarn_tensor::Tensor;
 
 fn seg(lat: f64, lon: f64, dlat: f64, dlon: f64) -> RoadSegment {
     RoadSegment::between(
@@ -208,5 +212,123 @@ proptest! {
                 "edge {} removed {}/{} times — outside the epsilon clamp", i, r, draws
             );
         }
+    }
+}
+
+/// Deterministically fills a tensor with finite values from `rng`.
+fn arb_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| (rng.next_u64() % 20_001) as f32 / 100.0 - 100.0)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Builds an arbitrary (but `seed`-deterministic) checkpoint: varying
+/// parameter counts and shapes, optimizer moments, loss history, shuffle
+/// order, and optionally populated queues.
+fn arb_checkpoint(seed: u64, n_params: usize, with_queues: bool, n_cells: usize) -> Checkpoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shapes: Vec<(usize, usize)> = (0..n_params)
+        .map(|_| {
+            (
+                1 + (rng.next_u64() % 4) as usize,
+                1 + (rng.next_u64() % 5) as usize,
+            )
+        })
+        .collect();
+    let store_of = |rng: &mut StdRng| ParamStoreSnapshot {
+        params: shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| (format!("p{i}.w"), arb_tensor(rng, r, c)))
+            .collect(),
+    };
+    let query = store_of(&mut rng);
+    let momentum = store_of(&mut rng);
+    let optim = OptimState {
+        step: rng.next_u64() % 1_000_000,
+        m: shapes
+            .iter()
+            .map(|&(r, c)| arb_tensor(&mut rng, r, c))
+            .collect(),
+        v: shapes
+            .iter()
+            .map(|&(r, c)| arb_tensor(&mut rng, r, c))
+            .collect(),
+    };
+    let dim = 1 + (rng.next_u64() % 4) as usize;
+    let capacity = 1 + (rng.next_u64() % 5) as u32;
+    let queues = with_queues.then(|| QueueState {
+        dim: dim as u32,
+        capacity,
+        cells: (0..n_cells)
+            .map(|_| {
+                let fill = rng.next_u64() % (capacity as u64 + 1);
+                (0..fill)
+                    .map(|_| {
+                        let seg = (rng.next_u64() % 10_000) as u32;
+                        let emb = (0..dim)
+                            .map(|_| (rng.next_u64() % 1000) as f32 / 500.0 - 1.0)
+                            .collect();
+                        (seg, emb)
+                    })
+                    .collect()
+            })
+            .collect(),
+    });
+    let n_losses = rng.next_u64() % 20;
+    let n_order = rng.next_u64() % 50;
+    Checkpoint {
+        meta: CheckpointMeta {
+            fingerprint: rng.next_u64(),
+            next_epoch: (rng.next_u64() % 100_000) as u32,
+            train_seconds: (rng.next_u64() % 1_000_000) as f64 / 7.0,
+            rng_state: [
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+            ],
+            loss_history: (0..n_losses)
+                .map(|_| (rng.next_u64() % 2000) as f32 / 100.0)
+                .collect(),
+            order: (0..n_order)
+                .map(|_| (rng.next_u64() % 10_000) as u32)
+                .collect(),
+        },
+        query,
+        momentum,
+        optim,
+        queues,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn checkpoint_roundtrips_bitwise(
+        seed in 0u64..u64::MAX,
+        n_params in 0usize..5,
+        with_queues in 0u8..2,
+        n_cells in 0usize..5,
+    ) {
+        let ckpt = arb_checkpoint(seed, n_params, with_queues == 1, n_cells);
+        // Bytes → struct → bytes is the identity…
+        let bytes = ckpt.to_bytes();
+        let parsed = Checkpoint::from_bytes(&bytes);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}", parsed.err());
+        let parsed = parsed.unwrap();
+        prop_assert!(parsed == ckpt, "round-tripped checkpoint differs");
+        prop_assert_eq!(parsed.to_bytes(), bytes, "re-serialization differs");
+        // …and so is the atomic save → load path.
+        let path = std::env::temp_dir().join(format!(
+            "sarn_prop_ckpt_{}_{seed:016x}.sarnckpt",
+            std::process::id()
+        ));
+        ckpt.save(&path).unwrap();
+        let reloaded = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert!(reloaded == ckpt, "file round-trip differs");
     }
 }

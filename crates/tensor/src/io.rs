@@ -2,7 +2,11 @@
 //!
 //! A deliberately simple little-endian binary format (magic + shape +
 //! payload) so trained embeddings and models survive process restarts
-//! without any serialization dependency.
+//! without any serialization dependency. The streaming primitives
+//! ([`write_tensor_to`], [`read_tensor_from`], [`write_str_to`],
+//! [`read_str_from`], and the raw-store variants on [`ParamStore`]) are
+//! public so higher layers (e.g. the training checkpoint subsystem) can
+//! embed tensors and stores inside their own framed formats.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -14,47 +18,66 @@ use crate::tensor::Tensor;
 const TENSOR_MAGIC: &[u8; 4] = b"SRT1";
 const STORE_MAGIC: &[u8; 4] = b"SRS1";
 
-fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+/// Writes a `u32` in little-endian order.
+pub fn write_u32_to(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+/// Reads a little-endian `u32`.
+pub fn read_u32_from(r: &mut impl Read) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
-    write_u32(w, t.rows() as u32)?;
-    write_u32(w, t.cols() as u32)?;
-    for &v in t.data() {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    Ok(())
+/// Writes a `u64` in little-endian order.
+pub fn write_u64_to(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
 }
 
-fn read_tensor(r: &mut impl Read) -> io::Result<Tensor> {
-    let rows = read_u32(r)? as usize;
-    let cols = read_u32(r)? as usize;
+/// Reads a little-endian `u64`.
+pub fn read_u64_from(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a tensor's shape and row-major payload (no magic).
+pub fn write_tensor_to(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    write_u32_to(w, t.rows() as u32)?;
+    write_u32_to(w, t.cols() as u32)?;
+    let mut bytes = Vec::with_capacity(t.len() * 4);
+    for &v in t.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&bytes)
+}
+
+/// Reads a tensor written by [`write_tensor_to`].
+pub fn read_tensor_from(r: &mut impl Read) -> io::Result<Tensor> {
+    let rows = read_u32_from(r)? as usize;
+    let cols = read_u32_from(r)? as usize;
     let n = rows
         .checked_mul(cols)
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tensor shape overflow"))?;
-    let mut data = Vec::with_capacity(n);
-    let mut buf = [0u8; 4];
-    for _ in 0..n {
-        r.read_exact(&mut buf)?;
-        data.push(f32::from_le_bytes(buf));
-    }
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
     Ok(Tensor::from_vec(rows, cols, data))
 }
 
-fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
-    write_u32(w, s.len() as u32)?;
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_str_to(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32_to(w, s.len() as u32)?;
     w.write_all(s.as_bytes())
 }
 
-fn read_str(r: &mut impl Read) -> io::Result<String> {
-    let len = read_u32(r)? as usize;
+/// Reads a string written by [`write_str_to`].
+pub fn read_str_from(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32_from(r)? as usize;
     if len > 1 << 20 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -71,7 +94,7 @@ impl Tensor {
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(TENSOR_MAGIC)?;
-        write_tensor(&mut w, self)?;
+        write_tensor_to(&mut w, self)?;
         w.flush()
     }
 
@@ -86,20 +109,39 @@ impl Tensor {
                 "not a tensor file",
             ));
         }
-        read_tensor(&mut r)
+        read_tensor_from(&mut r)
     }
 }
 
 impl ParamStore {
+    /// Writes all parameter names and values (gradients are not persisted)
+    /// into a raw stream, without the file magic.
+    pub fn write_values_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_u32_to(w, self.len() as u32)?;
+        for id in self.ids() {
+            write_str_to(w, self.name(id))?;
+            write_tensor_to(w, self.value(id))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a store written by [`ParamStore::write_values_to`].
+    pub fn read_values_from(r: &mut impl Read) -> io::Result<ParamStore> {
+        let count = read_u32_from(r)? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let name = read_str_from(r)?;
+            let value = read_tensor_from(r)?;
+            store.add(name, value);
+        }
+        Ok(store)
+    }
+
     /// Writes all parameter names and values (gradients are not persisted).
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(STORE_MAGIC)?;
-        write_u32(&mut w, self.len() as u32)?;
-        for id in self.ids() {
-            write_str(&mut w, self.name(id))?;
-            write_tensor(&mut w, self.value(id))?;
-        }
+        self.write_values_to(&mut w)?;
         w.flush()
     }
 
@@ -114,38 +156,61 @@ impl ParamStore {
                 "not a param-store file",
             ));
         }
-        let count = read_u32(&mut r)? as usize;
-        let mut store = ParamStore::new();
-        for _ in 0..count {
-            let name = read_str(&mut r)?;
-            let value = read_tensor(&mut r)?;
-            store.add(name, value);
-        }
-        Ok(store)
+        ParamStore::read_values_from(&mut r)
     }
 
-    /// Loads values from a file into this store; the layout (names and
-    /// shapes, in order) must match.
-    pub fn load_values_from(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
-        let other = ParamStore::load(path)?;
+    /// Checks that `other` has this store's exact layout (parameter names
+    /// and shapes, in order), returning a descriptive error otherwise.
+    pub fn validate_layout_of(&self, other: &ParamStore) -> io::Result<()> {
         if other.len() != self.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("layout mismatch: {} vs {} params", other.len(), self.len()),
             ));
         }
-        for (mine, theirs) in self.ids().zip(other.ids()).collect::<Vec<_>>() {
-            if self.name(mine) != other.name(theirs)
-                || self.value(mine).shape() != other.value(theirs).shape()
-            {
+        for (mine, theirs) in self.ids().zip(other.ids()) {
+            if self.name(mine) != other.name(theirs) {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("param mismatch at {}", other.name(theirs)),
+                    format!(
+                        "param name mismatch: expected {}, found {}",
+                        self.name(mine),
+                        other.name(theirs)
+                    ),
                 ));
             }
+            if self.value(mine).shape() != other.value(theirs).shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "param {} shape mismatch: expected {:?}, found {:?}",
+                        self.name(mine),
+                        self.value(mine).shape(),
+                        other.value(theirs).shape()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies values from another store after validating the full layout,
+    /// so a mismatch anywhere leaves this store untouched.
+    pub fn copy_values_validated(&mut self, other: &ParamStore) -> io::Result<()> {
+        self.validate_layout_of(other)?;
+        for (mine, theirs) in self.ids().zip(other.ids()).collect::<Vec<_>>() {
             *self.value_mut(mine) = other.value(theirs).clone();
         }
         Ok(())
+    }
+
+    /// Loads values from a file into this store; the layout (names and
+    /// shapes, in order) must match. Validation runs against the complete
+    /// file before any value is written, so an error never leaves the store
+    /// partially loaded.
+    pub fn load_values_from(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let other = ParamStore::load(path)?;
+        self.copy_values_validated(&other)
     }
 }
 
@@ -196,6 +261,38 @@ mod tests {
         ok.load_values_from(&p).unwrap();
         assert_eq!(ok.value(ok.ids().next().unwrap()).data(), &[0.0, 0.0]);
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn load_values_from_is_transactional_on_late_mismatch() {
+        // The first param matches, the second does not: after the failed
+        // load, *neither* value may have changed.
+        let mut on_disk = ParamStore::new();
+        on_disk.add("a", Tensor::from_vec(1, 2, vec![9.0, 9.0]));
+        on_disk.add("b", Tensor::zeros(3, 3));
+        let p = tmp("transactional");
+        on_disk.save(&p).unwrap();
+        let mut target = ParamStore::new();
+        let a = target.add("a", Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = target.add("b", Tensor::ones(2, 3)); // shape differs
+        assert!(target.load_values_from(&p).is_err());
+        assert_eq!(target.value(a).data(), &[1.0, 2.0]);
+        assert_eq!(target.value(b).data(), &[1.0; 6]);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn raw_store_stream_roundtrips() {
+        let mut s = ParamStore::new();
+        s.add("x", Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let mut buf = Vec::new();
+        s.write_values_to(&mut buf).unwrap();
+        let back = ParamStore::read_values_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.value(back.ids().next().unwrap()).data(),
+            &[1., 2., 3., 4.]
+        );
     }
 
     #[test]

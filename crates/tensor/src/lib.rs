@@ -48,7 +48,7 @@
 mod autograd;
 pub mod grad_check;
 pub mod init;
-mod io;
+pub mod io;
 pub mod layers;
 pub mod optim;
 mod params;

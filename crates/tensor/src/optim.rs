@@ -46,6 +46,40 @@ impl Adam {
         self.lr = lr;
     }
 
+    /// Number of update steps taken so far (drives bias correction).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// First-moment estimates, one tensor per parameter (empty before the
+    /// first step).
+    pub fn first_moments(&self) -> &[Tensor] {
+        &self.m
+    }
+
+    /// Second-moment estimates, one tensor per parameter (empty before the
+    /// first step).
+    pub fn second_moments(&self) -> &[Tensor] {
+        &self.v
+    }
+
+    /// Restores the optimizer state captured by [`Adam::step_count`] /
+    /// [`Adam::first_moments`] / [`Adam::second_moments`], so a checkpointed
+    /// run resumes with bit-identical updates. Moment vectors must be the
+    /// same length (both may be empty, meaning "before the first step").
+    ///
+    /// # Panics
+    /// Panics if `m` and `v` have different lengths or mismatched shapes.
+    pub fn restore_state(&mut self, t: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        assert_eq!(m.len(), v.len(), "moment vectors differ in length");
+        for (a, b) in m.iter().zip(&v) {
+            assert_eq!(a.shape(), b.shape(), "moment tensor shape mismatch");
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
+
     /// Applies one update step using the gradients accumulated in `store`,
     /// then leaves the gradients untouched (call
     /// [`ParamStore::zero_grads`] before the next forward pass).
@@ -175,6 +209,38 @@ mod tests {
         for &v in store.value(w).data() {
             assert!((v - 3.0).abs() < 1e-2, "converged to {v}");
         }
+    }
+
+    #[test]
+    fn adam_state_restore_reproduces_the_trajectory() {
+        // Run A: 20 uninterrupted steps. Run B: 10 steps, export, restore
+        // into a fresh optimizer, 10 more. Parameters must match bitwise.
+        let run = |split: Option<usize>| -> Vec<f32> {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::from_vec(1, 2, vec![0.0, 10.0]));
+            let target = Tensor::from_vec(1, 2, vec![3.0, 3.0]);
+            let mut opt = Adam::new(0.1);
+            for step in 0..20 {
+                if split == Some(step) {
+                    let (t, m, v) = (
+                        opt.step_count(),
+                        opt.first_moments().to_vec(),
+                        opt.second_moments().to_vec(),
+                    );
+                    opt = Adam::new(0.1);
+                    opt.restore_state(t, m, v);
+                }
+                store.zero_grads();
+                let g = Graph::new();
+                let wv = g.param(&store, w);
+                let loss = g.mse(wv, &target);
+                g.backward(loss);
+                g.accumulate_grads(&mut store);
+                opt.step(&mut store);
+            }
+            store.value(w).data().to_vec()
+        };
+        assert_eq!(run(None), run(Some(10)));
     }
 
     #[test]

@@ -23,5 +23,15 @@ for t in 1 2 4; do
   RAYON_NUM_THREADS=$t cargo test -q -p sarn-sys-tests --test parallel_equivalence
 done
 
+# Checkpoint/resume smoke: train half a run with checkpointing on, resume
+# it from the directory, and require bitwise equality with a straight run
+# (the binary exits non-zero otherwise).
+step "checkpoint resume smoke (SARN_RESUME path)"
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR"' EXIT
+SARN_NET_SCALE=0.22 SARN_EPOCHS=6 SARN_CKPT_DIR="$CKPT_DIR" SARN_CKPT_EVERY=1 \
+  cargo run -q --release -p sarn-bench --bin resume_smoke
+ls "$CKPT_DIR"/ckpt-*.sarnckpt > /dev/null  # retention left artifacts behind
+
 echo
 echo "ci: all checks passed"
