@@ -1,0 +1,98 @@
+//! End-to-end watchdog fault-injection smoke check for CI.
+//!
+//! Exercises the two halves of the recovery contract on a real (small)
+//! training run:
+//!
+//! 1. **Transient fault** — a one-shot NaN injected into the gradient
+//!    stream mid-run must be detected within the batch, rolled back to the
+//!    last healthy snapshot, and the run must still finish with an
+//!    all-finite loss history. A rerun with the identical configuration
+//!    must be bitwise-identical (recovery is part of the deterministic
+//!    trajectory, not a wall-clock race).
+//! 2. **Sticky fault** — a fault that re-fires on every retry must exhaust
+//!    `max_recoveries` and surface as a typed [`sarn_core::TrainError`]
+//!    divergence report naming the violation, never a panic.
+//!
+//! Scale comes from the usual `SARN_*` environment knobs; the watchdog
+//! knobs (`SARN_WATCHDOG_MAX_RECOVERIES`, `SARN_WATCHDOG_LR_BACKOFF`,
+//! `SARN_WATCHDOG_GRAD_RATIO`) are honored too. Exits non-zero on any
+//! contract breach.
+
+use sarn_bench::ExperimentScale;
+use sarn_core::{try_train, FaultKind, FaultSpec, TrainError};
+use sarn_roadnet::City;
+
+fn main() {
+    let mut scale = ExperimentScale::from_env();
+    scale.watchdog = true;
+    let net = scale.network(City::Chengdu);
+
+    let mut cfg = scale.sarn_config_for(&net, 1);
+    // A mid-run fault needs epochs on both sides of it, and recovery can
+    // repeat the faulted epoch, so hold early stopping open.
+    cfg.max_epochs = cfg.max_epochs.max(4);
+    cfg.patience = 1000;
+    let fault_epoch = cfg.max_epochs / 2;
+
+    // Leg 1: transient NaN in the gradient stream — recover and finish.
+    let mut transient = cfg.clone();
+    transient.fault = Some(FaultSpec {
+        epoch: fault_epoch,
+        batch: 0,
+        kind: FaultKind::NanGrad,
+        sticky: false,
+    });
+    eprintln!("[watchdog_smoke] leg 1: one-shot NaN gradient at epoch {fault_epoch}");
+    let recovered = match try_train(&net, &transient) {
+        Ok(t) => t,
+        Err(e) => panic!("transient fault should recover, got: {e}"),
+    };
+    assert_eq!(
+        recovered.recoveries.len(),
+        1,
+        "expected exactly one recovery event"
+    );
+    assert!(
+        recovered.loss_history.iter().all(|l| l.is_finite()),
+        "loss history contains non-finite entries after recovery"
+    );
+
+    eprintln!("[watchdog_smoke] leg 2: rerun must be bitwise-identical");
+    let rerun = try_train(&net, &transient).expect("rerun of the recovered configuration");
+    assert_eq!(
+        recovered.loss_history, rerun.loss_history,
+        "recovered run is not deterministic (loss history differs)"
+    );
+    assert_eq!(
+        recovered.embeddings.data(),
+        rerun.embeddings.data(),
+        "recovered run is not deterministic (embeddings differ)"
+    );
+
+    // Leg 3: sticky fault — retries burn out into a typed report.
+    let mut sticky = cfg.clone();
+    sticky.fault = Some(FaultSpec {
+        epoch: fault_epoch,
+        batch: 0,
+        kind: FaultKind::NanGrad,
+        sticky: true,
+    });
+    eprintln!(
+        "[watchdog_smoke] leg 3: sticky fault, expecting divergence after {} recoveries",
+        sticky.watchdog.max_recoveries
+    );
+    match try_train(&net, &sticky) {
+        Ok(_) => panic!("sticky fault must not converge"),
+        Err(TrainError::Diverged(report)) => {
+            assert_eq!(report.recoveries.len(), report.max_recoveries);
+            assert_eq!(report.violation.epoch(), fault_epoch);
+            eprintln!("[watchdog_smoke] divergence report: {report}");
+        }
+        Err(e) => panic!("expected a divergence report, got: {e}"),
+    }
+
+    println!(
+        "watchdog_smoke OK: 1 recovery, bitwise rerun, sticky fault diverged after {} retries",
+        sticky.watchdog.max_recoveries
+    );
+}

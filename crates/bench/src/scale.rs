@@ -38,6 +38,21 @@ pub struct ExperimentScale {
     /// city/seed/variant has its own config fingerprint, so one directory
     /// serves a whole table sweep.
     pub resume: bool,
+    /// Enable the training watchdog (`SARN_WATCHDOG=1`; off by default).
+    pub watchdog: bool,
+    /// Rollback/retry budget before a run reports divergence
+    /// (`SARN_WATCHDOG_MAX_RECOVERIES`, default 3).
+    pub watchdog_max_recoveries: usize,
+    /// Learning-rate multiplier compounded on every recovery
+    /// (`SARN_WATCHDOG_LR_BACKOFF`, default 0.5).
+    pub watchdog_lr_backoff: f32,
+    /// Gradient-norm explosion threshold as a multiple of the EMA baseline
+    /// (`SARN_WATCHDOG_GRAD_RATIO`, default 25; `0` disables the ratio
+    /// probe while keeping the non-finite scans).
+    pub watchdog_grad_ratio: f32,
+    /// Global gradient-norm clip applied before every Adam step
+    /// (`SARN_CLIP_NORM`, default 0 = off).
+    pub clip_norm: f32,
 }
 
 impl ExperimentScale {
@@ -65,6 +80,11 @@ impl ExperimentScale {
             ckpt_every: get("SARN_CKPT_EVERY", 5.0) as usize,
             ckpt_keep: get("SARN_CKPT_KEEP", 3.0) as usize,
             resume: get("SARN_RESUME", 0.0) != 0.0,
+            watchdog: get("SARN_WATCHDOG", 0.0) != 0.0,
+            watchdog_max_recoveries: get("SARN_WATCHDOG_MAX_RECOVERIES", 3.0) as usize,
+            watchdog_lr_backoff: get("SARN_WATCHDOG_LR_BACKOFF", 0.5) as f32,
+            watchdog_grad_ratio: get("SARN_WATCHDOG_GRAD_RATIO", 25.0) as f32,
+            clip_norm: get("SARN_CLIP_NORM", 0.0) as f32,
         }
     }
 
@@ -117,6 +137,18 @@ impl ExperimentScale {
             cfg.checkpoint_keep = self.ckpt_keep;
             cfg.resume_auto = self.resume;
         }
+        if self.watchdog {
+            cfg = cfg.with_watchdog(sarn_core::WatchdogConfig {
+                enabled: true,
+                max_recoveries: self.watchdog_max_recoveries,
+                lr_backoff: self.watchdog_lr_backoff,
+                grad_ratio: self.watchdog_grad_ratio,
+                ..Default::default()
+            });
+        }
+        if self.clip_norm > 0.0 {
+            cfg = cfg.with_clip_norm(self.clip_norm);
+        }
         cfg
     }
 
@@ -151,6 +183,11 @@ mod tests {
             ckpt_every: 5,
             ckpt_keep: 3,
             resume: false,
+            watchdog: false,
+            watchdog_max_recoveries: 3,
+            watchdog_lr_backoff: 0.5,
+            watchdog_grad_ratio: 25.0,
+            clip_norm: 0.0,
         };
         let net = s.network(City::Chengdu);
         assert!(net.num_segments() > 100);
@@ -177,6 +214,11 @@ mod tests {
             ckpt_every: 4,
             ckpt_keep: 2,
             resume: true,
+            watchdog: true,
+            watchdog_max_recoveries: 5,
+            watchdog_lr_backoff: 0.25,
+            watchdog_grad_ratio: 40.0,
+            clip_norm: 1.5,
         };
         let cfg = s.sarn_config(7);
         assert_eq!(cfg.checkpoint_every, 4);
@@ -186,6 +228,27 @@ mod tests {
             Some(std::path::Path::new("/tmp/sarn-ckpts"))
         );
         assert!(cfg.resume_auto);
+        assert!(cfg.watchdog.enabled);
+        assert_eq!(cfg.watchdog.max_recoveries, 5);
+        assert_eq!(cfg.watchdog.lr_backoff, 0.25);
+        assert_eq!(cfg.watchdog.grad_ratio, 40.0);
+        assert_eq!(cfg.clip_norm, 1.5);
+        // The watchdog and clip knobs must not fork the checkpoint
+        // fingerprint lineage of an existing resumable run... except for
+        // clip_norm, which changes the trajectory and therefore must.
+        let mut off = s.clone();
+        off.watchdog = false;
+        off.clip_norm = 0.0;
+        let mut wd_only = s.clone();
+        wd_only.clip_norm = 0.0;
+        assert_eq!(
+            off.sarn_config(7).fingerprint(),
+            wd_only.sarn_config(7).fingerprint()
+        );
+        assert_ne!(
+            off.sarn_config(7).fingerprint(),
+            s.sarn_config(7).fingerprint()
+        );
         // Different seeds are different runs: their checkpoints must not
         // collide in the shared directory.
         assert_ne!(

@@ -216,7 +216,7 @@ pub fn weighted_sample_without_replacement(
             (key, i)
         })
         .collect();
-    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
     keyed.into_iter().take(k).map(|(_, i)| i).collect()
 }
 

@@ -265,7 +265,7 @@ impl Checkpoint {
         if bytes.len() < MAGIC.len() + 4 {
             return Err(CheckpointError::Truncated { section: "header" });
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
         if version != FORMAT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
@@ -406,8 +406,8 @@ impl<'a> Frames<'a> {
                 ),
             });
         }
-        let len = u64::from_le_bytes(header[4..12].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let len = u64::from_le_bytes(header[4..12].try_into().expect("8-byte slice")) as usize;
+        let crc = u32::from_le_bytes(header[12..16].try_into().expect("4-byte slice"));
         let payload_end = match header_end.checked_add(len) {
             Some(end) if end <= self.buf.len() => end,
             _ => return Err(CheckpointError::Truncated { section: name }),
@@ -438,19 +438,19 @@ fn corrupt(section: &'static str, e: impl fmt::Display) -> CheckpointError {
 fn encode_meta(meta: &CheckpointMeta) -> Vec<u8> {
     let mut p = Vec::new();
     let w = &mut p;
-    write_u64_to(w, meta.fingerprint).unwrap();
-    write_u32_to(w, meta.next_epoch).unwrap();
-    write_u64_to(w, meta.train_seconds.to_bits()).unwrap();
+    write_u64_to(w, meta.fingerprint).expect("Vec writes are infallible");
+    write_u32_to(w, meta.next_epoch).expect("Vec writes are infallible");
+    write_u64_to(w, meta.train_seconds.to_bits()).expect("Vec writes are infallible");
     for s in meta.rng_state {
-        write_u64_to(w, s).unwrap();
+        write_u64_to(w, s).expect("Vec writes are infallible");
     }
-    write_u32_to(w, meta.loss_history.len() as u32).unwrap();
+    write_u32_to(w, meta.loss_history.len() as u32).expect("Vec writes are infallible");
     for &l in &meta.loss_history {
         w.extend_from_slice(&l.to_le_bytes());
     }
-    write_u32_to(w, meta.order.len() as u32).unwrap();
+    write_u32_to(w, meta.order.len() as u32).expect("Vec writes are infallible");
     for &o in &meta.order {
-        write_u32_to(w, o).unwrap();
+        write_u32_to(w, o).expect("Vec writes are infallible");
     }
     p
 }
@@ -458,7 +458,7 @@ fn encode_meta(meta: &CheckpointMeta) -> Vec<u8> {
 fn decode_meta(payload: &[u8]) -> Result<CheckpointMeta, CheckpointError> {
     let name = SECTION_NAMES[0];
     let r = &mut &payload[..];
-    let err = |e: io::Error| corrupt(name, e);
+    let err = |e: sarn_tensor::IoError| corrupt(name, e);
     let fingerprint = read_u64_from(r).map_err(err)?;
     let next_epoch = read_u32_from(r).map_err(err)?;
     let train_seconds = f64::from_bits(read_u64_from(r).map_err(err)?);
@@ -488,10 +488,10 @@ fn decode_meta(payload: &[u8]) -> Result<CheckpointMeta, CheckpointError> {
 
 fn encode_store(snap: &ParamStoreSnapshot) -> Vec<u8> {
     let mut p = Vec::new();
-    write_u32_to(&mut p, snap.params.len() as u32).unwrap();
+    write_u32_to(&mut p, snap.params.len() as u32).expect("Vec writes are infallible");
     for (name, value) in &snap.params {
-        write_str_to(&mut p, name).unwrap();
-        write_tensor_to(&mut p, value).unwrap();
+        write_str_to(&mut p, name).expect("Vec writes are infallible");
+        write_tensor_to(&mut p, value).expect("Vec writes are infallible");
     }
     p
 }
@@ -510,10 +510,10 @@ fn decode_store(payload: &[u8], name: &'static str) -> Result<ParamStoreSnapshot
 
 fn encode_optim(optim: &OptimState) -> Vec<u8> {
     let mut p = Vec::new();
-    write_u64_to(&mut p, optim.step).unwrap();
-    write_u32_to(&mut p, optim.m.len() as u32).unwrap();
+    write_u64_to(&mut p, optim.step).expect("Vec writes are infallible");
+    write_u32_to(&mut p, optim.m.len() as u32).expect("Vec writes are infallible");
     for t in optim.m.iter().chain(&optim.v) {
-        write_tensor_to(&mut p, t).unwrap();
+        write_tensor_to(&mut p, t).expect("Vec writes are infallible");
     }
     p
 }
@@ -539,13 +539,13 @@ fn encode_queues(queues: Option<&QueueState>) -> Vec<u8> {
         None => p.push(0),
         Some(q) => {
             p.push(1);
-            write_u32_to(&mut p, q.dim).unwrap();
-            write_u32_to(&mut p, q.capacity).unwrap();
-            write_u32_to(&mut p, q.cells.len() as u32).unwrap();
+            write_u32_to(&mut p, q.dim).expect("Vec writes are infallible");
+            write_u32_to(&mut p, q.capacity).expect("Vec writes are infallible");
+            write_u32_to(&mut p, q.cells.len() as u32).expect("Vec writes are infallible");
             for cell in &q.cells {
-                write_u32_to(&mut p, cell.len() as u32).unwrap();
+                write_u32_to(&mut p, cell.len() as u32).expect("Vec writes are infallible");
                 for (seg, e) in cell {
-                    write_u32_to(&mut p, *seg).unwrap();
+                    write_u32_to(&mut p, *seg).expect("Vec writes are infallible");
                     for &x in e {
                         p.extend_from_slice(&x.to_le_bytes());
                     }

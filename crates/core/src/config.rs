@@ -2,6 +2,7 @@
 
 use crate::augment::AugmentConfig;
 use crate::similarity::SpatialSimilarityConfig;
+use crate::watchdog::{FaultSpec, WatchdogConfig};
 
 /// Which SARN components are active — the paper's ablation variants (§5.4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,6 +134,19 @@ pub struct SarnConfig {
     /// there is none — the mode the bench harness uses, making interrupted
     /// table/figure runs restartable with the same command line.
     pub resume_auto: bool,
+    /// Global gradient-norm clip applied by the optimizer before each step
+    /// (`0` = no clipping, the default). Clipping reshapes the trajectory,
+    /// so this knob is part of the config fingerprint.
+    pub clip_norm: f32,
+    /// Training watchdog: numerical-health probes plus automatic
+    /// rollback-to-checkpoint recovery (see [`crate::watchdog`]). Disabled
+    /// by default; a healthy watched run is bitwise-identical to an
+    /// unwatched one, so these knobs are *not* fingerprinted.
+    pub watchdog: WatchdogConfig,
+    /// Deterministic fault injection for watchdog tests and the
+    /// `watchdog_smoke` bench binary (never set in real runs; excluded
+    /// from the fingerprint).
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for SarnConfig {
@@ -168,6 +182,9 @@ impl Default for SarnConfig {
             checkpoint_keep: 3,
             resume_from: None,
             resume_auto: false,
+            clip_norm: 0.0,
+            watchdog: WatchdogConfig::default(),
+            fault: None,
         }
     }
 }
@@ -236,6 +253,22 @@ impl SarnConfig {
         self
     }
 
+    /// Enables the training watchdog with the given knobs (the `enabled`
+    /// flag inside `wd` is forced on).
+    pub fn with_watchdog(mut self, wd: WatchdogConfig) -> Self {
+        self.watchdog = WatchdogConfig {
+            enabled: true,
+            ..wd
+        };
+        self
+    }
+
+    /// Sets the global gradient-norm clip (`0` disables clipping).
+    pub fn with_clip_norm(mut self, clip_norm: f32) -> Self {
+        self.clip_norm = clip_norm;
+        self
+    }
+
     /// Effective cosine-annealing horizon: `schedule_epochs` when pinned,
     /// otherwise `max_epochs`.
     pub fn schedule_horizon(&self) -> usize {
@@ -252,8 +285,10 @@ impl SarnConfig {
     /// under a different value. Deliberately excluded: `max_epochs` itself
     /// (with the horizon pinned via `schedule_epochs`, a larger budget
     /// *extends* a run), `patience`, `num_threads` (training is bitwise
-    /// identical at every thread count), and the checkpoint knobs
-    /// themselves.
+    /// identical at every thread count), the checkpoint knobs themselves,
+    /// and the watchdog/fault knobs (a healthy watched run is bitwise
+    /// identical to an unwatched one). `clip_norm` IS included — clipping
+    /// reshapes every step that trips it.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv1a::new();
         for v in [
@@ -279,6 +314,7 @@ impl SarnConfig {
             self.variant as u64,
             self.loss_similarity as u64,
             self.readout as u64,
+            self.clip_norm.to_bits() as u64,
         ] {
             h.write_u64(v);
         }
@@ -365,6 +401,32 @@ mod tests {
             base.fingerprint(),
             base.clone().with_checkpointing("/tmp/x", 2).fingerprint()
         );
+        // Gradient clipping reshapes the trajectory; the watchdog does not.
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_clip_norm(5.0).fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_watchdog(WatchdogConfig::default())
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn watchdog_is_off_by_default_and_with_watchdog_forces_it_on() {
+        let c = SarnConfig::default();
+        assert!(!c.watchdog.enabled);
+        assert!((c.clip_norm - 0.0).abs() < f32::EPSILON);
+        assert!(c.fault.is_none());
+        let on = c.with_watchdog(WatchdogConfig {
+            enabled: false, // forced on by the builder
+            max_recoveries: 5,
+            ..WatchdogConfig::default()
+        });
+        assert!(on.watchdog.enabled);
+        assert_eq!(on.watchdog.max_recoveries, 5);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod model;
 mod queues;
 mod similarity;
 mod train;
+pub mod watchdog;
 
 pub use augment::{weighted_sample_without_replacement, AugmentConfig, Augmenter, GraphView};
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointMeta, OptimState, QueueState};
@@ -42,3 +43,7 @@ pub use model::SarnModel;
 pub use queues::CellQueues;
 pub use similarity::{pairwise_similarity, SpatialSimilarity, SpatialSimilarityConfig};
 pub use train::{train, try_train, zero_grads_except, SarnTrained};
+pub use watchdog::{
+    DivergenceReport, FaultKind, FaultSpec, HealthViolation, RecoveryEvent, TrainError, Watchdog,
+    WatchdogConfig,
+};

@@ -156,6 +156,29 @@ impl CellQueues {
         q.push_back((seg, embedding.to_vec()));
     }
 
+    /// [`CellQueues::push`] with admission checks, used by the training
+    /// watchdog: a wrong-dimension or non-finite embedding is rejected with
+    /// a description and the queue is left untouched — a corrupt entry
+    /// would otherwise poison every later batch that draws it as a
+    /// negative candidate.
+    pub fn push_checked(&mut self, seg: usize, embedding: &[f32]) -> Result<(), String> {
+        if embedding.len() != self.dim {
+            return Err(format!(
+                "embedding has dim {}, queue expects {}",
+                embedding.len(),
+                self.dim
+            ));
+        }
+        if let Some(pos) = embedding.iter().position(|v| !v.is_finite()) {
+            return Err(format!(
+                "non-finite value {} at component {pos}",
+                embedding[pos]
+            ));
+        }
+        self.push(seg, embedding);
+        Ok(())
+    }
+
     /// Local negatives of `seg`: embeddings in its own cell queue from other
     /// segments (Eq. 13). Rows of the returned matrix; empty when the queue
     /// holds nothing usable.
@@ -451,6 +474,22 @@ mod tests {
 
     fn snapless(cells: usize) -> Vec<Vec<(usize, Vec<f32>)>> {
         vec![Vec::new(); cells]
+    }
+
+    #[test]
+    fn push_checked_rejects_corrupt_entries_and_admits_clean_ones() {
+        let (_, mut q) = queues();
+        // Wrong dimension: rejected, queue untouched.
+        let err = q.push_checked(0, &[1.0; 3]).unwrap_err();
+        assert!(err.contains("dim 3"), "{err}");
+        assert_eq!(q.total_entries(), 0);
+        // Non-finite component: rejected with its position.
+        let err = q.push_checked(0, &[1.0, f32::NAN, 2.0, 3.0]).unwrap_err();
+        assert!(err.contains("component 1"), "{err}");
+        assert_eq!(q.total_entries(), 0);
+        // Clean entry: admitted exactly like push.
+        q.push_checked(0, &[1.0; 4]).unwrap();
+        assert_eq!(q.total_entries(), 1);
     }
 
     #[test]

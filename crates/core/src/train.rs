@@ -1,5 +1,7 @@
 //! SARN training (paper §4.5, Algorithm 1), with crash-safe periodic
-//! checkpointing and bitwise-identical resume (see [`crate::checkpoint`]).
+//! checkpointing and bitwise-identical resume (see [`crate::checkpoint`]),
+//! and an optional numerical-health watchdog with automatic
+//! rollback-to-checkpoint recovery (see [`crate::watchdog`]).
 
 use std::time::Instant;
 
@@ -19,6 +21,9 @@ use crate::config::{LossSimilarity, SarnConfig};
 use crate::model::SarnModel;
 use crate::queues::CellQueues;
 use crate::similarity::SpatialSimilarity;
+use crate::watchdog::{
+    retry_seed, DivergenceReport, FaultKind, HealthViolation, RecoveryEvent, TrainError, Watchdog,
+};
 
 /// A trained SARN model plus its frozen road-segment embeddings.
 pub struct SarnTrained {
@@ -35,6 +40,9 @@ pub struct SarnTrained {
     pub train_seconds: f64,
     /// Edge index of the uncorrupted graph (for fine-tuning forward passes).
     pub full_edges: EdgeIndex,
+    /// Watchdog recoveries performed during training, in order (empty when
+    /// the watchdog is disabled or the run stayed healthy).
+    pub recoveries: Vec<RecoveryEvent>,
     cfg: SarnConfig,
 }
 
@@ -60,7 +68,8 @@ impl SarnTrained {
         self.model.store.save(stem.with_extension("query"))?;
         self.model
             .store_momentum
-            .save(stem.with_extension("momentum"))
+            .save(stem.with_extension("momentum"))?;
+        Ok(())
     }
 
     /// Restores parameters saved by [`SarnTrained::save`] into a model with
@@ -88,15 +97,17 @@ impl SarnTrained {
 ///
 /// # Panics
 /// Panics if checkpointing or resuming is configured and fails (missing or
-/// corrupt checkpoint, mismatched configuration, unwritable directory);
+/// corrupt checkpoint, mismatched configuration, unwritable directory), or
+/// if the training watchdog gives up after exhausting its retry budget;
 /// use [`try_train`] to handle those as typed errors.
 pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
-    try_train(net, cfg).unwrap_or_else(|e| panic!("sarn training checkpoint failure: {e}"))
+    try_train(net, cfg).unwrap_or_else(|e| panic!("sarn training failure: {e}"))
 }
 
-/// [`train`] with checkpoint/resume failures surfaced as
-/// [`CheckpointError`] instead of panics.
-pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, CheckpointError> {
+/// [`train`] with failures surfaced as a typed [`TrainError`] instead of
+/// panics: checkpoint/resume problems as [`TrainError::Checkpoint`], an
+/// exhausted watchdog retry budget as [`TrainError::Diverged`].
+pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, TrainError> {
     let start = Instant::now();
     sarn_par::set_num_threads(cfg.num_threads);
     let n = net.num_segments();
@@ -119,7 +130,7 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Che
         .uses_grid_negatives()
         .then(|| CellQueues::with_readout(net, cfg.clen_m, cfg.total_k, cfg.d_z, cfg.readout));
 
-    let mut opt = Adam::new(cfg.lr);
+    let mut opt = Adam::new(cfg.lr).with_clip_norm(cfg.clip_norm);
     let schedule = CosineAnnealing::new(cfg.lr, cfg.lr * 0.01, cfg.schedule_horizon() as u64);
     let mut stopper = EarlyStopping::new(cfg.patience);
     let mut loss_history: Vec<f32> = Vec::new();
@@ -140,7 +151,8 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Che
             return Err(CheckpointError::ConfigMismatch {
                 expected: ckpt.meta.fingerprint,
                 found: fingerprint,
-            });
+            }
+            .into());
         }
         restore_state(
             &ckpt,
@@ -164,11 +176,35 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Che
         base_seconds = ckpt.meta.train_seconds;
     }
 
-    for epoch in start_epoch..cfg.max_epochs {
+    // Watchdog state. The rollback anchor is a full in-memory checkpoint
+    // (the same structure the crash-safe subsystem persists), refreshed at
+    // every healthy epoch boundary — recovery therefore works even when
+    // disk checkpointing is off.
+    let watching = cfg.watchdog.enabled;
+    let mut watchdog = watching.then(|| Watchdog::new(cfg.watchdog));
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut lr_scale = 1.0f32;
+    let mut fault_spent = false;
+    let mut anchor: Option<Box<Checkpoint>> = watching.then(|| {
+        Box::new(capture_state(
+            fingerprint,
+            start_epoch,
+            base_seconds,
+            &model,
+            &opt,
+            queues.as_ref(),
+            &rng,
+            &order,
+            &loss_history,
+        ))
+    });
+
+    let mut epoch = start_epoch;
+    while epoch < cfg.max_epochs {
         if already_stopped {
             break;
         }
-        opt.set_lr(schedule.lr_at(epoch as u64));
+        opt.set_lr(schedule.lr_at(epoch as u64) * lr_scale);
         // Two-view sampling: the seeds are drawn serially from the main
         // stream (view 1's first), then each view is corrupted under its
         // own stream — so the pair of views is the same whether the two
@@ -183,8 +219,15 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Che
 
         let mut epoch_loss = 0.0;
         let mut batches = 0;
-        for batch in order.chunks(cfg.batch_size) {
-            let loss = train_batch(
+        let mut violation: Option<HealthViolation> = None;
+        for (batch_idx, batch) in order.chunks(cfg.batch_size).enumerate() {
+            let fault = cfg
+                .fault
+                .filter(|f| f.epoch == epoch && f.batch == batch_idx && (f.sticky || !fault_spent));
+            if fault.is_some() {
+                fault_spent = true;
+            }
+            match train_batch(
                 &mut model,
                 cfg,
                 &view1,
@@ -192,14 +235,81 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Che
                 batch,
                 &mut opt,
                 queues.as_mut(),
-            );
-            epoch_loss += loss;
-            batches += 1;
+                watchdog.as_mut(),
+                fault.map(|f| f.kind),
+                epoch,
+                batch_idx,
+            ) {
+                Ok(loss) => {
+                    epoch_loss += loss;
+                    batches += 1;
+                }
+                Err(v) => {
+                    violation = Some(v);
+                    break;
+                }
+            }
         }
+        if watching && violation.is_none() {
+            violation = Watchdog::check_epoch_params(&model, epoch).err();
+        }
+
+        if let Some(v) = violation {
+            let snap = anchor
+                .as_deref()
+                .expect("violations are only raised with the watchdog (and its anchor) in place");
+            if recoveries.len() >= cfg.watchdog.max_recoveries {
+                return Err(TrainError::Diverged(Box::new(DivergenceReport {
+                    violation: v,
+                    recoveries,
+                    max_recoveries: cfg.watchdog.max_recoveries,
+                    loss_history: snap.meta.loss_history.clone(),
+                })));
+            }
+            // Roll back through the same validated path a disk resume uses,
+            // discarding every poisoned tensor, queue entry, and history
+            // suffix…
+            restore_state(
+                snap,
+                n,
+                &mut model,
+                &mut opt,
+                queues.as_mut(),
+                &mut rng,
+                &mut order,
+            )?;
+            loss_history = snap.meta.loss_history.clone();
+            stopper = EarlyStopping::new(cfg.patience);
+            already_stopped = false;
+            for &l in &loss_history {
+                if stopper.update(l) {
+                    already_stopped = true;
+                }
+            }
+            // …then back off the learning rate and re-derive the RNG stream
+            // from the anchor's saved state plus the retry ordinal:
+            // deterministic and replayable, but exploring different views
+            // and batch orders than the leg that diverged.
+            let retry = recoveries.len() as u64 + 1;
+            rng = StdRng::seed_from_u64(retry_seed(snap.meta.rng_state, retry));
+            lr_scale *= cfg.watchdog.lr_backoff;
+            if let Some(w) = watchdog.as_mut() {
+                w.reset();
+            }
+            let resume_epoch = snap.meta.next_epoch as usize;
+            recoveries.push(RecoveryEvent {
+                violation: v,
+                rolled_back_to_epoch: resume_epoch,
+                lr_scale,
+            });
+            epoch = resume_epoch;
+            continue;
+        }
+
         let mean_loss = epoch_loss / batches.max(1) as f32;
         loss_history.push(mean_loss);
 
-        if cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0 {
+        if cfg.checkpoint_every > 0 && (epoch + 1).is_multiple_of(cfg.checkpoint_every) {
             if let Some(dir) = &cfg.checkpoint_dir {
                 let ckpt = capture_state(
                     fingerprint,
@@ -219,9 +329,24 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Che
             }
         }
 
+        if watching {
+            anchor = Some(Box::new(capture_state(
+                fingerprint,
+                epoch + 1,
+                base_seconds + start.elapsed().as_secs_f64(),
+                &model,
+                &opt,
+                queues.as_ref(),
+                &rng,
+                &order,
+                &loss_history,
+            )));
+        }
+
         if stopper.update(mean_loss) {
             break;
         }
+        epoch += 1;
     }
 
     let embeddings = model.embed_detached(&model.store, &full_edges);
@@ -233,6 +358,7 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Che
         epochs_run,
         train_seconds: base_seconds + start.elapsed().as_secs_f64(),
         full_edges,
+        recoveries,
         cfg: cfg.clone(),
     })
 }
@@ -388,6 +514,13 @@ fn restore_state(
 /// One mini-batch step: forward both branches, build candidate sets, apply
 /// the two-level (or plain) InfoNCE loss, update the query branch, momentum-
 /// update the other, and refresh the queues (Algorithm 1 lines 5–15).
+///
+/// With a watchdog present, the health probe runs after the backward pass
+/// and **before** the optimizer step — a sick gradient is caught within the
+/// batch that produced it and never touches the parameters — and queue
+/// admission is checked. `fault` deliberately corrupts this batch (test
+/// injection only).
+#[allow(clippy::too_many_arguments)]
 fn train_batch(
     model: &mut SarnModel,
     cfg: &SarnConfig,
@@ -396,7 +529,11 @@ fn train_batch(
     batch: &[usize],
     opt: &mut Adam,
     queues: Option<&mut CellQueues>,
-) -> f32 {
+    watchdog: Option<&mut Watchdog>,
+    fault: Option<FaultKind>,
+    epoch: usize,
+    batch_idx: usize,
+) -> Result<f32, HealthViolation> {
     // Momentum branch on view 2, detached (gradients flow only into the
     // query branch, per MoCo). Projections are L2-normalized so the
     // dot-product similarity at tau = 0.05 operates on the unit sphere
@@ -457,18 +594,50 @@ fn train_batch(
             g.info_nce(z, cands, cfg.tau)
         }
     };
-    let loss_value = g.value(loss).item();
+    let mut loss_value = g.value(loss).item();
     g.backward(loss);
     g.accumulate_grads(&mut model.store);
+
+    match fault {
+        Some(FaultKind::NanLoss) => loss_value = f32::NAN,
+        Some(FaultKind::NanGrad) => {
+            if let Some(id) = model.store.ids().next() {
+                model.store.grad_mut(id).data_mut()[0] = f32::NAN;
+            }
+        }
+        Some(FaultKind::HugeGrad) => {
+            for id in model.store.ids().collect::<Vec<_>>() {
+                model.store.grad_mut(id).scale_mut(1e20);
+            }
+        }
+        None => {}
+    }
+
+    let watching = watchdog.is_some();
+    if let Some(w) = watchdog {
+        // Probing before `opt.step` means a sick gradient never reaches the
+        // parameters — the rollback only has to unwind queue-free state.
+        w.check_batch(&model.store, loss_value, epoch, batch_idx)?;
+    }
     opt.step(&mut model.store);
     model.momentum_update(cfg.momentum);
 
     if let Some(q) = queues {
         for (&i, zp) in batch.iter().zip(&z_prime) {
-            q.push(i, zp);
+            if watching {
+                q.push_checked(i, zp)
+                    .map_err(|detail| HealthViolation::CorruptQueueEntry {
+                        epoch,
+                        batch: batch_idx,
+                        segment: i,
+                        detail,
+                    })?;
+            } else {
+                q.push(i, zp);
+            }
         }
     }
-    loss_value
+    Ok(loss_value)
 }
 
 /// In-place row L2 normalization of a raw tensor.

@@ -13,5 +13,5 @@ mod point;
 pub use grid::{CellId, Grid};
 pub use point::{
     angular_distance, haversine_m, normalize_radian, BoundingBox, LocalProjection, Point,
-    EARTH_RADIUS_M,
+    PointError, EARTH_RADIUS_M,
 };

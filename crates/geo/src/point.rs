@@ -1,9 +1,45 @@
 //! Points, distances, and angles on the sphere.
 
 use std::f64::consts::PI;
+use std::fmt;
 
 /// Mean Earth radius in meters (as used by the haversine formula).
 pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// Why a coordinate pair was rejected by [`Point::try_new`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PointError {
+    /// Latitude or longitude is NaN or infinite — downstream haversine
+    /// distances and bearings would silently turn NaN.
+    NonFinite {
+        /// The offending latitude.
+        lat: f64,
+        /// The offending longitude.
+        lon: f64,
+    },
+    /// Latitude outside `[-90, 90]` degrees.
+    LatitudeOutOfRange(f64),
+    /// Longitude outside `[-180, 180]` degrees.
+    LongitudeOutOfRange(f64),
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::NonFinite { lat, lon } => {
+                write!(f, "non-finite coordinate ({lat}, {lon})")
+            }
+            PointError::LatitudeOutOfRange(lat) => {
+                write!(f, "latitude {lat} outside [-90, 90] degrees")
+            }
+            PointError::LongitudeOutOfRange(lon) => {
+                write!(f, "longitude {lon} outside [-180, 180] degrees")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
 
 /// A WGS-84 coordinate in degrees.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -15,9 +51,44 @@ pub struct Point {
 }
 
 impl Point {
-    /// Creates a point from latitude/longitude degrees.
+    /// Creates a point from latitude/longitude degrees, without range
+    /// validation.
+    ///
+    /// Internal geometry (e.g. [`LocalProjection::unproject`]) may
+    /// legitimately produce coordinates slightly outside the WGS-84 box,
+    /// so this stays permissive in release builds; ingesting *external*
+    /// data should go through [`Point::try_new`]. Debug builds assert
+    /// finiteness — a NaN coordinate is never meaningful.
     pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!(
+            lat.is_finite() && lon.is_finite(),
+            "non-finite coordinate ({lat}, {lon})"
+        );
         Self { lat, lon }
+    }
+
+    /// Creates a point from latitude/longitude degrees, rejecting
+    /// non-finite values and coordinates outside the WGS-84 ranges with a
+    /// typed [`PointError`] — the boundary check for externally sourced
+    /// data, so a bad record surfaces at parse time instead of as a NaN
+    /// haversine distance deep in grid construction.
+    pub fn try_new(lat: f64, lon: f64) -> Result<Self, PointError> {
+        if !lat.is_finite() || !lon.is_finite() {
+            return Err(PointError::NonFinite { lat, lon });
+        }
+        if !(-90.0..=90.0).contains(&lat) {
+            return Err(PointError::LatitudeOutOfRange(lat));
+        }
+        if !(-180.0..=180.0).contains(&lon) {
+            return Err(PointError::LongitudeOutOfRange(lon));
+        }
+        Ok(Self { lat, lon })
+    }
+
+    /// True when both coordinates are finite and inside the WGS-84 ranges
+    /// (the invariant [`Point::try_new`] enforces).
+    pub fn is_valid(&self) -> bool {
+        Point::try_new(self.lat, self.lon).is_ok()
     }
 
     /// Midpoint with another point (adequate at city scale).
@@ -244,6 +315,52 @@ mod tests {
         let hd = haversine_m(&origin, &p);
         let pd = proj.distance_m(&origin, &p);
         assert!((hd - pd).abs() / hd < 1e-3, "hav {hd}, proj {pd}");
+    }
+
+    #[test]
+    fn try_new_accepts_valid_and_boundary_coordinates() {
+        assert!(Point::try_new(48.8566, 2.3522).is_ok());
+        assert!(Point::try_new(90.0, 180.0).is_ok());
+        assert!(Point::try_new(-90.0, -180.0).is_ok());
+        assert!(Point::try_new(0.0, 0.0).unwrap().is_valid());
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_coordinates() {
+        for (lat, lon) in [
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+            (f64::INFINITY, 0.0),
+            (0.0, f64::NEG_INFINITY),
+        ] {
+            match Point::try_new(lat, lon) {
+                Err(PointError::NonFinite { .. }) => {}
+                other => panic!("({lat}, {lon}): expected NonFinite, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_with_the_offending_value() {
+        assert_eq!(
+            Point::try_new(90.5, 0.0),
+            Err(PointError::LatitudeOutOfRange(90.5))
+        );
+        assert_eq!(
+            Point::try_new(0.0, -180.5),
+            Err(PointError::LongitudeOutOfRange(-180.5))
+        );
+        let msg = PointError::LatitudeOutOfRange(91.0).to_string();
+        assert!(msg.contains("91"), "{msg}");
+    }
+
+    #[test]
+    fn is_valid_flags_out_of_range_points_built_permissively() {
+        // `new` stays permissive (projection math can step outside the
+        // box); `is_valid` reports the violation.
+        let p = Point::new(95.0, 0.0);
+        assert!(!p.is_valid());
+        assert!(Point::new(30.66, 104.06).is_valid());
     }
 
     #[test]

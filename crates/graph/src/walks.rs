@@ -46,7 +46,7 @@ impl<'g> BiasedWalker<'g> {
         let mut walk = Vec::with_capacity(self.config.walk_length);
         walk.push(start);
         while walk.len() < self.config.walk_length {
-            let cur = *walk.last().unwrap();
+            let cur = *walk.last().expect("walk always holds its start vertex");
             let prev = if walk.len() >= 2 {
                 Some(walk[walk.len() - 2])
             } else {
@@ -101,7 +101,9 @@ impl<'g> BiasedWalker<'g> {
             }
             r -= w;
         }
-        Some(neighbors.last().unwrap().0)
+        // Rounding can push `r` past every weight; fall back to the last
+        // neighbor (non-empty, checked above).
+        Some(neighbors.last()?.0)
     }
 }
 

@@ -466,7 +466,7 @@ fn wire_chain(
         connectivity.push((pair[0], pair[1]));
     }
     departing[from_node].push(chain[0]);
-    arriving[to_node].push(*chain.last().unwrap());
+    arriving[to_node].push(*chain.last().expect("chains are non-empty"));
 }
 
 /// Keeps only the largest weakly-connected component, remapping indices.

@@ -7,7 +7,14 @@
 //! [`read_str_from`], and the raw-store variants on [`ParamStore`]) are
 //! public so higher layers (e.g. the training checkpoint subsystem) can
 //! embed tensors and stores inside their own framed formats.
+//!
+//! Every fallible operation returns a typed [`IoError`] — a truncated or
+//! corrupt embedding file surfaces as a descriptive error a serving path
+//! can handle, never a panic or an unbounded allocation. For callers in
+//! `std::io::Result` contexts, [`IoError`] converts losslessly into
+//! [`std::io::Error`] (format problems become `InvalidData`).
 
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -18,50 +25,165 @@ use crate::tensor::Tensor;
 const TENSOR_MAGIC: &[u8; 4] = b"SRT1";
 const STORE_MAGIC: &[u8; 4] = b"SRS1";
 
+/// Payloads are read in chunks of at most this many bytes, so a corrupt
+/// header claiming an enormous shape fails with [`IoError::Truncated`]
+/// after a bounded allocation instead of aborting on an out-of-memory.
+const MAX_CHUNK: usize = 1 << 22; // 4 MiB
+
+/// Sanity bound on length-prefixed strings (parameter names).
+const MAX_STR_LEN: usize = 1 << 20;
+
+/// Typed failure of tensor / parameter-store persistence.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure (open, read, write, flush).
+    Io(io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// Magic the reader expected (`SRT1` for tensors, `SRS1` for
+        /// stores).
+        expected: &'static str,
+    },
+    /// The stream ended in the middle of `context`.
+    Truncated {
+        /// What was being read when the stream ran dry.
+        context: &'static str,
+    },
+    /// A header claims a tensor shape whose element count overflows.
+    ShapeOverflow {
+        /// Claimed row count.
+        rows: usize,
+        /// Claimed column count.
+        cols: usize,
+    },
+    /// A length-prefixed string exceeds the sanity bound.
+    StringTooLong {
+        /// Claimed byte length.
+        len: usize,
+    },
+    /// A string payload is not valid UTF-8.
+    InvalidUtf8,
+    /// Two parameter stores disagree on layout (names or shapes).
+    LayoutMismatch(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "{e}"),
+            IoError::BadMagic { expected } => {
+                write!(f, "bad magic: expected a {expected} file")
+            }
+            IoError::Truncated { context } => {
+                write!(f, "truncated stream while reading {context}")
+            }
+            IoError::ShapeOverflow { rows, cols } => {
+                write!(f, "tensor shape {rows}x{cols} overflows")
+            }
+            IoError::StringTooLong { len } => {
+                write!(
+                    f,
+                    "string length {len} exceeds the {MAX_STR_LEN}-byte bound"
+                )
+            }
+            IoError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+            IoError::LayoutMismatch(detail) => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<IoError> for io::Error {
+    /// Lossless for [`IoError::Io`]; every format problem maps to
+    /// [`io::ErrorKind::InvalidData`] with the typed error's message.
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// `read_exact` that reports a clean EOF inside `context` as
+/// [`IoError::Truncated`] rather than a bare I/O error.
+fn read_exact_ctx(r: &mut impl Read, buf: &mut [u8], context: &'static str) -> Result<(), IoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            IoError::Truncated { context }
+        } else {
+            IoError::Io(e)
+        }
+    })
+}
+
 /// Writes a `u32` in little-endian order.
-pub fn write_u32_to(w: &mut impl Write, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+pub fn write_u32_to(w: &mut impl Write, v: u32) -> Result<(), IoError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
 }
 
 /// Reads a little-endian `u32`.
-pub fn read_u32_from(r: &mut impl Read) -> io::Result<u32> {
+pub fn read_u32_from(r: &mut impl Read) -> Result<u32, IoError> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
+    read_exact_ctx(r, &mut buf, "u32")?;
     Ok(u32::from_le_bytes(buf))
 }
 
 /// Writes a `u64` in little-endian order.
-pub fn write_u64_to(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+pub fn write_u64_to(w: &mut impl Write, v: u64) -> Result<(), IoError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
 }
 
 /// Reads a little-endian `u64`.
-pub fn read_u64_from(r: &mut impl Read) -> io::Result<u64> {
+pub fn read_u64_from(r: &mut impl Read) -> Result<u64, IoError> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    read_exact_ctx(r, &mut buf, "u64")?;
     Ok(u64::from_le_bytes(buf))
 }
 
 /// Writes a tensor's shape and row-major payload (no magic).
-pub fn write_tensor_to(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+pub fn write_tensor_to(w: &mut impl Write, t: &Tensor) -> Result<(), IoError> {
     write_u32_to(w, t.rows() as u32)?;
     write_u32_to(w, t.cols() as u32)?;
     let mut bytes = Vec::with_capacity(t.len() * 4);
     for &v in t.data() {
         bytes.extend_from_slice(&v.to_le_bytes());
     }
-    w.write_all(&bytes)
+    Ok(w.write_all(&bytes)?)
 }
 
-/// Reads a tensor written by [`write_tensor_to`].
-pub fn read_tensor_from(r: &mut impl Read) -> io::Result<Tensor> {
+/// Reads a tensor written by [`write_tensor_to`]. The payload is pulled in
+/// bounded chunks, so a damaged header claiming a huge shape fails after at
+/// most [`MAX_CHUNK`] bytes of allocation beyond the actual data.
+pub fn read_tensor_from(r: &mut impl Read) -> Result<Tensor, IoError> {
     let rows = read_u32_from(r)? as usize;
     let cols = read_u32_from(r)? as usize;
-    let n = rows
+    let total = rows
         .checked_mul(cols)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tensor shape overflow"))?;
-    let mut bytes = vec![0u8; n * 4];
-    r.read_exact(&mut bytes)?;
+        .and_then(|n| n.checked_mul(4))
+        .ok_or(IoError::ShapeOverflow { rows, cols })?;
+    let mut bytes = Vec::new();
+    let mut remaining = total;
+    while remaining > 0 {
+        let chunk = remaining.min(MAX_CHUNK);
+        let off = bytes.len();
+        bytes.resize(off + chunk, 0);
+        read_exact_ctx(r, &mut bytes[off..], "tensor payload")?;
+        remaining -= chunk;
+    }
     let data = bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -70,44 +192,38 @@ pub fn read_tensor_from(r: &mut impl Read) -> io::Result<Tensor> {
 }
 
 /// Writes a length-prefixed UTF-8 string.
-pub fn write_str_to(w: &mut impl Write, s: &str) -> io::Result<()> {
+pub fn write_str_to(w: &mut impl Write, s: &str) -> Result<(), IoError> {
     write_u32_to(w, s.len() as u32)?;
-    w.write_all(s.as_bytes())
+    Ok(w.write_all(s.as_bytes())?)
 }
 
 /// Reads a string written by [`write_str_to`].
-pub fn read_str_from(r: &mut impl Read) -> io::Result<String> {
+pub fn read_str_from(r: &mut impl Read) -> Result<String, IoError> {
     let len = read_u32_from(r)? as usize;
-    if len > 1 << 20 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "string too long",
-        ));
+    if len > MAX_STR_LEN {
+        return Err(IoError::StringTooLong { len });
     }
     let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    read_exact_ctx(r, &mut buf, "string payload")?;
+    String::from_utf8(buf).map_err(|_| IoError::InvalidUtf8)
 }
 
 impl Tensor {
     /// Writes this tensor to a file.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(TENSOR_MAGIC)?;
         write_tensor_to(&mut w, self)?;
-        w.flush()
+        Ok(w.flush()?)
     }
 
     /// Reads a tensor written by [`Tensor::save`].
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Tensor> {
+    pub fn load(path: impl AsRef<Path>) -> Result<Tensor, IoError> {
         let mut r = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        read_exact_ctx(&mut r, &mut magic, "file magic")?;
         if &magic != TENSOR_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a tensor file",
-            ));
+            return Err(IoError::BadMagic { expected: "SRT1" });
         }
         read_tensor_from(&mut r)
     }
@@ -116,7 +232,7 @@ impl Tensor {
 impl ParamStore {
     /// Writes all parameter names and values (gradients are not persisted)
     /// into a raw stream, without the file magic.
-    pub fn write_values_to(&self, w: &mut impl Write) -> io::Result<()> {
+    pub fn write_values_to(&self, w: &mut impl Write) -> Result<(), IoError> {
         write_u32_to(w, self.len() as u32)?;
         for id in self.ids() {
             write_str_to(w, self.name(id))?;
@@ -126,7 +242,7 @@ impl ParamStore {
     }
 
     /// Reads a store written by [`ParamStore::write_values_to`].
-    pub fn read_values_from(r: &mut impl Read) -> io::Result<ParamStore> {
+    pub fn read_values_from(r: &mut impl Read) -> Result<ParamStore, IoError> {
         let count = read_u32_from(r)? as usize;
         let mut store = ParamStore::new();
         for _ in 0..count {
@@ -138,57 +254,49 @@ impl ParamStore {
     }
 
     /// Writes all parameter names and values (gradients are not persisted).
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(STORE_MAGIC)?;
         self.write_values_to(&mut w)?;
-        w.flush()
+        Ok(w.flush()?)
     }
 
     /// Reads a store written by [`ParamStore::save`].
-    pub fn load(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+    pub fn load(path: impl AsRef<Path>) -> Result<ParamStore, IoError> {
         let mut r = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        read_exact_ctx(&mut r, &mut magic, "file magic")?;
         if &magic != STORE_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a param-store file",
-            ));
+            return Err(IoError::BadMagic { expected: "SRS1" });
         }
         ParamStore::read_values_from(&mut r)
     }
 
     /// Checks that `other` has this store's exact layout (parameter names
     /// and shapes, in order), returning a descriptive error otherwise.
-    pub fn validate_layout_of(&self, other: &ParamStore) -> io::Result<()> {
+    pub fn validate_layout_of(&self, other: &ParamStore) -> Result<(), IoError> {
         if other.len() != self.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("layout mismatch: {} vs {} params", other.len(), self.len()),
-            ));
+            return Err(IoError::LayoutMismatch(format!(
+                "layout mismatch: {} vs {} params",
+                other.len(),
+                self.len()
+            )));
         }
         for (mine, theirs) in self.ids().zip(other.ids()) {
             if self.name(mine) != other.name(theirs) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "param name mismatch: expected {}, found {}",
-                        self.name(mine),
-                        other.name(theirs)
-                    ),
-                ));
+                return Err(IoError::LayoutMismatch(format!(
+                    "param name mismatch: expected {}, found {}",
+                    self.name(mine),
+                    other.name(theirs)
+                )));
             }
             if self.value(mine).shape() != other.value(theirs).shape() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "param {} shape mismatch: expected {:?}, found {:?}",
-                        self.name(mine),
-                        self.value(mine).shape(),
-                        other.value(theirs).shape()
-                    ),
-                ));
+                return Err(IoError::LayoutMismatch(format!(
+                    "param {} shape mismatch: expected {:?}, found {:?}",
+                    self.name(mine),
+                    self.value(mine).shape(),
+                    other.value(theirs).shape()
+                )));
             }
         }
         Ok(())
@@ -196,7 +304,7 @@ impl ParamStore {
 
     /// Copies values from another store after validating the full layout,
     /// so a mismatch anywhere leaves this store untouched.
-    pub fn copy_values_validated(&mut self, other: &ParamStore) -> io::Result<()> {
+    pub fn copy_values_validated(&mut self, other: &ParamStore) -> Result<(), IoError> {
         self.validate_layout_of(other)?;
         for (mine, theirs) in self.ids().zip(other.ids()).collect::<Vec<_>>() {
             *self.value_mut(mine) = other.value(theirs).clone();
@@ -208,7 +316,7 @@ impl ParamStore {
     /// shapes, in order) must match. Validation runs against the complete
     /// file before any value is written, so an error never leaves the store
     /// partially loaded.
-    pub fn load_values_from(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+    pub fn load_values_from(&mut self, path: impl AsRef<Path>) -> Result<(), IoError> {
         let other = ParamStore::load(path)?;
         self.copy_values_validated(&other)
     }
@@ -255,7 +363,10 @@ mod tests {
         s.save(&p).unwrap();
         let mut other = ParamStore::new();
         other.add("w", Tensor::zeros(2, 2)); // different shape
-        assert!(other.load_values_from(&p).is_err());
+        assert!(matches!(
+            other.load_values_from(&p),
+            Err(IoError::LayoutMismatch(_))
+        ));
         let mut ok = ParamStore::new();
         ok.add("w", Tensor::ones(1, 2));
         ok.load_values_from(&p).unwrap();
@@ -296,11 +407,86 @@ mod tests {
     }
 
     #[test]
-    fn loading_garbage_fails_cleanly() {
+    fn loading_garbage_fails_with_bad_magic() {
         let p = tmp("garbage");
         std::fs::write(&p, b"not a tensor at all").unwrap();
-        assert!(Tensor::load(&p).is_err());
-        assert!(ParamStore::load(&p).is_err());
+        assert!(matches!(
+            Tensor::load(&p),
+            Err(IoError::BadMagic { expected: "SRT1" })
+        ));
+        assert!(matches!(
+            ParamStore::load(&p),
+            Err(IoError::BadMagic { expected: "SRS1" })
+        ));
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn truncated_tensor_file_is_a_typed_truncation() {
+        // Cut a valid file at several depths: inside the magic, inside the
+        // header, and inside the payload. Every cut is an error — never a
+        // panic, never a partial tensor.
+        let t = Tensor::from_vec(4, 4, (0..16).map(|i| i as f32).collect());
+        let p = tmp("trunc");
+        t.save(&p).unwrap();
+        let full = std::fs::read(&p).unwrap();
+        for cut in [0, 2, 4, 6, 9, full.len() - 1] {
+            std::fs::write(&p, &full[..cut]).unwrap();
+            match Tensor::load(&p) {
+                Err(IoError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn huge_claimed_shape_fails_bounded_not_oom() {
+        // A header claiming a ~16 GiB tensor with no payload behind it must
+        // fail with Truncated after at most one bounded chunk allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(1u32 << 16).to_le_bytes()); // rows
+        bytes.extend_from_slice(&(1u32 << 16).to_le_bytes()); // cols
+        match read_tensor_from(&mut bytes.as_slice()) {
+            Err(IoError::Truncated { .. }) => {}
+            other => panic!("expected bounded failure, got {other:?}"),
+        }
+        // Overflowing shapes are rejected before any allocation.
+        let mut overflow = Vec::new();
+        overflow.extend_from_slice(&u32::MAX.to_le_bytes());
+        overflow.extend_from_slice(&u32::MAX.to_le_bytes());
+        match read_tensor_from(&mut overflow.as_slice()) {
+            Err(IoError::ShapeOverflow { .. }) => {}
+            other => panic!("expected ShapeOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_string_and_bad_utf8_are_typed() {
+        let mut bytes = Vec::new();
+        write_u32_to(&mut bytes, (MAX_STR_LEN + 1) as u32).unwrap();
+        assert!(matches!(
+            read_str_from(&mut bytes.as_slice()),
+            Err(IoError::StringTooLong { .. })
+        ));
+        let mut bad = Vec::new();
+        write_u32_to(&mut bad, 2).unwrap();
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            read_str_from(&mut bad.as_slice()),
+            Err(IoError::InvalidUtf8)
+        ));
+    }
+
+    #[test]
+    fn io_error_converts_to_invalid_data_io_error() {
+        // Serving paths holding `std::io::Result` signatures keep working:
+        // every format problem maps to InvalidData with the same message.
+        let e: io::Error = IoError::LayoutMismatch("names differ".into()).into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("names differ"));
+        let inner = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        let e: io::Error = IoError::Io(inner).into();
+        assert_eq!(e.kind(), io::ErrorKind::PermissionDenied);
     }
 }

@@ -56,7 +56,10 @@ impl Ffn {
 
     /// Output width.
     pub fn d_out(&self) -> usize {
-        self.layers.last().unwrap().d_out()
+        self.layers
+            .last()
+            .expect("ffn has at least one layer")
+            .d_out()
     }
 
     /// All parameter ids, layer by layer.

@@ -213,7 +213,10 @@ impl GatEncoder {
 
     /// Output width.
     pub fn d_out(&self) -> usize {
-        self.layers.last().unwrap().d_out()
+        self.layers
+            .last()
+            .expect("encoder has at least one layer")
+            .d_out()
     }
 
     /// All parameter ids across layers.
@@ -223,7 +226,10 @@ impl GatEncoder {
 
     /// Parameter ids of the final layer only (fine-tuned by SARN*).
     pub fn last_layer_param_ids(&self) -> Vec<ParamId> {
-        self.layers.last().unwrap().param_ids()
+        self.layers
+            .last()
+            .expect("encoder has at least one layer")
+            .param_ids()
     }
 
     /// Records the full encoder on the tape.

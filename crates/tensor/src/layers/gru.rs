@@ -188,7 +188,7 @@ impl GruStack {
                 input = h;
             }
         }
-        *states.last().unwrap()
+        *states.last().expect("gru has at least one layer")
     }
 }
 

@@ -55,5 +55,6 @@ mod params;
 mod tensor;
 
 pub use autograd::{Graph, Var};
+pub use io::IoError;
 pub use params::{ParamId, ParamStore};
 pub use tensor::Tensor;

@@ -10,6 +10,7 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     weight_decay: f32,
+    clip_norm: f32,
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
@@ -24,6 +25,7 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             weight_decay: 0.0,
+            clip_norm: 0.0,
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
@@ -33,6 +35,16 @@ impl Adam {
     /// Sets L2 weight decay (added to the raw gradient).
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
         self.weight_decay = wd;
+        self
+    }
+
+    /// Enables global gradient-norm clipping: before each step the
+    /// accumulated gradients are scaled so their global L2 norm does not
+    /// exceed `clip_norm` (`0`, the default, disables clipping). Note the
+    /// clip happens *in the store*, so a checkpoint taken afterwards sees
+    /// the clipped gradients — exactly what was applied.
+    pub fn with_clip_norm(mut self, clip_norm: f32) -> Self {
+        self.clip_norm = clip_norm;
         self
     }
 
@@ -84,6 +96,9 @@ impl Adam {
     /// then leaves the gradients untouched (call
     /// [`ParamStore::zero_grads`] before the next forward pass).
     pub fn step(&mut self, store: &mut ParamStore) {
+        if self.clip_norm > 0.0 {
+            store.clip_grad_norm(self.clip_norm);
+        }
         if self.m.len() != store.len() {
             self.m = store
                 .ids()
@@ -264,6 +279,37 @@ mod tests {
     }
 
     #[test]
+    fn adam_clip_norm_bounds_the_applied_update() {
+        // With an enormous gradient, a clipped step moves the parameter a
+        // bounded distance while an unclipped one saturates Adam's
+        // normalized update. Both must stay finite.
+        let run = |clip: f32| {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+            store
+                .grad_mut(w)
+                .axpy(1.0, &Tensor::from_vec(1, 2, vec![3e4, 4e4]));
+            let mut opt = Adam::new(0.1).with_clip_norm(clip);
+            opt.step(&mut store);
+            (
+                store.value(w).data().to_vec(),
+                store.grad(w).data().to_vec(),
+            )
+        };
+        let (clipped_w, clipped_g) = run(1.0);
+        let (free_w, _) = run(0.0);
+        // The clip rescales the stored gradient to unit global norm…
+        let gnorm = clipped_g.iter().map(|g| g * g).sum::<f32>().sqrt();
+        assert!((gnorm - 1.0).abs() < 1e-4, "clipped grad norm {gnorm}");
+        // …and both directions still descend, finitely.
+        assert!(clipped_w.iter().all(|v| v.is_finite() && *v < 0.0));
+        assert!(free_w.iter().all(|v| v.is_finite()));
+        // clip_norm = 0 must leave the gradient untouched.
+        let (_, untouched) = run(0.0);
+        assert_eq!(untouched, vec![3e4, 4e4]);
+    }
+
+    #[test]
     fn early_stopping_fires_after_patience() {
         let mut es = EarlyStopping::new(2);
         assert!(!es.update(1.0));
@@ -272,5 +318,54 @@ mod tests {
         assert!(!es.update(0.7)); // bad 2
         assert!(es.update(0.8)); // bad 3 > patience
         assert_eq!(es.best(), 0.5);
+    }
+
+    #[test]
+    fn early_stopping_with_all_nan_history_counts_every_epoch_bad() {
+        // NaN never compares better than best, so an all-NaN history burns
+        // patience steadily and stops — it must never loop forever or
+        // panic, and `best` stays at the +inf sentinel.
+        let mut es = EarlyStopping::new(2);
+        assert!(!es.update(f32::NAN));
+        assert!(!es.update(f32::NAN));
+        assert!(es.update(f32::NAN)); // bad 3 > patience 2
+        assert_eq!(es.best(), f32::INFINITY);
+    }
+
+    #[test]
+    fn early_stopping_recovers_after_a_nan_epoch() {
+        // A NaN epoch is just a bad epoch; a finite improvement afterwards
+        // resets the counter and becomes the new best.
+        let mut es = EarlyStopping::new(3);
+        assert!(!es.update(1.0));
+        assert!(!es.update(f32::NAN)); // bad 1
+        assert!(!es.update(0.5)); // improvement resets
+        assert_eq!(es.best(), 0.5);
+        assert!(!es.update(0.6)); // bad 1 again
+        assert!(!es.update(0.6)); // bad 2
+        assert!(!es.update(0.6)); // bad 3
+        assert!(es.update(0.6)); // bad 4 > patience 3
+    }
+
+    #[test]
+    fn early_stopping_single_epoch_run_never_stops_with_positive_patience() {
+        let mut es = EarlyStopping::new(1);
+        assert!(!es.update(0.42));
+        assert_eq!(es.best(), 0.42);
+    }
+
+    #[test]
+    fn early_stopping_patience_zero_stops_on_first_non_improvement() {
+        let mut es = EarlyStopping::new(0);
+        assert!(!es.update(1.0)); // improvement over +inf
+        assert!(!es.update(0.9)); // improvement
+        assert!(es.update(0.9)); // first plateau epoch stops immediately
+                                 // A fresh tracker with patience 0 still survives its first epoch
+                                 // when that epoch improves (i.e. any finite metric).
+        let mut es2 = EarlyStopping::new(0);
+        assert!(!es2.update(7.0));
+        // …but a first-epoch NaN stops at once: nothing improved.
+        let mut es3 = EarlyStopping::new(0);
+        assert!(es3.update(f32::NAN));
     }
 }

@@ -86,9 +86,14 @@ impl ParamStore {
     }
 
     /// Resets every gradient buffer to zero.
+    ///
+    /// Writes zeros rather than scaling by `0.0` so a non-finite entry
+    /// (`NaN * 0.0 == NaN`) cannot survive into the next accumulation —
+    /// the watchdog's rollback recovery depends on poisoned gradients
+    /// actually being discarded here.
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {
-            g.scale_mut(0.0);
+            g.data_mut().fill(0.0);
         }
     }
 
@@ -158,6 +163,19 @@ mod tests {
         assert_eq!(s.grad(id).data(), &[3.0, 4.0]);
         s.zero_grads();
         assert_eq!(s.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grads_discards_non_finite_poison() {
+        // `scale_mut(0.0)` would keep NaN/Inf alive (NaN * 0 == NaN);
+        // zeroing must actually discard them or rollback recovery loops
+        // on the same poisoned buffer forever.
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::zeros(1, 3));
+        s.grad_mut(id).data_mut()[0] = f32::NAN;
+        s.grad_mut(id).data_mut()[1] = f32::INFINITY;
+        s.zero_grads();
+        assert_eq!(s.grad(id).data(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -12,6 +12,12 @@ cargo fmt --all --check
 step "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The training hot path and tensor backend must never panic on bad data:
+# unwraps are banned in library code there (tests, via --lib's cfg(test)
+# compilation, still may). Panics become typed TrainError / IoError values.
+step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor lib code)"
+cargo clippy -p sarn-core -p sarn-tensor --lib -- -D warnings -D clippy::unwrap_used
+
 step "cargo test"
 cargo test -q --workspace
 
@@ -32,6 +38,13 @@ trap 'rm -rf "$CKPT_DIR"' EXIT
 SARN_NET_SCALE=0.22 SARN_EPOCHS=6 SARN_CKPT_DIR="$CKPT_DIR" SARN_CKPT_EVERY=1 \
   cargo run -q --release -p sarn-bench --bin resume_smoke
 ls "$CKPT_DIR"/ckpt-*.sarnckpt > /dev/null  # retention left artifacts behind
+
+# Watchdog smoke: inject a one-shot NaN into the gradient stream (must
+# recover, deterministically) and a sticky one (must surface a typed
+# divergence report after max_recoveries, never panic).
+step "watchdog fault-injection smoke"
+SARN_NET_SCALE=0.22 SARN_EPOCHS=4 SARN_TRAJ_COUNT=30 \
+  cargo run -q --release -p sarn-bench --bin watchdog_smoke
 
 echo
 echo "ci: all checks passed"

@@ -1,0 +1,162 @@
+//! Watchdog detection, rollback recovery, and determinism.
+//!
+//! The training watchdog (`sarn_core::watchdog`) promises that a numerical
+//! fault in the hot loop is detected within the batch that produced it,
+//! rolled back to the last healthy epoch snapshot, and retried with a
+//! backed-off learning rate and a re-derived RNG stream — all
+//! *deterministically*: the same faulted configuration produces the same
+//! recovery trajectory, loss history, and final embeddings on every rerun
+//! and at every thread count. When the fault persists past
+//! `max_recoveries`, the run must surface a typed divergence report, never
+//! a panic. These tests inject faults into a small synthetic city run and
+//! check every clause of that contract.
+
+use sarn_core::{try_train, FaultKind, FaultSpec, SarnConfig, TrainError, WatchdogConfig};
+use sarn_roadnet::{City, RoadNetwork, SynthConfig};
+
+fn tiny_net() -> RoadNetwork {
+    SynthConfig::city(City::Chengdu).scaled(0.22).generate()
+}
+
+fn watched(threads: usize) -> SarnConfig {
+    let mut cfg = SarnConfig::tiny().with_num_threads(threads);
+    cfg.max_epochs = 6;
+    cfg.patience = 100; // keep early stopping out of this window
+    cfg.with_watchdog(WatchdogConfig::default())
+}
+
+fn nan_grad_at(epoch: usize, sticky: bool) -> FaultSpec {
+    FaultSpec {
+        epoch,
+        batch: 0,
+        kind: FaultKind::NanGrad,
+        sticky,
+    }
+}
+
+/// A one-shot NaN in the gradient stream is caught in its own batch,
+/// rolled back, and the run still finishes with an all-finite loss
+/// history — bitwise-identically across reruns.
+fn assert_recovers_deterministically(threads: usize) -> sarn_core::SarnTrained {
+    let net = tiny_net();
+    let mut cfg = watched(threads);
+    cfg.fault = Some(nan_grad_at(3, false));
+
+    let run = try_train(&net, &cfg).expect("one-shot fault must recover");
+    assert_eq!(run.recoveries.len(), 1, "expected exactly one recovery");
+    let ev = &run.recoveries[0];
+    // Detection within one batch: the violation names the injection site.
+    assert_eq!(ev.violation.epoch(), 3);
+    assert_eq!(ev.violation.batch(), Some(0));
+    // Rollback lands on the last healthy epoch boundary.
+    assert_eq!(ev.rolled_back_to_epoch, 3);
+    assert_eq!(ev.lr_scale, 0.5);
+    assert_eq!(run.epochs_run, cfg.max_epochs);
+    assert!(
+        run.loss_history.iter().all(|l| l.is_finite()),
+        "loss history must be all-finite after recovery: {:?}",
+        run.loss_history
+    );
+
+    let rerun = try_train(&net, &cfg).expect("rerun of the same faulted configuration");
+    assert_eq!(
+        run.loss_history, rerun.loss_history,
+        "recovery trajectory is not deterministic at {threads} thread(s)"
+    );
+    assert_eq!(
+        run.embeddings.data(),
+        rerun.embeddings.data(),
+        "recovered embeddings differ between reruns at {threads} thread(s)"
+    );
+    run
+}
+
+#[test]
+fn recovery_is_deterministic_at_one_thread() {
+    assert_recovers_deterministically(1);
+}
+
+#[test]
+fn recovery_is_deterministic_at_four_threads() {
+    assert_recovers_deterministically(4);
+}
+
+/// A sticky fault that re-fires on every retry exhausts the recovery
+/// budget and returns a typed report naming the violation site — it must
+/// not panic and must not loop forever.
+#[test]
+fn sticky_fault_exhausts_retries_into_a_typed_report() {
+    let net = tiny_net();
+    let mut cfg = watched(1);
+    cfg.watchdog.max_recoveries = 2;
+    cfg.fault = Some(nan_grad_at(2, true));
+
+    match try_train(&net, &cfg) {
+        Ok(_) => panic!("sticky fault must not converge"),
+        Err(TrainError::Diverged(report)) => {
+            assert_eq!(report.recoveries.len(), 2);
+            assert_eq!(report.max_recoveries, 2);
+            assert_eq!(report.violation.epoch(), 2);
+            assert_eq!(report.violation.batch(), Some(0));
+            assert!(report.loss_history.iter().all(|l| l.is_finite()));
+            // Each retry compounds the backoff.
+            assert_eq!(report.recoveries[0].lr_scale, 0.5);
+            assert_eq!(report.recoveries[1].lr_scale, 0.25);
+            let msg = report.to_string();
+            assert!(msg.contains("epoch 2"), "report must name the epoch: {msg}");
+            assert!(msg.contains("batch 0"), "report must name the batch: {msg}");
+        }
+        Err(e) => panic!("expected a divergence report, got: {e}"),
+    }
+}
+
+/// A NaN loss (finite gradients) takes the same recovery path as a
+/// gradient fault.
+#[test]
+fn nan_loss_recovers_too() {
+    let net = tiny_net();
+    let mut cfg = watched(1);
+    cfg.fault = Some(FaultSpec {
+        epoch: 2,
+        batch: 0,
+        kind: FaultKind::NanLoss,
+        sticky: false,
+    });
+    let run = try_train(&net, &cfg).expect("one-shot NaN loss must recover");
+    assert_eq!(run.recoveries.len(), 1);
+    assert!(run.loss_history.iter().all(|l| l.is_finite()));
+}
+
+/// With the watchdog on but no fault injected, the run is bitwise-
+/// identical to a plain run: the probes only read, so enabling monitoring
+/// cannot change a healthy trajectory.
+#[test]
+fn clean_run_is_unchanged_by_the_watchdog() {
+    let net = tiny_net();
+    let watched_cfg = watched(1);
+    let mut plain = watched_cfg.clone();
+    plain.watchdog = WatchdogConfig::default();
+    assert!(!plain.watchdog.enabled);
+
+    let a = try_train(&net, &watched_cfg).expect("watched run");
+    let b = try_train(&net, &plain).expect("plain run");
+    assert!(a.recoveries.is_empty());
+    assert_eq!(a.loss_history, b.loss_history);
+    assert_eq!(a.embeddings.data(), b.embeddings.data());
+}
+
+/// Recovery works at any thread count with the *same* trajectory: the
+/// recovered run at 4 threads matches the recovered run at 1 thread.
+#[test]
+fn recovery_is_thread_count_invariant() {
+    let net = tiny_net();
+    let mut cfg1 = watched(1);
+    cfg1.fault = Some(nan_grad_at(3, false));
+    let mut cfg4 = watched(4);
+    cfg4.fault = Some(nan_grad_at(3, false));
+
+    let one = try_train(&net, &cfg1).expect("1-thread recovery");
+    let four = try_train(&net, &cfg4).expect("4-thread recovery");
+    assert_eq!(one.loss_history, four.loss_history);
+    assert_eq!(one.embeddings.data(), four.embeddings.data());
+}
