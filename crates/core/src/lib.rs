@@ -44,6 +44,6 @@ pub use queues::CellQueues;
 pub use similarity::{pairwise_similarity, SpatialSimilarity, SpatialSimilarityConfig};
 pub use train::{train, try_train, zero_grads_except, SarnTrained};
 pub use watchdog::{
-    DivergenceReport, FaultKind, FaultSpec, HealthViolation, RecoveryEvent, TrainError, Watchdog,
-    WatchdogConfig,
+    embedding_defect, DivergenceReport, EmbeddingDefect, FaultKind, FaultSpec, HealthViolation,
+    RecoveryEvent, TrainError, Watchdog, WatchdogConfig,
 };

@@ -19,6 +19,7 @@ use sarn_roadnet::RoadNetwork;
 use sarn_tensor::Tensor;
 
 use crate::config::Readout;
+use crate::watchdog::{embedding_defect, EmbeddingDefect};
 
 /// Below this many cells the batched readout stays serial.
 const PAR_MIN_CELLS: usize = 16;
@@ -158,22 +159,13 @@ impl CellQueues {
 
     /// [`CellQueues::push`] with admission checks, used by the training
     /// watchdog: a wrong-dimension or non-finite embedding is rejected with
-    /// a description and the queue is left untouched — a corrupt entry
-    /// would otherwise poison every later batch that draws it as a
-    /// negative candidate.
-    pub fn push_checked(&mut self, seg: usize, embedding: &[f32]) -> Result<(), String> {
-        if embedding.len() != self.dim {
-            return Err(format!(
-                "embedding has dim {}, queue expects {}",
-                embedding.len(),
-                self.dim
-            ));
-        }
-        if let Some(pos) = embedding.iter().position(|v| !v.is_finite()) {
-            return Err(format!(
-                "non-finite value {} at component {pos}",
-                embedding[pos]
-            ));
+    /// a typed [`EmbeddingDefect`] and the queue is left untouched — a
+    /// corrupt entry would otherwise poison every later batch that draws it
+    /// as a negative candidate. The same screen guards the serving store's
+    /// artifact admission.
+    pub fn push_checked(&mut self, seg: usize, embedding: &[f32]) -> Result<(), EmbeddingDefect> {
+        if let Some(defect) = embedding_defect(embedding, self.dim) {
+            return Err(defect);
         }
         self.push(seg, embedding);
         Ok(())
@@ -481,11 +473,22 @@ mod tests {
         let (_, mut q) = queues();
         // Wrong dimension: rejected, queue untouched.
         let err = q.push_checked(0, &[1.0; 3]).unwrap_err();
-        assert!(err.contains("dim 3"), "{err}");
+        assert_eq!(
+            err,
+            EmbeddingDefect::DimMismatch {
+                found: 3,
+                expected: 4
+            }
+        );
+        assert!(err.to_string().contains("dim 3"), "{err}");
         assert_eq!(q.total_entries(), 0);
         // Non-finite component: rejected with its position.
         let err = q.push_checked(0, &[1.0, f32::NAN, 2.0, 3.0]).unwrap_err();
-        assert!(err.contains("component 1"), "{err}");
+        assert!(matches!(
+            err,
+            EmbeddingDefect::NonFinite { component: 1, .. }
+        ));
+        assert!(err.to_string().contains("component 1"), "{err}");
         assert_eq!(q.total_entries(), 0);
         // Clean entry: admitted exactly like push.
         q.push_checked(0, &[1.0; 4]).unwrap();

@@ -626,11 +626,11 @@ fn train_batch(
         for (&i, zp) in batch.iter().zip(&z_prime) {
             if watching {
                 q.push_checked(i, zp)
-                    .map_err(|detail| HealthViolation::CorruptQueueEntry {
+                    .map_err(|defect| HealthViolation::CorruptQueueEntry {
                         epoch,
                         batch: batch_idx,
                         segment: i,
-                        detail,
+                        detail: defect.to_string(),
                     })?;
             } else {
                 q.push(i, zp);

@@ -64,6 +64,61 @@ impl fmt::Display for Branch {
     }
 }
 
+/// A defect disqualifying one embedding vector, shared by every admission
+/// gate that screens embeddings before letting them influence others: the
+/// training watchdog's negative-queue probe (a corrupt entry would poison
+/// every later batch that draws it) and the serving store's artifact
+/// admission (a corrupt row must keep the last-known-good generation in
+/// place, per DESIGN.md §10).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EmbeddingDefect {
+    /// The vector's length disagrees with the expected dimension.
+    DimMismatch {
+        /// Length found.
+        found: usize,
+        /// Length required.
+        expected: usize,
+    },
+    /// A component is NaN or ±∞.
+    NonFinite {
+        /// Index of the first offending component.
+        component: usize,
+        /// The offending value.
+        value: f32,
+    },
+}
+
+impl fmt::Display for EmbeddingDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingDefect::DimMismatch { found, expected } => {
+                write!(f, "embedding has dim {found}, expected {expected}")
+            }
+            EmbeddingDefect::NonFinite { component, value } => {
+                write!(f, "non-finite value {value} at component {component}")
+            }
+        }
+    }
+}
+
+/// Screens one embedding vector against `expected_dim`, returning the
+/// first [`EmbeddingDefect`] found (`None` means admissible).
+pub fn embedding_defect(embedding: &[f32], expected_dim: usize) -> Option<EmbeddingDefect> {
+    if embedding.len() != expected_dim {
+        return Some(EmbeddingDefect::DimMismatch {
+            found: embedding.len(),
+            expected: expected_dim,
+        });
+    }
+    embedding
+        .iter()
+        .position(|v| !v.is_finite())
+        .map(|component| EmbeddingDefect::NonFinite {
+            component,
+            value: embedding[component],
+        })
+}
+
 /// One numerical-health violation caught by a watchdog probe.
 #[derive(Clone, Debug, PartialEq)]
 pub enum HealthViolation {
@@ -550,6 +605,27 @@ mod tests {
             }
             other => panic!("unexpected violation {other:?}"),
         }
+    }
+
+    #[test]
+    fn embedding_defect_screens_dim_and_finiteness() {
+        assert_eq!(embedding_defect(&[1.0, 2.0], 2), None);
+        assert_eq!(
+            embedding_defect(&[1.0], 2),
+            Some(EmbeddingDefect::DimMismatch {
+                found: 1,
+                expected: 2
+            })
+        );
+        match embedding_defect(&[0.0, f32::NEG_INFINITY], 2) {
+            Some(EmbeddingDefect::NonFinite {
+                component: 1,
+                value,
+            }) => assert_eq!(value, f32::NEG_INFINITY),
+            other => panic!("expected NonFinite at component 1, got {other:?}"),
+        }
+        // An empty expectation screens an empty vector cleanly.
+        assert_eq!(embedding_defect(&[], 0), None);
     }
 
     #[test]

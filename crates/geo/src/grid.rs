@@ -4,10 +4,70 @@
 //! each cell maintains a queue of recently produced embeddings used as local
 //! and global negative samples (paper §4.4, Fig. 3).
 
+use std::fmt;
+
 use crate::point::{BoundingBox, LocalProjection, Point};
 
 /// Index of a grid cell, in row-major order (`row * nx + col`).
 pub type CellId = usize;
+
+/// Cap on the total cell count a grid will allocate state for. A corrupt
+/// bounding box (or a microscopic `clen_m`) must fail typed instead of
+/// requesting terabytes of per-cell queues downstream.
+pub const MAX_CELLS: usize = 1 << 26;
+
+/// Why [`Grid::try_new`] or [`Grid::try_cell_of`] rejected its input.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GridError {
+    /// The cell side length is NaN, infinite, zero, or negative — every
+    /// point→cell division would be meaningless.
+    BadCellSide(f64),
+    /// A bounding-box corner is non-finite, or the box is inverted
+    /// (`max < min` on either axis).
+    BadBoundingBox(BoundingBox),
+    /// The box/side combination implies more than [`MAX_CELLS`] cells.
+    TooManyCells {
+        /// Implied column count.
+        nx: usize,
+        /// Implied row count.
+        ny: usize,
+    },
+    /// A point with a NaN or infinite coordinate cannot be mapped to a
+    /// cell (finite out-of-box points clamp; non-finite ones have no
+    /// nearest boundary cell).
+    NonFinitePoint {
+        /// The offending latitude.
+        lat: f64,
+        /// The offending longitude.
+        lon: f64,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::BadCellSide(clen) => {
+                write!(f, "grid cell side {clen} m is not positive and finite")
+            }
+            GridError::BadBoundingBox(bb) => write!(
+                f,
+                "bounding box ({}, {}) - ({}, {}) is non-finite or inverted",
+                bb.min_lat, bb.min_lon, bb.max_lat, bb.max_lon
+            ),
+            GridError::TooManyCells { nx, ny } => {
+                write!(
+                    f,
+                    "grid of {nx}x{ny} cells exceeds the {MAX_CELLS}-cell cap"
+                )
+            }
+            GridError::NonFinitePoint { lat, lon } => {
+                write!(f, "cannot map non-finite point ({lat}, {lon}) to a cell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
 
 /// A uniform grid over a bounding box with square cells of a given side
 /// length in meters.
@@ -24,20 +84,40 @@ impl Grid {
     /// Builds a grid covering `bbox` with cells of side `clen_m` meters.
     ///
     /// # Panics
-    /// Panics if `clen_m` is not positive.
+    /// Panics when [`Grid::try_new`] would reject the input — use that for
+    /// externally sourced boxes and side lengths.
     pub fn new(bbox: BoundingBox, clen_m: f64) -> Self {
-        assert!(clen_m > 0.0, "cell side must be positive");
+        Grid::try_new(bbox, clen_m).unwrap_or_else(|e| panic!("invalid grid: {e}"))
+    }
+
+    /// Builds a grid covering `bbox` with cells of side `clen_m` meters,
+    /// rejecting non-positive/non-finite side lengths, non-finite or
+    /// inverted boxes, and box/side combinations implying more than
+    /// [`MAX_CELLS`] cells with a typed [`GridError`].
+    pub fn try_new(bbox: BoundingBox, clen_m: f64) -> Result<Self, GridError> {
+        if !clen_m.is_finite() || clen_m <= 0.0 {
+            return Err(GridError::BadCellSide(clen_m));
+        }
+        let corners_finite = [bbox.min_lat, bbox.min_lon, bbox.max_lat, bbox.max_lon]
+            .iter()
+            .all(|v| v.is_finite());
+        if !corners_finite || bbox.max_lat < bbox.min_lat || bbox.max_lon < bbox.min_lon {
+            return Err(GridError::BadBoundingBox(bbox));
+        }
         let origin = Point::new(bbox.min_lat, bbox.min_lon);
         let proj = LocalProjection::new(origin);
         let nx = (bbox.width_m() / clen_m).ceil().max(1.0) as usize;
         let ny = (bbox.height_m() / clen_m).ceil().max(1.0) as usize;
-        Self {
+        if nx.checked_mul(ny).is_none_or(|cells| cells > MAX_CELLS) {
+            return Err(GridError::TooManyCells { nx, ny });
+        }
+        Ok(Self {
             bbox,
             proj,
             clen_m,
             nx,
             ny,
-        }
+        })
     }
 
     /// Cell side length in meters.
@@ -65,13 +145,32 @@ impl Grid {
         &self.bbox
     }
 
-    /// Cell containing a point. Points outside the box are clamped to the
-    /// nearest boundary cell, so every point maps to a valid cell.
+    /// Cell containing a point. Finite points outside the box are clamped
+    /// to the nearest boundary cell, so every finite point maps to a valid
+    /// cell; a non-finite coordinate clamps to that axis's first cell
+    /// (`NaN as isize` saturates to 0), documented here so the fallback is
+    /// a contract rather than an accident. Use [`Grid::try_cell_of`] to
+    /// reject non-finite points instead of accepting the fallback.
     pub fn cell_of(&self, p: &Point) -> CellId {
         let (x, y) = self.proj.project(p);
         let col = ((x / self.clen_m).floor() as isize).clamp(0, self.nx as isize - 1) as usize;
         let row = ((y / self.clen_m).floor() as isize).clamp(0, self.ny as isize - 1) as usize;
         row * self.nx + col
+    }
+
+    /// [`Grid::cell_of`] for externally sourced points: finite out-of-box
+    /// points still clamp to the nearest boundary cell (explicitly — the
+    /// caller asked for a cell, and the nearest one is well defined), but
+    /// a NaN or infinite coordinate is a typed [`GridError::NonFinitePoint`]
+    /// instead of silently landing in cell 0.
+    pub fn try_cell_of(&self, p: &Point) -> Result<CellId, GridError> {
+        if !p.lat.is_finite() || !p.lon.is_finite() {
+            return Err(GridError::NonFinitePoint {
+                lat: p.lat,
+                lon: p.lon,
+            });
+        }
+        Ok(self.cell_of(p))
     }
 
     /// `(row, col)` coordinates of a cell id.
@@ -144,6 +243,83 @@ mod tests {
         let g = Grid::new(bb, 600.0);
         let far = Point::new(bb.min_lat - 1.0, bb.min_lon - 1.0);
         assert_eq!(g.cell_of(&far), 0);
+        // Clamping is per-axis: far north-west lands in the top-left cell.
+        let nw = Point::new(bb.max_lat + 1.0, bb.min_lon - 1.0);
+        assert_eq!(g.cell_of(&nw), (g.ny() - 1) * g.nx());
+        // try_cell_of applies the same explicit clamp for finite points.
+        assert_eq!(g.try_cell_of(&far), Ok(0));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_cell_sides() {
+        for clen in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            match Grid::try_new(test_bbox(), clen) {
+                Err(GridError::BadCellSide(c)) => {
+                    assert!(c == clen || (c.is_nan() && clen.is_nan()))
+                }
+                other => panic!("clen {clen}: expected BadCellSide, got {other:?}"),
+            }
+        }
+        assert!(Grid::try_new(test_bbox(), 600.0).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_and_inverted_boxes() {
+        let mut bb = test_bbox();
+        bb.max_lat = f64::NAN;
+        assert!(matches!(
+            Grid::try_new(bb, 600.0),
+            Err(GridError::BadBoundingBox(_))
+        ));
+        let mut inverted = test_bbox();
+        std::mem::swap(&mut inverted.min_lat, &mut inverted.max_lat);
+        assert!(matches!(
+            Grid::try_new(inverted, 600.0),
+            Err(GridError::BadBoundingBox(_))
+        ));
+    }
+
+    #[test]
+    fn try_new_caps_the_cell_count() {
+        // A planet-sized box with centimeter cells would be ~10^18 cells.
+        let planet = BoundingBox {
+            min_lat: -89.0,
+            min_lon: -179.0,
+            max_lat: 89.0,
+            max_lon: 179.0,
+        };
+        match Grid::try_new(planet, 0.01) {
+            Err(GridError::TooManyCells { nx, ny }) => assert!(nx > 0 && ny > 0),
+            other => panic!("expected TooManyCells, got {other:?}"),
+        }
+        // The same box is fine with cells coarse enough to fit the cap.
+        assert!(Grid::try_new(planet, 10_000.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grid")]
+    fn new_still_panics_on_bad_input() {
+        Grid::new(test_bbox(), -1.0);
+    }
+
+    #[test]
+    fn try_cell_of_rejects_non_finite_points() {
+        let g = Grid::new(test_bbox(), 600.0);
+        for (lat, lon) in [(f64::NAN, 104.05), (30.65, f64::INFINITY)] {
+            match g.try_cell_of(&Point { lat, lon }) {
+                Err(GridError::NonFinitePoint { .. }) => {}
+                other => panic!("({lat}, {lon}): expected NonFinitePoint, got {other:?}"),
+            }
+        }
+        // The permissive path's documented fallback: NaN saturates to the
+        // first cell on its axis.
+        assert_eq!(
+            g.cell_of(&Point {
+                lat: f64::NAN,
+                lon: f64::NAN
+            }),
+            0
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 mod grid;
 mod point;
 
-pub use grid::{CellId, Grid};
+pub use grid::{CellId, Grid, GridError, MAX_CELLS};
 pub use point::{
     angular_distance, haversine_m, normalize_radian, BoundingBox, LocalProjection, Point,
     PointError, EARTH_RADIUS_M,

@@ -1,0 +1,110 @@
+//! Serving knobs and the injectable load fault.
+
+use std::time::Duration;
+
+/// Knobs of an [`crate::EmbeddingStore`].
+///
+/// The bench binaries read these from `SARN_SERVE_*` environment
+/// variables via [`ServeConfig::from_env`]; library callers set fields
+/// directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Hard in-flight request ceiling: admission beyond this sheds the
+    /// request with [`crate::ServeError::Overloaded`].
+    pub max_inflight: usize,
+    /// Soft pressure threshold: while more than this many requests are in
+    /// flight, exact k-NN degrades to the grid-approximate path (`0`
+    /// disables degradation).
+    pub degrade_inflight: usize,
+    /// Default per-request time budget (`None` = unbounded); individual
+    /// requests may override it with their own [`crate::Deadline`].
+    pub default_deadline: Option<Duration>,
+    /// Reload retries after the first failed attempt (total attempts are
+    /// `reload_retries + 1`).
+    pub reload_retries: usize,
+    /// Sleep before the first reload retry; doubles per subsequent retry.
+    pub reload_backoff: Duration,
+    /// Rows scanned between deadline probes inside k-NN loops.
+    pub deadline_check_every: usize,
+    /// Cell side in meters of the spatial grid backing approximate k-NN.
+    pub grid_clen_m: f64,
+    /// Starting Chebyshev cell radius of the approximate candidate search
+    /// (grows until enough candidates are found).
+    pub approx_radius: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 64,
+            degrade_inflight: 48,
+            default_deadline: None,
+            reload_retries: 3,
+            reload_backoff: Duration::from_millis(10),
+            deadline_check_every: 256,
+            grid_clen_m: 500.0,
+            approx_radius: 1,
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl ServeConfig {
+    /// Reads the `SARN_SERVE_*` environment knobs, falling back to the
+    /// defaults: `SARN_SERVE_MAX_INFLIGHT`, `SARN_SERVE_DEGRADE_INFLIGHT`,
+    /// `SARN_SERVE_DEADLINE_MS` (`0` = unbounded),
+    /// `SARN_SERVE_RELOAD_RETRIES`, `SARN_SERVE_RELOAD_BACKOFF_MS`,
+    /// `SARN_SERVE_CLEN_M`, and `SARN_SERVE_APPROX_RADIUS`.
+    pub fn from_env() -> Self {
+        let d = ServeConfig::default();
+        let deadline_ms: u64 = env_parse("SARN_SERVE_DEADLINE_MS", 0);
+        Self {
+            max_inflight: env_parse("SARN_SERVE_MAX_INFLIGHT", d.max_inflight),
+            degrade_inflight: env_parse("SARN_SERVE_DEGRADE_INFLIGHT", d.degrade_inflight),
+            default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            reload_retries: env_parse("SARN_SERVE_RELOAD_RETRIES", d.reload_retries),
+            reload_backoff: Duration::from_millis(env_parse(
+                "SARN_SERVE_RELOAD_BACKOFF_MS",
+                d.reload_backoff.as_millis() as u64,
+            )),
+            deadline_check_every: d.deadline_check_every,
+            grid_clen_m: env_parse("SARN_SERVE_CLEN_M", d.grid_clen_m),
+            approx_radius: env_parse("SARN_SERVE_APPROX_RADIUS", d.approx_radius),
+        }
+    }
+}
+
+/// Injected reload damage, in the mold of the training watchdog's
+/// `FaultSpec`: deterministic, test-only sabotage of the load path so the
+/// stale-fallback contract can be exercised without relying on real disk
+/// failures. Set on a store with [`crate::EmbeddingStore::inject_fault`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadFault {
+    /// The next this many load attempts fail with an injected I/O error
+    /// (each attempt decrements the counter, so bounded retry eventually
+    /// outlasts a transient fault).
+    pub fail_loads: u32,
+    /// Sleep applied to every load attempt while the fault is installed —
+    /// simulated slow I/O for deadline and churn tests.
+    pub delay_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_coherent() {
+        let d = ServeConfig::default();
+        assert!(d.degrade_inflight < d.max_inflight);
+        assert!(d.default_deadline.is_none());
+        assert!(d.reload_backoff > Duration::ZERO);
+        assert!(d.deadline_check_every > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-request time budgets.
+
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+
+/// A per-request deadline: a start instant plus an optional budget.
+///
+/// Query paths call [`Deadline::check`] at bounded intervals (every
+/// [`crate::ServeConfig::deadline_check_every`] rows inside k-NN scans),
+/// so a request against a huge generation returns a typed
+/// [`ServeError::DeadlineExceeded`] within one probe interval of its
+/// budget instead of holding its admission slot indefinitely.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    start: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn unbounded() -> Self {
+        Self {
+            start: Instant::now(),
+            budget: None,
+        }
+    }
+
+    /// A deadline expiring `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Self {
+            start: Instant::now(),
+            budget: Some(budget),
+        }
+    }
+
+    /// A deadline with an optional budget (`None` = unbounded) — the shape
+    /// of [`crate::ServeConfig::default_deadline`].
+    pub fn from_budget(budget: Option<Duration>) -> Self {
+        Self {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Elapsed time since the request started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// `Ok` while inside the budget, typed [`ServeError::DeadlineExceeded`]
+    /// once past it.
+    pub fn check(&self) -> Result<(), ServeError> {
+        match self.budget {
+            Some(budget) if self.start.elapsed() >= budget => Err(ServeError::DeadlineExceeded {
+                elapsed: self.start.elapsed(),
+                budget,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        Deadline::unbounded().check().expect("unbounded deadline");
+        Deadline::from_budget(None).check().expect("no budget");
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately_and_is_typed() {
+        let d = Deadline::within(Duration::ZERO);
+        match d.check() {
+            Err(ServeError::DeadlineExceeded { budget, .. }) => {
+                assert_eq!(budget, Duration::ZERO)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_passes() {
+        Deadline::within(Duration::from_secs(3600))
+            .check()
+            .expect("hour-long budget");
+    }
+}

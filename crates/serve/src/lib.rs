@@ -1,0 +1,51 @@
+//! # sarn-serve
+//!
+//! Fault-tolerant, concurrency-safe serving of SARN road-segment
+//! embeddings. Training (with its watchdog and crash-safe checkpoints)
+//! produces `SarnTrained` artifacts; this crate is the read path that
+//! keeps answering queries while those artifacts are retrained, rewritten,
+//! and occasionally corrupted underneath it.
+//!
+//! The core is the [`EmbeddingStore`]:
+//!
+//! - **Generations behind an atomic swap.** Each admitted embedding matrix
+//!   becomes an immutable [`Generation`] published behind an `Arc` swap.
+//!   Readers clone the `Arc` and compute against an immutable snapshot;
+//!   the write lock is held only for the pointer assignment — never for
+//!   I/O or validation — so a reload can neither block nor tear a query.
+//! - **Hot reload with last-known-good fallback.** [`EmbeddingStore::reload`]
+//!   re-reads an artifact through `sarn_tensor::io`'s validated entry
+//!   point with bounded retry and exponential backoff. *Any* failure —
+//!   truncated file, garbage, shape mismatch, non-finite rows, injected
+//!   slow/failing I/O via [`LoadFault`] — leaves the previous generation
+//!   serving and surfaces as a typed [`ServeError`] plus a degraded
+//!   [`HealthReport`], never a panic.
+//! - **Deadline-guarded queries.** Embedding lookup, exact k-NN, and
+//!   grid-bucketed approximate k-NN (reusing [`sarn_geo::Grid`]) each
+//!   honor a per-request [`Deadline`], checked at bounded intervals inside
+//!   the scans.
+//! - **Bounded admission and load shedding.** A fixed in-flight budget
+//!   sheds excess requests with [`ServeError::Overloaded`]; between the
+//!   degrade threshold and the shed ceiling, exact k-NN transparently
+//!   downgrades to the grid-approximate path and says so in the response.
+//!
+//! The serving state machine (DESIGN.md §10):
+//!
+//! ```text
+//! loading --first good admit--> serving(gen N)
+//! serving --reload failure----> degraded(gen N)   [stale answers continue]
+//! degraded --good reload------> serving(gen N+1)  [atomic flip]
+//! any state --inflight >= max-> shedding          [typed Overloaded]
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod deadline;
+mod error;
+mod store;
+
+pub use config::{LoadFault, ServeConfig};
+pub use deadline::Deadline;
+pub use error::ServeError;
+pub use store::{EmbeddingStore, Generation, HealthReport, Knn, ServeState, Ticket};

@@ -1,0 +1,592 @@
+//! The generation-swapping embedding store.
+
+use std::cmp::Ordering;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
+
+use sarn_core::{embedding_defect, SarnTrained};
+use sarn_geo::{CellId, Grid, Point};
+use sarn_roadnet::RoadNetwork;
+use sarn_tensor::{Tensor, TensorExpectation};
+
+use crate::config::{LoadFault, ServeConfig};
+use crate::deadline::Deadline;
+use crate::error::ServeError;
+
+/// One immutable, published embedding snapshot.
+///
+/// Readers obtain a `Arc<Generation>` and compute entirely against it; a
+/// concurrent reload can only swap the pointer to a *new* generation, so
+/// a query never observes half of one matrix and half of another.
+#[derive(Debug)]
+pub struct Generation {
+    number: u64,
+    embeddings: Tensor,
+    /// Per-row L2 norms, precomputed at admission for cosine scoring.
+    norms: Vec<f32>,
+}
+
+impl Generation {
+    fn new(number: u64, embeddings: Tensor) -> Self {
+        let norms = (0..embeddings.rows())
+            .map(|i| {
+                embeddings
+                    .row_slice(i)
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+                    .sqrt()
+                    .max(1e-12)
+            })
+            .collect();
+        Self {
+            number,
+            embeddings,
+            norms,
+        }
+    }
+
+    /// Monotonic generation number (1 for the first admitted artifact).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The `n x d` embedding matrix.
+    pub fn embeddings(&self) -> &Tensor {
+        &self.embeddings
+    }
+
+    /// Cosine similarity between two rows.
+    fn similarity(&self, a: usize, b: usize) -> f32 {
+        let dot = Tensor::dot(self.embeddings.row_slice(a), self.embeddings.row_slice(b));
+        dot / (self.norms[a] * self.norms[b])
+    }
+}
+
+/// Where the store is in its lifecycle, derived for a [`HealthReport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeState {
+    /// No generation admitted yet; every query is [`ServeError::NotReady`].
+    Loading,
+    /// Serving the named generation; the last reload (if any) succeeded.
+    Serving {
+        /// Generation currently answering queries.
+        generation: u64,
+    },
+    /// Still serving the named (stale) generation, but the most recent
+    /// reload attempt(s) failed.
+    Degraded {
+        /// Stale generation still answering queries.
+        generation: u64,
+        /// Reload failures since the last successful admission.
+        consecutive_failures: u32,
+    },
+    /// At the in-flight ceiling: new requests are being shed.
+    Shedding {
+        /// Generation currently answering the admitted requests.
+        generation: u64,
+    },
+}
+
+/// Point-in-time health of an [`EmbeddingStore`] — the serving analogue
+/// of the training watchdog's divergence report, emitted instead of a
+/// panic whenever the store degrades.
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    /// Derived lifecycle state (see DESIGN.md §10).
+    pub state: ServeState,
+    /// Currently served generation, if any.
+    pub generation: Option<u64>,
+    /// Reload failures since the last successful admission.
+    pub consecutive_reload_failures: u32,
+    /// Successful reloads over the store's lifetime.
+    pub reloads_ok: u64,
+    /// Failed reloads (after exhausting retries) over the lifetime.
+    pub reloads_failed: u64,
+    /// Message of the most recent reload failure, if any.
+    pub last_reload_error: Option<String>,
+    /// Requests currently holding admission tickets.
+    pub inflight: usize,
+    /// Requests shed with [`ServeError::Overloaded`] over the lifetime.
+    pub shed_total: u64,
+    /// Exact k-NN requests degraded to the approximate path.
+    pub degraded_total: u64,
+    /// Successfully answered requests.
+    pub served_total: u64,
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: served {}, shed {}, degraded {}, reloads {}/{} ok, inflight {}",
+            self.state,
+            self.served_total,
+            self.shed_total,
+            self.degraded_total,
+            self.reloads_ok,
+            self.reloads_ok + self.reloads_failed,
+            self.inflight,
+        )
+    }
+}
+
+/// A k-nearest-neighbor answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Knn {
+    /// `(segment id, cosine similarity)`, most similar first; ties break
+    /// on ascending id so answers are deterministic.
+    pub neighbors: Vec<(usize, f32)>,
+    /// Generation the answer was computed against.
+    pub generation: u64,
+    /// `true` when an exact request was downgraded to the grid-approximate
+    /// path under load.
+    pub degraded: bool,
+}
+
+/// RAII admission ticket: holds one slot of the in-flight budget until
+/// dropped. Exposed so tests and benches can saturate the store
+/// deterministically; query methods acquire one internally.
+pub struct Ticket<'a> {
+    inflight: &'a AtomicUsize,
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, AtomicOrdering::AcqRel);
+    }
+}
+
+#[derive(Debug, Default)]
+struct ReloadLog {
+    consecutive_failures: u32,
+    reloads_ok: u64,
+    reloads_failed: u64,
+    last_error: Option<String>,
+}
+
+/// Recovers a poisoned mutex: the store's invariants are all on atomics
+/// or behind complete replacement (generation swap), so the data behind a
+/// poisoned lock is still coherent and serving must continue.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Concurrency-safe embedding store: validated admission, generation
+/// publishing behind an `Arc` swap, hot reload with last-known-good
+/// fallback, and deadline/overload-guarded query paths.
+pub struct EmbeddingStore {
+    cfg: ServeConfig,
+    dim: usize,
+    grid: Grid,
+    /// Cell of each segment's midpoint.
+    segment_cell: Vec<CellId>,
+    /// Segments bucketed by cell, for approximate candidate generation.
+    buckets: Vec<Vec<usize>>,
+    current: RwLock<Option<Arc<Generation>>>,
+    reload_log: Mutex<ReloadLog>,
+    fault: Mutex<Option<LoadFault>>,
+    inflight: AtomicUsize,
+    served: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl EmbeddingStore {
+    /// Builds a store serving embeddings of dimension `dim` for segments
+    /// whose midpoints are `midpoints` (index = segment id). The spatial
+    /// grid for approximate k-NN covers the midpoints' bounding box with
+    /// [`ServeConfig::grid_clen_m`] cells.
+    pub fn new(midpoints: Vec<Point>, dim: usize, cfg: ServeConfig) -> Result<Self, ServeError> {
+        let mut it = midpoints.iter().copied();
+        let first = it
+            .next()
+            .ok_or(ServeError::Load(sarn_tensor::IoError::LayoutMismatch(
+                "a store needs at least one segment".into(),
+            )))?;
+        let bbox = sarn_geo::BoundingBox::of(std::iter::once(first).chain(it));
+        let grid = Grid::try_new(bbox, cfg.grid_clen_m)?;
+        let mut segment_cell = Vec::with_capacity(midpoints.len());
+        let mut buckets = vec![Vec::new(); grid.num_cells()];
+        for (seg, p) in midpoints.iter().enumerate() {
+            let cell = grid.try_cell_of(p)?;
+            segment_cell.push(cell);
+            buckets[cell].push(seg);
+        }
+        Ok(Self {
+            cfg,
+            dim,
+            grid,
+            segment_cell,
+            buckets,
+            current: RwLock::new(None),
+            reload_log: Mutex::new(ReloadLog::default()),
+            fault: Mutex::new(None),
+            inflight: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+        })
+    }
+
+    /// [`EmbeddingStore::new`] over a road network's segment midpoints.
+    pub fn for_network(
+        net: &RoadNetwork,
+        dim: usize,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let midpoints = net.segments().iter().map(|s| s.midpoint()).collect();
+        Self::new(midpoints, dim, cfg)
+    }
+
+    /// The knobs this store was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Number of segments served (expected artifact row count).
+    pub fn num_segments(&self) -> usize {
+        self.segment_cell.len()
+    }
+
+    /// Embedding dimension served (expected artifact column count).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// A fresh deadline carrying the configured default budget.
+    pub fn deadline(&self) -> Deadline {
+        Deadline::from_budget(self.cfg.default_deadline)
+    }
+
+    // ---- generation publishing -----------------------------------------
+
+    /// The currently served generation, if any. Clones an `Arc` under a
+    /// briefly-held read lock; all loading and validation happens outside
+    /// any lock, so this never waits on a reload's I/O.
+    pub fn snapshot(&self) -> Option<Arc<Generation>> {
+        self.current
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Number of the currently served generation, if any.
+    pub fn generation(&self) -> Option<u64> {
+        self.snapshot().map(|g| g.number())
+    }
+
+    /// Validates an in-memory embedding matrix and, if admissible,
+    /// publishes it as the next generation, atomically flipping every
+    /// subsequent query to it. On rejection the previous generation keeps
+    /// serving untouched.
+    ///
+    /// Admission = shape pinned to `num_segments x dim` plus the shared
+    /// per-row screen ([`sarn_core::embedding_defect`]) that also guards
+    /// the training watchdog's negative queues.
+    pub fn admit(&self, embeddings: Tensor) -> Result<u64, ServeError> {
+        let shape = TensorExpectation {
+            rows: Some(self.num_segments()),
+            cols: Some(self.dim),
+            finite: false, // finiteness runs through the shared row screen below
+        };
+        shape.validate(&embeddings)?;
+        for row in 0..embeddings.rows() {
+            if let Some(defect) = embedding_defect(embeddings.row_slice(row), self.dim) {
+                return Err(ServeError::CorruptRow { row, defect });
+            }
+        }
+        let mut current = self
+            .current
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let number = current.as_ref().map_or(0, |g| g.number()) + 1;
+        *current = Some(Arc::new(Generation::new(number, embeddings)));
+        drop(current);
+        let mut log = lock_recovering(&self.reload_log);
+        log.consecutive_failures = 0;
+        Ok(number)
+    }
+
+    /// Admits a trained model's embedding matrix directly (no file
+    /// round-trip) — the in-process publish path after retraining.
+    pub fn admit_trained(&self, trained: &SarnTrained) -> Result<u64, ServeError> {
+        self.admit(trained.embeddings.clone())
+    }
+
+    // ---- hot reload -----------------------------------------------------
+
+    /// Installs (or clears) an injected load fault for the next reload
+    /// attempts.
+    pub fn inject_fault(&self, fault: Option<LoadFault>) {
+        *lock_recovering(&self.fault) = fault;
+    }
+
+    /// Reloads an embedding artifact with bounded retry and exponential
+    /// backoff ([`ServeConfig::reload_retries`] /
+    /// [`ServeConfig::reload_backoff`]).
+    ///
+    /// On success the new generation is published atomically and its
+    /// number returned. On failure of every attempt — truncated or garbage
+    /// file, shape mismatch, corrupt rows, injected faults — the
+    /// last-known-good generation keeps serving, the health report turns
+    /// degraded, and the final attempt's typed error is returned.
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<u64, ServeError> {
+        let path = path.as_ref();
+        let mut delay = self.cfg.reload_backoff;
+        let mut attempt = 0usize;
+        loop {
+            match self.load_attempt(path) {
+                Ok(number) => {
+                    let mut log = lock_recovering(&self.reload_log);
+                    log.reloads_ok += 1;
+                    log.consecutive_failures = 0;
+                    log.last_error = None;
+                    return Ok(number);
+                }
+                Err(e) => {
+                    if attempt >= self.cfg.reload_retries {
+                        let mut log = lock_recovering(&self.reload_log);
+                        log.reloads_failed += 1;
+                        log.consecutive_failures += 1;
+                        log.last_error = Some(e.to_string());
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+            }
+        }
+    }
+
+    /// One load attempt: injected fault hook, then the validated read,
+    /// then admission.
+    fn load_attempt(&self, path: &Path) -> Result<u64, ServeError> {
+        let (delay_ms, fail) = {
+            let mut guard = lock_recovering(&self.fault);
+            match guard.as_mut() {
+                None => (0, false),
+                Some(f) => {
+                    let fail = f.fail_loads > 0;
+                    if fail {
+                        f.fail_loads -= 1;
+                    }
+                    (f.delay_ms, fail)
+                }
+            }
+        };
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        if fail {
+            return Err(ServeError::Load(sarn_tensor::IoError::Io(
+                std::io::Error::other("injected load fault"),
+            )));
+        }
+        // Shape is validated at the io layer before the bytes ever reach
+        // admission; finiteness runs through admit's shared row screen.
+        let expect = TensorExpectation {
+            rows: Some(self.num_segments()),
+            cols: Some(self.dim),
+            finite: false,
+        };
+        let t = Tensor::load_validated(path, &expect)?;
+        self.admit(t)
+    }
+
+    // ---- admission control ----------------------------------------------
+
+    /// Claims one slot of the in-flight budget, shedding with a typed
+    /// [`ServeError::Overloaded`] when the ceiling is reached. Query
+    /// methods call this internally; it is public so tests and benches can
+    /// hold tickets to create deterministic pressure.
+    pub fn try_ticket(&self) -> Result<Ticket<'_>, ServeError> {
+        let mut cur = self.inflight.load(AtomicOrdering::Acquire);
+        loop {
+            if cur >= self.cfg.max_inflight {
+                self.shed.fetch_add(1, AtomicOrdering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    inflight: cur,
+                    max_inflight: self.cfg.max_inflight,
+                });
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                AtomicOrdering::AcqRel,
+                AtomicOrdering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(Ticket {
+                        inflight: &self.inflight,
+                    })
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn check_segment(&self, segment: usize) -> Result<(), ServeError> {
+        if segment >= self.num_segments() {
+            return Err(ServeError::UnknownSegment {
+                segment,
+                num_segments: self.num_segments(),
+            });
+        }
+        Ok(())
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// The embedding of one segment under the current generation.
+    pub fn embedding(&self, segment: usize, deadline: Deadline) -> Result<Vec<f32>, ServeError> {
+        let _ticket = self.try_ticket()?;
+        deadline.check()?;
+        self.check_segment(segment)?;
+        let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        self.served.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(gen.embeddings().row_slice(segment).to_vec())
+    }
+
+    /// Exact k-nearest neighbors of a segment by cosine similarity — a
+    /// full scan of the current generation, deadline-checked every
+    /// [`ServeConfig::deadline_check_every`] rows. Above
+    /// [`ServeConfig::degrade_inflight`] in-flight requests the scan
+    /// transparently downgrades to the grid-approximate path and the
+    /// answer says so (`degraded: true`).
+    pub fn knn(&self, segment: usize, k: usize, deadline: Deadline) -> Result<Knn, ServeError> {
+        let _ticket = self.try_ticket()?;
+        deadline.check()?;
+        self.check_segment(segment)?;
+        let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        let pressured = self.cfg.degrade_inflight > 0
+            && self.inflight.load(AtomicOrdering::Acquire) > self.cfg.degrade_inflight;
+        if pressured {
+            self.degraded.fetch_add(1, AtomicOrdering::Relaxed);
+            let mut answer = self.approx_on(&gen, segment, k, deadline)?;
+            answer.degraded = true;
+            self.served.fetch_add(1, AtomicOrdering::Relaxed);
+            return Ok(answer);
+        }
+        let n = gen.embeddings().rows();
+        let mut scored = Vec::with_capacity(n.saturating_sub(1));
+        for i in 0..n {
+            if i % self.cfg.deadline_check_every == 0 {
+                deadline.check()?;
+            }
+            if i != segment {
+                scored.push((i, gen.similarity(segment, i)));
+            }
+        }
+        let answer = Knn {
+            neighbors: top_k(scored, k),
+            generation: gen.number(),
+            degraded: false,
+        };
+        self.served.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(answer)
+    }
+
+    /// Grid-bucketed approximate k-nearest neighbors: candidates come
+    /// from the segment's spatial neighborhood (expanding the Chebyshev
+    /// radius from [`ServeConfig::approx_radius`] until `k` candidates
+    /// exist or the grid is exhausted), then are ranked by cosine
+    /// similarity. Spatially local by construction — which is exactly the
+    /// regime SARN's grid negative sampling optimizes embeddings for.
+    pub fn knn_approx(
+        &self,
+        segment: usize,
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<Knn, ServeError> {
+        let _ticket = self.try_ticket()?;
+        deadline.check()?;
+        self.check_segment(segment)?;
+        let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        let answer = self.approx_on(&gen, segment, k, deadline)?;
+        self.served.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(answer)
+    }
+
+    fn approx_on(
+        &self,
+        gen: &Generation,
+        segment: usize,
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<Knn, ServeError> {
+        let cell = self.segment_cell[segment];
+        let max_radius = self.grid.nx().max(self.grid.ny());
+        let mut radius = self.cfg.approx_radius;
+        let candidates = loop {
+            deadline.check()?;
+            let cells = self.grid.neighborhood(cell, radius);
+            let candidates: Vec<usize> = cells
+                .iter()
+                .flat_map(|&c| self.buckets[c].iter().copied())
+                .filter(|&s| s != segment)
+                .collect();
+            if candidates.len() >= k || radius >= max_radius {
+                break candidates;
+            }
+            radius = radius.saturating_mul(2).max(radius + 1);
+        };
+        let mut scored = Vec::with_capacity(candidates.len());
+        for (j, &i) in candidates.iter().enumerate() {
+            if j % self.cfg.deadline_check_every == 0 {
+                deadline.check()?;
+            }
+            scored.push((i, gen.similarity(segment, i)));
+        }
+        Ok(Knn {
+            neighbors: top_k(scored, k),
+            generation: gen.number(),
+            degraded: false,
+        })
+    }
+
+    // ---- health ----------------------------------------------------------
+
+    /// Point-in-time health: lifecycle state plus lifetime counters.
+    pub fn health(&self) -> HealthReport {
+        let generation = self.generation();
+        let inflight = self.inflight.load(AtomicOrdering::Acquire);
+        let log = lock_recovering(&self.reload_log);
+        let state = match generation {
+            None => ServeState::Loading,
+            Some(g) if inflight >= self.cfg.max_inflight => ServeState::Shedding { generation: g },
+            Some(g) if log.consecutive_failures > 0 => ServeState::Degraded {
+                generation: g,
+                consecutive_failures: log.consecutive_failures,
+            },
+            Some(g) => ServeState::Serving { generation: g },
+        };
+        HealthReport {
+            state,
+            generation,
+            consecutive_reload_failures: log.consecutive_failures,
+            reloads_ok: log.reloads_ok,
+            reloads_failed: log.reloads_failed,
+            last_reload_error: log.last_error.clone(),
+            inflight,
+            shed_total: self.shed.load(AtomicOrdering::Relaxed),
+            degraded_total: self.degraded.load(AtomicOrdering::Relaxed),
+            served_total: self.served.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+/// Sorts `(id, similarity)` pairs most-similar-first (ties on ascending
+/// id, `total_cmp` so even a pathological non-finite score cannot panic)
+/// and keeps the best `k`.
+fn top_k(mut scored: Vec<(usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+    scored.sort_unstable_by(|a, b| match b.1.total_cmp(&a.1) {
+        Ordering::Equal => a.0.cmp(&b.0),
+        other => other,
+    });
+    scored.truncate(k);
+    scored
+}

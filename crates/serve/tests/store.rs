@@ -1,0 +1,343 @@
+//! Behavioral contract of the embedding store: validated admission,
+//! stale-generation fallback on every reload failure mode, retry against
+//! transient injected faults, deadlines, load shedding, and degradation.
+
+use std::time::Duration;
+
+use sarn_geo::Point;
+use sarn_serve::{Deadline, EmbeddingStore, LoadFault, ServeConfig, ServeError, ServeState};
+use sarn_tensor::{IoError, Tensor};
+
+const N: usize = 30;
+const D: usize = 4;
+
+/// Midpoints on a small lattice around Chengdu, ~200 m apart.
+fn midpoints() -> Vec<Point> {
+    (0..N)
+        .map(|i| {
+            Point::new(
+                30.64 + (i / 6) as f64 * 0.002,
+                104.04 + (i % 6) as f64 * 0.002,
+            )
+        })
+        .collect()
+}
+
+/// Deterministic embeddings whose rows differ: row `i`, component `j`
+/// holds `scale * (i + 1) + j` — distinguishable per generation and per
+/// row, finite everywhere.
+fn embeddings(scale: f32) -> Tensor {
+    Tensor::from_vec(
+        N,
+        D,
+        (0..N * D)
+            .map(|p| scale * ((p / D) as f32 + 1.0) + (p % D) as f32)
+            .collect(),
+    )
+}
+
+fn fast_cfg() -> ServeConfig {
+    ServeConfig {
+        reload_retries: 1,
+        reload_backoff: Duration::from_millis(1),
+        ..ServeConfig::default()
+    }
+}
+
+fn store(cfg: ServeConfig) -> EmbeddingStore {
+    EmbeddingStore::new(midpoints(), D, cfg).expect("valid store")
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sarn_serve_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn fresh_store_is_loading_and_not_ready() {
+    let s = store(fast_cfg());
+    assert_eq!(s.generation(), None);
+    assert_eq!(s.health().state, ServeState::Loading);
+    match s.embedding(0, Deadline::unbounded()) {
+        Err(ServeError::NotReady) => {}
+        other => panic!("expected NotReady, got {other:?}"),
+    }
+    // Bounds are checked before readiness: an unknown id is typed as such.
+    match s.knn(N + 5, 3, Deadline::unbounded()) {
+        Err(ServeError::UnknownSegment {
+            segment,
+            num_segments,
+        }) => {
+            assert_eq!((segment, num_segments), (N + 5, N));
+        }
+        other => panic!("expected UnknownSegment, got {other:?}"),
+    }
+}
+
+#[test]
+fn admission_rejects_bad_artifacts_and_keeps_the_current_generation() {
+    let s = store(fast_cfg());
+    s.admit(embeddings(1.0)).expect("first admission");
+    assert_eq!(s.generation(), Some(1));
+    let baseline = s
+        .embedding(7, Deadline::unbounded())
+        .expect("baseline lookup");
+
+    // Wrong shape: typed at the io-validation layer.
+    match s.admit(Tensor::zeros(N + 1, D)) {
+        Err(ServeError::Load(IoError::ShapeMismatch { rows, .. })) => assert_eq!(rows, N + 1),
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    // Corrupt row: typed by the shared watchdog/serving screen.
+    let mut sick = embeddings(2.0);
+    sick.data_mut()[9 * D + 2] = f32::NAN;
+    match s.admit(sick) {
+        Err(ServeError::CorruptRow { row: 9, defect }) => {
+            assert!(defect.to_string().contains("component 2"), "{defect}")
+        }
+        other => panic!("expected CorruptRow at 9, got {other:?}"),
+    }
+    // Both rejections left generation 1 serving identical answers.
+    assert_eq!(s.generation(), Some(1));
+    assert_eq!(
+        s.embedding(7, Deadline::unbounded())
+            .expect("still serving"),
+        baseline
+    );
+}
+
+#[test]
+fn reload_failure_modes_all_fall_back_to_last_known_good() {
+    let s = store(fast_cfg());
+    let path = tmp("fallback");
+    embeddings(1.0).save(&path).expect("writing gen 1");
+    assert_eq!(s.reload(&path).expect("first reload"), 1);
+    let baseline = s.embedding(3, Deadline::unbounded()).expect("baseline");
+    let baseline_knn = s.knn(3, 5, Deadline::unbounded()).expect("baseline knn");
+
+    // Garbage file.
+    std::fs::write(&path, b"definitely not an artifact").expect("corrupting");
+    match s.reload(&path) {
+        Err(ServeError::Load(IoError::BadMagic { .. })) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // Truncated file.
+    let full = {
+        embeddings(1.0).save(&path).expect("rewriting gen 1");
+        std::fs::read(&path).expect("reading bytes")
+    };
+    std::fs::write(&path, &full[..full.len() / 2]).expect("truncating");
+    match s.reload(&path) {
+        Err(ServeError::Load(IoError::Truncated { .. })) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    // Wrong shape on disk (artifact from another network).
+    Tensor::zeros(N, D + 3).save(&path).expect("writing misfit");
+    match s.reload(&path) {
+        Err(ServeError::Load(IoError::ShapeMismatch { .. })) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    // Non-finite payload on disk.
+    let mut sick = embeddings(3.0);
+    sick.data_mut()[0] = f32::INFINITY;
+    sick.save(&path).expect("writing sick artifact");
+    match s.reload(&path) {
+        Err(ServeError::CorruptRow { row: 0, .. }) => {}
+        other => panic!("expected CorruptRow, got {other:?}"),
+    }
+
+    // Throughout: generation 1 kept answering, bit-for-bit.
+    assert_eq!(s.generation(), Some(1));
+    assert_eq!(
+        s.embedding(3, Deadline::unbounded()).expect("stale lookup"),
+        baseline
+    );
+    assert_eq!(
+        s.knn(3, 5, Deadline::unbounded()).expect("stale knn"),
+        baseline_knn
+    );
+    // And the health report says degraded, with the failure count and the
+    // last typed error's message.
+    let h = s.health();
+    assert_eq!(h.consecutive_reload_failures, 4);
+    assert_eq!(h.reloads_failed, 4);
+    assert!(matches!(
+        h.state,
+        ServeState::Degraded {
+            generation: 1,
+            consecutive_failures: 4
+        }
+    ));
+    assert!(h.last_reload_error.is_some());
+
+    // A good artifact flips every reader to generation 2 and clears the
+    // degradation.
+    embeddings(5.0).save(&path).expect("writing gen 2");
+    assert_eq!(s.reload(&path).expect("recovery reload"), 2);
+    let flipped = s.embedding(3, Deadline::unbounded()).expect("new lookup");
+    assert_ne!(flipped, baseline);
+    assert_eq!(flipped[0], 5.0 * 4.0); // scale * (row + 1) + 0
+    let h = s.health();
+    assert_eq!(h.state, ServeState::Serving { generation: 2 });
+    assert_eq!(h.consecutive_reload_failures, 0);
+    assert!(h.last_reload_error.is_none());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bounded_retry_outlasts_transient_injected_faults() {
+    let mut cfg = fast_cfg();
+    cfg.reload_retries = 3;
+    let s = store(cfg);
+    let path = tmp("transient");
+    embeddings(1.0).save(&path).expect("writing artifact");
+
+    // Two injected failures, four attempts allowed: the reload succeeds.
+    s.inject_fault(Some(LoadFault {
+        fail_loads: 2,
+        delay_ms: 0,
+    }));
+    assert_eq!(s.reload(&path).expect("retry outlasts fault"), 1);
+    assert_eq!(s.health().reloads_ok, 1);
+
+    // A fault outlasting the budget is a typed failure; the generation
+    // stays.
+    s.inject_fault(Some(LoadFault {
+        fail_loads: 100,
+        delay_ms: 0,
+    }));
+    match s.reload(&path) {
+        Err(ServeError::Load(IoError::Io(e))) => {
+            assert!(e.to_string().contains("injected"), "{e}")
+        }
+        other => panic!("expected the injected fault, got {other:?}"),
+    }
+    assert_eq!(s.generation(), Some(1));
+    s.inject_fault(None);
+    assert_eq!(s.reload(&path).expect("clean after clearing"), 2);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn deadlines_are_typed_and_slow_io_can_be_simulated() {
+    let s = store(fast_cfg());
+    s.admit(embeddings(1.0)).expect("admission");
+    match s.knn(0, 5, Deadline::within(Duration::ZERO)) {
+        Err(ServeError::DeadlineExceeded { budget, .. }) => assert_eq!(budget, Duration::ZERO),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // A generous budget answers fine.
+    s.knn(0, 5, Deadline::within(Duration::from_secs(60)))
+        .expect("generous budget");
+    // Injected slow IO delays a reload without failing it.
+    let path = tmp("slow");
+    embeddings(2.0).save(&path).expect("writing artifact");
+    s.inject_fault(Some(LoadFault {
+        fail_loads: 0,
+        delay_ms: 30,
+    }));
+    let t0 = std::time::Instant::now();
+    s.reload(&path).expect("slow but successful reload");
+    assert!(t0.elapsed() >= Duration::from_millis(30));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn overload_sheds_and_pressure_degrades_exact_knn() {
+    let cfg = ServeConfig {
+        max_inflight: 4,
+        degrade_inflight: 2,
+        ..fast_cfg()
+    };
+    let s = store(cfg);
+    s.admit(embeddings(1.0)).expect("admission");
+
+    // Saturate the admission budget: the next request is shed, typed.
+    let tickets: Vec<_> = (0..4)
+        .map(|i| s.try_ticket().unwrap_or_else(|e| panic!("ticket {i}: {e}")))
+        .collect();
+    match s.embedding(0, Deadline::unbounded()) {
+        Err(ServeError::Overloaded {
+            inflight: 4,
+            max_inflight: 4,
+        }) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(matches!(
+        s.health().state,
+        ServeState::Shedding { generation: 1 }
+    ));
+    assert_eq!(s.health().shed_total, 1);
+    drop(tickets);
+
+    // Between the degrade threshold and the ceiling, exact k-NN answers
+    // via the approximate path and says so.
+    let pressure: Vec<_> = (0..3)
+        .map(|i| {
+            s.try_ticket()
+                .unwrap_or_else(|e| panic!("pressure ticket {i}: {e}"))
+        })
+        .collect();
+    let degraded = s.knn(5, 3, Deadline::unbounded()).expect("degraded knn");
+    assert!(degraded.degraded);
+    let reference = s
+        .knn_approx(5, 3, Deadline::unbounded())
+        .expect("approx reference");
+    assert_eq!(degraded.neighbors, reference.neighbors);
+    drop(pressure);
+
+    // Unloaded, the same query is exact again.
+    let exact = s.knn(5, 3, Deadline::unbounded()).expect("exact knn");
+    assert!(!exact.degraded);
+    assert_eq!(s.health().degraded_total, 1);
+    assert!(s.health().inflight == 0, "tickets all released");
+}
+
+#[test]
+fn approx_equals_exact_when_the_neighborhood_covers_the_network() {
+    // With 10 km cells the whole lattice shares one cell, so the
+    // approximate candidate set is the full network and the two paths
+    // must agree exactly.
+    let cfg = ServeConfig {
+        grid_clen_m: 10_000.0,
+        ..fast_cfg()
+    };
+    let s = store(cfg);
+    s.admit(embeddings(1.0)).expect("admission");
+    for seg in [0, 7, N - 1] {
+        let exact = s.knn(seg, 6, Deadline::unbounded()).expect("exact");
+        let approx = s.knn_approx(seg, 6, Deadline::unbounded()).expect("approx");
+        assert_eq!(exact.neighbors, approx.neighbors, "segment {seg}");
+        assert_eq!(exact.generation, approx.generation);
+    }
+}
+
+#[test]
+fn approx_radius_expands_until_enough_candidates_exist() {
+    // 200 m cells over a ~1 km lattice: each cell holds few segments, so
+    // a k larger than the local bucket forces radius expansion — the
+    // answer must still produce k neighbors.
+    let cfg = ServeConfig {
+        grid_clen_m: 200.0,
+        approx_radius: 1,
+        ..fast_cfg()
+    };
+    let s = store(cfg);
+    s.admit(embeddings(1.0)).expect("admission");
+    let got = s
+        .knn_approx(0, N - 1, Deadline::unbounded())
+        .expect("expanding approx");
+    assert_eq!(got.neighbors.len(), N - 1);
+}
+
+#[test]
+fn snapshots_outlive_reloads() {
+    let s = store(fast_cfg());
+    s.admit(embeddings(1.0)).expect("gen 1");
+    let old = s.snapshot().expect("snapshot of gen 1");
+    s.admit(embeddings(2.0)).expect("gen 2");
+    // The old generation's data is still fully readable through the Arc —
+    // a reader mid-query during a flip finishes on a coherent matrix.
+    assert_eq!(old.number(), 1);
+    assert_eq!(old.embeddings().at(0, 0), 1.0);
+    assert_eq!(s.snapshot().expect("snapshot of gen 2").number(), 2);
+}

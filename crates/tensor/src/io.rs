@@ -65,6 +65,28 @@ pub enum IoError {
     InvalidUtf8,
     /// Two parameter stores disagree on layout (names or shapes).
     LayoutMismatch(String),
+    /// A loaded tensor's shape disagrees with what the caller expected
+    /// (see [`TensorExpectation`]).
+    ShapeMismatch {
+        /// Row count the caller required, if any.
+        expected_rows: Option<usize>,
+        /// Column count the caller required, if any.
+        expected_cols: Option<usize>,
+        /// Row count found in the file.
+        rows: usize,
+        /// Column count found in the file.
+        cols: usize,
+    },
+    /// A loaded tensor contains a NaN or infinite value where the caller
+    /// required an all-finite payload (see [`TensorExpectation`]).
+    NonFinite {
+        /// Row of the first offending value.
+        row: usize,
+        /// Column of the first offending value.
+        col: usize,
+        /// The offending value.
+        value: f32,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -88,6 +110,26 @@ impl fmt::Display for IoError {
             }
             IoError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
             IoError::LayoutMismatch(detail) => write!(f, "{detail}"),
+            IoError::ShapeMismatch {
+                expected_rows,
+                expected_cols,
+                rows,
+                cols,
+            } => {
+                let fmt_dim = |d: &Option<usize>| match d {
+                    Some(v) => v.to_string(),
+                    None => "any".to_string(),
+                };
+                write!(
+                    f,
+                    "tensor shape {rows}x{cols} does not match expected {}x{}",
+                    fmt_dim(expected_rows),
+                    fmt_dim(expected_cols)
+                )
+            }
+            IoError::NonFinite { row, col, value } => {
+                write!(f, "non-finite value {value} at ({row}, {col})")
+            }
         }
     }
 }
@@ -208,6 +250,60 @@ pub fn read_str_from(r: &mut impl Read) -> Result<String, IoError> {
     String::from_utf8(buf).map_err(|_| IoError::InvalidUtf8)
 }
 
+/// What a reloaded tensor artifact must look like to be admitted.
+///
+/// Serving paths reload embedding files that may have been swapped,
+/// truncated, or half-written underneath them; this is the admission
+/// contract they validate against **before** publishing the data. Every
+/// violation is a typed [`IoError`], so a reloader can keep its
+/// last-known-good generation instead of panicking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TensorExpectation {
+    /// Required row count (`None` accepts any).
+    pub rows: Option<usize>,
+    /// Required column count (`None` accepts any).
+    pub cols: Option<usize>,
+    /// Require every value to be finite (no NaN / ±∞).
+    pub finite: bool,
+}
+
+impl TensorExpectation {
+    /// Expectation pinning both dimensions and requiring finiteness — the
+    /// admission contract of an embedding-serving store.
+    pub fn embedding(rows: usize, cols: usize) -> Self {
+        Self {
+            rows: Some(rows),
+            cols: Some(cols),
+            finite: true,
+        }
+    }
+
+    /// Checks a tensor against this expectation.
+    pub fn validate(&self, t: &Tensor) -> Result<(), IoError> {
+        let rows_ok = self.rows.is_none_or(|r| r == t.rows());
+        let cols_ok = self.cols.is_none_or(|c| c == t.cols());
+        if !rows_ok || !cols_ok {
+            return Err(IoError::ShapeMismatch {
+                expected_rows: self.rows,
+                expected_cols: self.cols,
+                rows: t.rows(),
+                cols: t.cols(),
+            });
+        }
+        if self.finite {
+            if let Some(pos) = t.data().iter().position(|v| !v.is_finite()) {
+                let cols = t.cols().max(1);
+                return Err(IoError::NonFinite {
+                    row: pos / cols,
+                    col: pos % cols,
+                    value: t.data()[pos],
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Tensor {
     /// Writes this tensor to a file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
@@ -226,6 +322,19 @@ impl Tensor {
             return Err(IoError::BadMagic { expected: "SRT1" });
         }
         read_tensor_from(&mut r)
+    }
+
+    /// Reads a tensor written by [`Tensor::save`] and validates it against
+    /// `expect` before returning it — the reload entry point for serving
+    /// paths, which must reject a wrong-shaped or non-finite artifact
+    /// *before* it can be published to readers.
+    pub fn load_validated(
+        path: impl AsRef<Path>,
+        expect: &TensorExpectation,
+    ) -> Result<Tensor, IoError> {
+        let t = Tensor::load(path)?;
+        expect.validate(&t)?;
+        Ok(t)
     }
 }
 

@@ -55,6 +55,6 @@ mod params;
 mod tensor;
 
 pub use autograd::{Graph, Var};
-pub use io::IoError;
+pub use io::{IoError, TensorExpectation};
 pub use params::{ParamId, ParamStore};
 pub use tensor::Tensor;

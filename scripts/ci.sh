@@ -6,17 +6,31 @@ cd "$(dirname "$0")/.."
 
 step() { echo; echo "=== $* ==="; }
 
+# Every temp dir a step makes is registered here; one EXIT trap sweeps
+# them all. (A second `trap ... EXIT` would silently replace the first,
+# leaking whichever dir the earlier step registered.)
+TMP_DIRS=()
+cleanup() { rm -rf "${TMP_DIRS[@]:-}"; }
+trap cleanup EXIT
+mktemp_tracked() {
+  local d
+  d="$(mktemp -d)"
+  TMP_DIRS+=("$d")
+  echo "$d"
+}
+
 step "cargo fmt --check"
 cargo fmt --all --check
 
 step "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# The training hot path and tensor backend must never panic on bad data:
-# unwraps are banned in library code there (tests, via --lib's cfg(test)
-# compilation, still may). Panics become typed TrainError / IoError values.
-step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor lib code)"
-cargo clippy -p sarn-core -p sarn-tensor --lib -- -D warnings -D clippy::unwrap_used
+# The training hot path, tensor backend, geometry layer, and serving
+# subsystem must never panic on bad data: unwraps are banned in library
+# code there (tests, via --lib's cfg(test) compilation, still may).
+# Panics become typed TrainError / IoError / GridError / ServeError values.
+step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-geo, sarn-serve lib code)"
+cargo clippy -p sarn-core -p sarn-tensor -p sarn-geo -p sarn-serve --lib -- -D warnings -D clippy::unwrap_used
 
 step "cargo test"
 cargo test -q --workspace
@@ -33,8 +47,7 @@ done
 # it from the directory, and require bitwise equality with a straight run
 # (the binary exits non-zero otherwise).
 step "checkpoint resume smoke (SARN_RESUME path)"
-CKPT_DIR="$(mktemp -d)"
-trap 'rm -rf "$CKPT_DIR"' EXIT
+CKPT_DIR="$(mktemp_tracked)"
 SARN_NET_SCALE=0.22 SARN_EPOCHS=6 SARN_CKPT_DIR="$CKPT_DIR" SARN_CKPT_EVERY=1 \
   cargo run -q --release -p sarn-bench --bin resume_smoke
 ls "$CKPT_DIR"/ckpt-*.sarnckpt > /dev/null  # retention left artifacts behind
@@ -45,6 +58,13 @@ ls "$CKPT_DIR"/ckpt-*.sarnckpt > /dev/null  # retention left artifacts behind
 step "watchdog fault-injection smoke"
 SARN_NET_SCALE=0.22 SARN_EPOCHS=4 SARN_TRAJ_COUNT=30 \
   cargo run -q --release -p sarn-bench --bin watchdog_smoke
+
+# Serving smoke: corrupt artifact swaps and injected I/O faults must fall
+# back to the last-known-good generation with typed errors; an overload
+# burst must shed and degrade; exits non-zero on any breach or panic.
+step "serve fault-injection smoke"
+SARN_NET_SCALE=0.22 SARN_EPOCHS=2 \
+  cargo run -q --release -p sarn-bench --bin serve_smoke
 
 echo
 echo "ci: all checks passed"
