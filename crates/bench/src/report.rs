@@ -1,5 +1,12 @@
-//! Plain-text table rendering for experiment output.
+//! Plain-text table rendering for experiment output, with a
+//! machine-readable JSONL twin: every printed table also lands in the
+//! telemetry event journal as [`sarn_obs::Event::BenchRow`]s and — when
+//! `SARN_REPORT_JSONL` names a file — is appended there as JSONL, so a
+//! sweep's artifacts can be parsed without scraping aligned text.
 
+use std::io::Write;
+
+use sarn_obs::{Event, EventJournal, TimedEvent};
 use sarn_tasks::metrics::Stats;
 
 /// Formats a `mean±std` cell from repeated measurements.
@@ -60,9 +67,57 @@ impl Table {
         out
     }
 
-    /// Prints the rendered table to stdout.
+    /// Prints the rendered table to stdout and emits its machine-readable
+    /// twin (journal events + optional `SARN_REPORT_JSONL` append).
     pub fn print(&self) {
         println!("{}", self.render());
+        self.emit();
+    }
+
+    /// One [`Event::BenchRow`] per data row, in order.
+    fn events(&self) -> Vec<Event> {
+        self.rows
+            .iter()
+            .map(|row| Event::BenchRow {
+                table: self.title.clone(),
+                cells: self
+                    .header
+                    .iter()
+                    .cloned()
+                    .zip(row.iter().cloned())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Emits the table's rows into the global event journal (always — the
+    /// bench artifact must exist even in un-instrumented runs) and appends
+    /// them as JSONL to the file named by `SARN_REPORT_JSONL`, if set. An
+    /// unwritable sink is reported on stderr, never fatal to the run.
+    pub fn emit(&self) {
+        let timed: Vec<TimedEvent> = self.events().into_iter().map(TimedEvent::now).collect();
+        for t in &timed {
+            EventJournal::global().record_forced(t.event.clone());
+        }
+        let Ok(path) = std::env::var("SARN_REPORT_JSONL") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut lines = String::new();
+        for t in &timed {
+            lines.push_str(&t.to_json());
+            lines.push('\n');
+        }
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(lines.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("warning: could not append bench rows to {path}: {e}");
+        }
     }
 }
 
@@ -93,5 +148,24 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("X", &["a", "b"]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn emit_journals_one_bench_row_per_data_row() {
+        let mut t = Table::new("Emit Demo", &["Method", "F1"]);
+        t.row(vec!["SARN".into(), "98.70".into()]);
+        t.row(vec!["GCL".into(), "91.20".into()]);
+        t.emit(); // journal recording is forced: works with telemetry off
+        let rows: Vec<_> = EventJournal::global()
+            .snapshot_events()
+            .into_iter()
+            .filter_map(|e| match e.event {
+                Event::BenchRow { table, cells } if table == "Emit Demo" => Some(cells),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], ("Method".to_string(), "SARN".to_string()));
+        assert_eq!(rows[1][1], ("F1".to_string(), "91.20".to_string()));
     }
 }

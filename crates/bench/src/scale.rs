@@ -53,6 +53,10 @@ pub struct ExperimentScale {
     /// Global gradient-norm clip applied before every Adam step
     /// (`SARN_CLIP_NORM`, default 0 = off).
     pub clip_norm: f32,
+    /// Telemetry knobs (`SARN_OBS=1` enables recording, `SARN_OBS_DIR`
+    /// adds periodic file exports, `SARN_OBS_EVERY` /
+    /// `SARN_OBS_JOURNAL_CAP` tune them; off by default).
+    pub obs: sarn_obs::ObsConfig,
 }
 
 impl ExperimentScale {
@@ -85,6 +89,7 @@ impl ExperimentScale {
             watchdog_lr_backoff: get("SARN_WATCHDOG_LR_BACKOFF", 0.5) as f32,
             watchdog_grad_ratio: get("SARN_WATCHDOG_GRAD_RATIO", 25.0) as f32,
             clip_norm: get("SARN_CLIP_NORM", 0.0) as f32,
+            obs: sarn_obs::ObsConfig::from_env(),
         }
     }
 
@@ -149,6 +154,7 @@ impl ExperimentScale {
         if self.clip_norm > 0.0 {
             cfg = cfg.with_clip_norm(self.clip_norm);
         }
+        cfg.obs = self.obs.clone();
         cfg
     }
 
@@ -188,6 +194,7 @@ mod tests {
             watchdog_lr_backoff: 0.5,
             watchdog_grad_ratio: 25.0,
             clip_norm: 0.0,
+            obs: Default::default(),
         };
         let net = s.network(City::Chengdu);
         assert!(net.num_segments() > 100);
@@ -219,6 +226,7 @@ mod tests {
             watchdog_lr_backoff: 0.25,
             watchdog_grad_ratio: 40.0,
             clip_norm: 1.5,
+            obs: Default::default(),
         };
         let cfg = s.sarn_config(7);
         assert_eq!(cfg.checkpoint_every, 4);

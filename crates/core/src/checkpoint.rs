@@ -291,6 +291,7 @@ impl Checkpoint {
     /// are fsynced, and renamed over `path`. A crash at any point leaves
     /// either the previous file or the new one — never a torn mix.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let t0 = sarn_obs::enabled().then(std::time::Instant::now);
         let path = path.as_ref();
         let tmp = tmp_sibling(path);
         let bytes = self.to_bytes();
@@ -303,15 +304,59 @@ impl Checkpoint {
             fs::remove_file(&tmp).ok();
             return Err(e.into());
         }
+        if let Some(t0) = t0 {
+            record_io(
+                t0,
+                bytes.len(),
+                self.meta.next_epoch as usize,
+                "sarn_checkpoint_write",
+                false,
+            );
+        }
         Ok(())
     }
 
     /// Loads and validates a checkpoint file.
     pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        let t0 = sarn_obs::enabled().then(std::time::Instant::now);
         let mut bytes = Vec::new();
         File::open(path.as_ref())?.read_to_end(&mut bytes)?;
-        Checkpoint::from_bytes(&bytes)
+        let ckpt = Checkpoint::from_bytes(&bytes)?;
+        if let Some(t0) = t0 {
+            record_io(
+                t0,
+                bytes.len(),
+                ckpt.meta.next_epoch as usize,
+                "sarn_checkpoint_load",
+                true,
+            );
+        }
+        Ok(ckpt)
     }
+}
+
+/// Telemetry for one checkpoint write/load: duration and size histograms
+/// plus a journal event. Only called with telemetry enabled.
+fn record_io(t0: std::time::Instant, bytes: usize, epoch: usize, stem: &str, is_load: bool) {
+    let seconds = t0.elapsed().as_secs_f64();
+    let r = sarn_obs::Registry::global();
+    r.histogram(&format!("{stem}_seconds")).observe(seconds);
+    r.histogram_with(&format!("{stem}_bytes"), sarn_obs::magnitude_boundaries())
+        .observe(bytes as f64);
+    r.counter(&format!("{stem}s_total")).inc();
+    sarn_obs::record(if is_load {
+        sarn_obs::Event::CheckpointLoad {
+            epoch,
+            bytes,
+            seconds,
+        }
+    } else {
+        sarn_obs::Event::CheckpointWrite {
+            epoch,
+            bytes,
+            seconds,
+        }
+    });
 }
 
 /// The `.tmp` sibling a [`Checkpoint::save`] stages its bytes in (same

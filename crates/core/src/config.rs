@@ -147,6 +147,12 @@ pub struct SarnConfig {
     /// `watchdog_smoke` bench binary (never set in real runs; excluded
     /// from the fingerprint).
     pub fault: Option<FaultSpec>,
+    /// Telemetry (see [`sarn_obs`]): counters/histograms/spans plus the
+    /// event journal and periodic file exports. Disabled by default;
+    /// recording only ever *reads* training state, so an instrumented
+    /// run is bitwise-identical to an uninstrumented one and these
+    /// knobs are *not* fingerprinted.
+    pub obs: sarn_obs::ObsConfig,
 }
 
 impl Default for SarnConfig {
@@ -185,6 +191,7 @@ impl Default for SarnConfig {
             clip_norm: 0.0,
             watchdog: WatchdogConfig::default(),
             fault: None,
+            obs: sarn_obs::ObsConfig::default(),
         }
     }
 }
@@ -263,6 +270,16 @@ impl SarnConfig {
         self
     }
 
+    /// Enables telemetry with the given knobs (the `enabled` flag inside
+    /// `obs` is forced on).
+    pub fn with_obs(mut self, obs: sarn_obs::ObsConfig) -> Self {
+        self.obs = sarn_obs::ObsConfig {
+            enabled: true,
+            ..obs
+        };
+        self
+    }
+
     /// Sets the global gradient-norm clip (`0` disables clipping).
     pub fn with_clip_norm(mut self, clip_norm: f32) -> Self {
         self.clip_norm = clip_norm;
@@ -286,9 +303,12 @@ impl SarnConfig {
     /// (with the horizon pinned via `schedule_epochs`, a larger budget
     /// *extends* a run), `patience`, `num_threads` (training is bitwise
     /// identical at every thread count), the checkpoint knobs themselves,
-    /// and the watchdog/fault knobs (a healthy watched run is bitwise
-    /// identical to an unwatched one). `clip_norm` IS included — clipping
-    /// reshapes every step that trips it.
+    /// the watchdog/fault knobs (a healthy watched run is bitwise
+    /// identical to an unwatched one), and the telemetry knobs (recording
+    /// only reads training state; an instrumented run is bitwise identical
+    /// to an uninstrumented one — `tests/sys/tests/obs_equivalence.rs`
+    /// proves it). `clip_norm` IS included — clipping reshapes every step
+    /// that trips it.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv1a::new();
         for v in [
@@ -412,6 +432,30 @@ mod tests {
                 .with_watchdog(WatchdogConfig::default())
                 .fingerprint()
         );
+        // Telemetry never perturbs the trajectory either.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_obs(sarn_obs::ObsConfig {
+                    export_dir: Some("/tmp/obs".into()),
+                    export_every: 2,
+                    ..sarn_obs::ObsConfig::default()
+                })
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn obs_is_off_by_default_and_with_obs_forces_it_on() {
+        let c = SarnConfig::default();
+        assert!(!c.obs.enabled);
+        let on = c.with_obs(sarn_obs::ObsConfig {
+            enabled: false, // forced on by the builder
+            export_every: 3,
+            ..sarn_obs::ObsConfig::default()
+        });
+        assert!(on.obs.enabled);
+        assert_eq!(on.obs.export_every, 3);
     }
 
     #[test]

@@ -109,6 +109,7 @@ pub fn train(net: &RoadNetwork, cfg: &SarnConfig) -> SarnTrained {
 /// exhausted watchdog retry budget as [`TrainError::Diverged`].
 pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, TrainError> {
     let start = Instant::now();
+    cfg.obs.apply();
     sarn_par::set_num_threads(cfg.num_threads);
     let n = net.num_segments();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A4E);
@@ -122,7 +123,9 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
         Vec::new()
     };
     let augmenter = Augmenter::new(n, net.topo_edges().to_vec(), spatial_edges, cfg.augment);
-    let full_edges = augmenter.full_view().edge_index();
+    let full_view = augmenter.full_view();
+    let full_edge_count = full_view.num_edges();
+    let full_edges = full_view.edge_index();
 
     let mut model = SarnModel::new(net, cfg);
     let mut queues = cfg
@@ -204,16 +207,22 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
         if already_stopped {
             break;
         }
-        opt.set_lr(schedule.lr_at(epoch as u64) * lr_scale);
+        let epoch_span = sarn_obs::span!("sarn_train_epoch_seconds");
+        let epoch_lr = schedule.lr_at(epoch as u64) * lr_scale;
+        opt.set_lr(epoch_lr);
         // Two-view sampling: the seeds are drawn serially from the main
         // stream (view 1's first), then each view is corrupted under its
         // own stream — so the pair of views is the same whether the two
         // tasks run concurrently or back-to-back.
         let (seed1, seed2) = (rng.next_u64(), rng.next_u64());
-        let (view1, view2) = sarn_par::join(
-            || augmenter.corrupt_with_seed(seed1),
-            || augmenter.corrupt_with_seed(seed2),
-        );
+        let (view1, view2) = {
+            let _aug = sarn_obs::span!("sarn_train_augment_seconds");
+            sarn_par::join(
+                || augmenter.corrupt_with_seed(seed1),
+                || augmenter.corrupt_with_seed(seed2),
+            )
+        };
+        let edges_removed = 2 * full_edge_count - view1.num_edges() - view2.num_edges();
         let (view1, view2) = (view1.edge_index(), view2.edge_index());
         order.shuffle(&mut rng);
 
@@ -221,6 +230,7 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
         let mut batches = 0;
         let mut violation: Option<HealthViolation> = None;
         for (batch_idx, batch) in order.chunks(cfg.batch_size).enumerate() {
+            let _batch_span = sarn_obs::span!("sarn_train_batch_seconds");
             let fault = cfg
                 .fault
                 .filter(|f| f.epoch == epoch && f.batch == batch_idx && (f.sticky || !fault_spent));
@@ -255,16 +265,20 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
         }
 
         if let Some(v) = violation {
+            crate::watchdog::obs_violation(&v);
             let snap = anchor
                 .as_deref()
                 .expect("violations are only raised with the watchdog (and its anchor) in place");
             if recoveries.len() >= cfg.watchdog.max_recoveries {
-                return Err(TrainError::Diverged(Box::new(DivergenceReport {
+                let report = Box::new(DivergenceReport {
                     violation: v,
                     recoveries,
                     max_recoveries: cfg.watchdog.max_recoveries,
                     loss_history: snap.meta.loss_history.clone(),
-                })));
+                });
+                crate::watchdog::obs_divergence(&report);
+                export_obs(&cfg.obs);
+                return Err(TrainError::Diverged(report));
             }
             // Roll back through the same validated path a disk resume uses,
             // discarding every poisoned tensor, queue entry, and history
@@ -302,12 +316,41 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
                 rolled_back_to_epoch: resume_epoch,
                 lr_scale,
             });
+            if let Some(ev) = recoveries.last() {
+                crate::watchdog::obs_recovery(ev, retry as usize);
+            }
             epoch = resume_epoch;
             continue;
         }
 
         let mean_loss = epoch_loss / batches.max(1) as f32;
         loss_history.push(mean_loss);
+
+        if sarn_obs::enabled() {
+            let grad_norm = global_grad_norm(&model.store);
+            let queue_entries = queues.as_ref().map_or(0, |q| q.total_entries());
+            let r = sarn_obs::Registry::global();
+            r.counter("sarn_train_epochs_total").inc();
+            r.gauge("sarn_train_loss").set(mean_loss as f64);
+            r.gauge("sarn_train_lr").set(epoch_lr as f64);
+            r.gauge("sarn_train_grad_norm").set(grad_norm);
+            r.gauge("sarn_train_queue_entries")
+                .set(queue_entries as f64);
+            r.counter("sarn_train_aug_edges_removed_total")
+                .add(edges_removed as u64);
+            sarn_obs::record(sarn_obs::Event::EpochSummary {
+                epoch,
+                loss: mean_loss as f64,
+                lr: epoch_lr as f64,
+                grad_norm,
+                seconds: epoch_span.elapsed_seconds().unwrap_or(0.0),
+                queue_entries,
+                edges_removed,
+            });
+            if cfg.obs.export_every > 0 && (epoch + 1).is_multiple_of(cfg.obs.export_every) {
+                export_obs(&cfg.obs);
+            }
+        }
 
         if cfg.checkpoint_every > 0 && (epoch + 1).is_multiple_of(cfg.checkpoint_every) {
             if let Some(dir) = &cfg.checkpoint_dir {
@@ -349,6 +392,7 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
         epoch += 1;
     }
 
+    export_obs(&cfg.obs);
     let embeddings = model.embed_detached(&model.store, &full_edges);
     let epochs_run = loss_history.len();
     Ok(SarnTrained {
@@ -361,6 +405,30 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
         recoveries,
         cfg: cfg.clone(),
     })
+}
+
+/// Global L2 norm over every parameter's current gradient (telemetry
+/// only — reads the store without touching it).
+fn global_grad_norm(store: &ParamStore) -> f64 {
+    store
+        .ids()
+        .map(|id| store.grad(id).norm_sq() as f64)
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Writes the telemetry exports if an export directory is configured. An
+/// export failure must never kill a training run: it is reported on
+/// stderr and swallowed.
+fn export_obs(obs: &sarn_obs::ObsConfig) {
+    if !obs.enabled {
+        return;
+    }
+    if let Some(dir) = &obs.export_dir {
+        if let Err(e) = sarn_obs::export_all(dir) {
+            eprintln!("warning: telemetry export to {} failed: {e}", dir.display());
+        }
+    }
 }
 
 /// Snapshots the full training state after a completed epoch.

@@ -303,6 +303,45 @@ impl fmt::Display for DivergenceReport {
     }
 }
 
+/// Telemetry for a watchdog violation: a counter bump plus a journal
+/// event (no-ops while telemetry is disabled).
+pub(crate) fn obs_violation(v: &HealthViolation) {
+    if !sarn_obs::enabled() {
+        return;
+    }
+    sarn_obs::counter("sarn_watchdog_violations_total").inc();
+    sarn_obs::record(sarn_obs::Event::WatchdogViolation {
+        epoch: v.epoch(),
+        batch: v.batch(),
+        detail: v.to_string(),
+    });
+}
+
+/// Telemetry for one completed rollback recovery (`retry` is 1-based).
+pub(crate) fn obs_recovery(ev: &RecoveryEvent, retry: usize) {
+    if !sarn_obs::enabled() {
+        return;
+    }
+    sarn_obs::counter("sarn_watchdog_recoveries_total").inc();
+    sarn_obs::record(sarn_obs::Event::WatchdogRecovery {
+        rolled_back_to_epoch: ev.rolled_back_to_epoch,
+        lr_scale: ev.lr_scale as f64,
+        retry,
+    });
+}
+
+/// Telemetry for a run that exhausted its retry budget.
+pub(crate) fn obs_divergence(report: &DivergenceReport) {
+    if !sarn_obs::enabled() {
+        return;
+    }
+    sarn_obs::counter("sarn_watchdog_divergences_total").inc();
+    sarn_obs::record(sarn_obs::Event::WatchdogDivergence {
+        recoveries: report.recoveries.len(),
+        detail: report.violation.to_string(),
+    });
+}
+
 /// Everything that can abort [`crate::try_train`].
 #[derive(Debug)]
 pub enum TrainError {

@@ -1,0 +1,114 @@
+//! Telemetry knobs (`SARN_OBS_*` environment variables for the bench
+//! binaries; library callers set fields directly, typically via
+//! `SarnConfig::obs`).
+
+use std::path::PathBuf;
+
+use crate::journal::{EventJournal, DEFAULT_JOURNAL_CAPACITY};
+
+/// Telemetry configuration.
+///
+/// Enabling is **sticky** per process: [`ObsConfig::apply`] turns the
+/// global recorder on when `enabled` is set but never turns it off (so
+/// a disabled-by-default training run started concurrently cannot yank
+/// telemetry out from under an instrumented one). Explicit control is
+/// available via [`crate::set_enabled`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch. Off by default: every recording call is a relaxed
+    /// flag load and an early return, and training output is bitwise
+    /// identical either way (recording only ever *reads* training
+    /// state).
+    pub enabled: bool,
+    /// Directory receiving `metrics.prom` / `metrics.json` /
+    /// `events.jsonl` exports (created on first export). `None` = no
+    /// file exports; the in-process registry still records.
+    pub export_dir: Option<PathBuf>,
+    /// Export every this many epochs during training (`0` = only at the
+    /// end of the run; ignored without `export_dir`).
+    pub export_every: usize,
+    /// Event-journal ring capacity (oldest events are dropped beyond
+    /// this, with a drop counter).
+    pub journal_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            export_dir: None,
+            export_every: 0,
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl ObsConfig {
+    /// Reads the `SARN_OBS_*` environment knobs: `SARN_OBS=1` enables
+    /// recording, `SARN_OBS_DIR` sets the export directory (and implies
+    /// enabling), `SARN_OBS_EVERY` the epoch export period (default 1
+    /// when a directory is set), `SARN_OBS_JOURNAL_CAP` the ring size.
+    pub fn from_env() -> Self {
+        let d = ObsConfig::default();
+        let export_dir = std::env::var("SARN_OBS_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let enabled = env_parse("SARN_OBS", 0u8) != 0 || export_dir.is_some();
+        let export_every = env_parse("SARN_OBS_EVERY", u64::from(export_dir.is_some())) as usize;
+        Self {
+            enabled,
+            export_dir,
+            export_every,
+            journal_capacity: env_parse("SARN_OBS_JOURNAL_CAP", d.journal_capacity as u64) as usize,
+        }
+    }
+
+    /// Applies the config to the process-wide recorder: sizes the
+    /// journal ring and (sticky) enables recording when `enabled`.
+    pub fn apply(&self) {
+        if self.enabled {
+            EventJournal::global().set_capacity(self.journal_capacity);
+            crate::set_enabled(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off() {
+        let c = ObsConfig::default();
+        assert!(!c.enabled);
+        assert!(c.export_dir.is_none());
+        assert_eq!(c.export_every, 0);
+        assert_eq!(c.journal_capacity, DEFAULT_JOURNAL_CAPACITY);
+    }
+
+    #[test]
+    fn apply_is_sticky_enable_only() {
+        let _guard = crate::test_flag_lock();
+        // A disabled config must never flip the global recorder off.
+        crate::set_enabled(true);
+        ObsConfig::default().apply();
+        assert!(crate::enabled());
+        crate::set_enabled(false);
+        // And an enabled one turns it on.
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+        .apply();
+        assert!(crate::enabled());
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,252 @@
+//! Lock-free metric primitives: monotonic counters, f64 gauges, and
+//! fixed-boundary histograms, all on `AtomicU64`.
+//!
+//! Handles are cheap clones of an `Arc` around the atomic cells; the
+//! [`crate::Registry`] interns them by name once at construction, so a
+//! hot-path recording is a relaxed flag load plus one (counters/gauges)
+//! or a few (histograms) relaxed atomic operations — no locks anywhere.
+//!
+//! Every recording call is gated on [`crate::enabled`]: with telemetry
+//! disabled (the default) a call is a single relaxed load and an early
+//! return, cheap enough for per-batch use inside the training loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::enabled;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one. No-op while telemetry is disabled.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op while telemetry is disabled.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.inner.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as its bit pattern).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    inner: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Sets the gauge. No-op while telemetry is disabled.
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.inner.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.inner.load(Ordering::Relaxed))
+    }
+}
+
+/// Log-spaced latency bucket upper bounds in seconds: 1–2.5–5 per decade
+/// from 1 µs to 100 s (every duration a training epoch, a checkpoint
+/// write, or a serve query can plausibly take lands in an informative
+/// bucket; everything slower goes to the implicit `+Inf` bucket).
+pub fn latency_boundaries() -> Vec<f64> {
+    let mut b = Vec::with_capacity(25);
+    for exp in -6..2 {
+        let decade = 10f64.powi(exp);
+        b.extend([decade, 2.5 * decade, 5.0 * decade]);
+    }
+    b.push(100.0);
+    b
+}
+
+/// Decade bucket upper bounds for generic magnitudes (gradient norms,
+/// byte sizes): powers of ten from 1e-9 to 1e9.
+pub fn magnitude_boundaries() -> Vec<f64> {
+    (-9..=9).map(|e| 10f64.powi(e)).collect()
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Strictly increasing bucket upper bounds. Bucket `i` covers
+    /// `(boundaries[i-1], boundaries[i]]` (bucket 0 is `(-inf, b0]`);
+    /// one extra implicit bucket covers `(b_last, +inf)` — so every
+    /// finite value lands in exactly one of `boundaries.len() + 1`
+    /// buckets. NaN is counted in the overflow bucket.
+    boundaries: Vec<f64>,
+    /// One count per bucket, plus the overflow bucket at the end.
+    counts: Vec<AtomicU64>,
+    /// Sum of recorded values, as f64 bits, updated by CAS.
+    sum_bits: AtomicU64,
+    /// Number of recorded values.
+    count: AtomicU64,
+}
+
+/// A fixed-boundary histogram with atomic bucket counts plus a running
+/// sum and count (for means), in the Prometheus cumulative-bucket model.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    pub(crate) fn new(boundaries: Vec<f64>) -> Self {
+        debug_assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "histogram boundaries must be strictly increasing"
+        );
+        let counts = (0..=boundaries.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramCore {
+                boundaries,
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Index of the bucket `v` falls in: the first boundary `>= v`, or
+    /// the overflow bucket (`boundaries.len()`) when none is (this is
+    /// also where NaN goes).
+    pub fn bucket_index(&self, v: f64) -> usize {
+        if v.is_nan() {
+            return self.inner.boundaries.len();
+        }
+        // partition_point over `b < v` yields the first boundary >= v,
+        // i.e. the cumulative-bucket index; when every boundary is below
+        // `v` it yields `boundaries.len()` — the overflow bucket.
+        self.inner.boundaries.partition_point(|&b| b < v)
+    }
+
+    /// Records one observation. No-op while telemetry is disabled.
+    pub fn observe(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        let idx = self.bucket_index(v);
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The configured bucket upper bounds (excluding the implicit
+    /// `+Inf` overflow bucket).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.inner.boundaries
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_record_only_when_enabled() {
+        let _guard = crate::test_flag_lock();
+        let c = Counter::new();
+        let g = Gauge::new();
+        crate::set_enabled(false);
+        c.inc();
+        g.set(3.5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        crate::set_enabled(true);
+        c.inc();
+        c.add(4);
+        g.set(3.5);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 3.5);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_line() {
+        let _guard = crate::test_flag_lock();
+        crate::set_enabled(true);
+        let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        // (-inf, 1], (1, 10], (10, 100], (100, inf)
+        assert_eq!(h.bucket_index(-5.0), 0);
+        assert_eq!(h.bucket_index(1.0), 0);
+        assert_eq!(h.bucket_index(1.0000001), 1);
+        assert_eq!(h.bucket_index(10.0), 1);
+        assert_eq!(h.bucket_index(55.0), 2);
+        assert_eq!(h.bucket_index(100.0), 2);
+        assert_eq!(h.bucket_index(1e9), 3);
+        assert_eq!(h.bucket_index(f64::NAN), 3);
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 555.5).abs() < 1e-9);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn latency_boundaries_are_strictly_increasing() {
+        let b = latency_boundaries();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.first().copied(), Some(1e-6));
+        assert_eq!(b.last().copied(), Some(100.0));
+        let m = magnitude_boundaries();
+        assert!(m.windows(2).all(|w| w[0] < w[1]));
+    }
+}

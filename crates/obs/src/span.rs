@@ -1,0 +1,103 @@
+//! RAII span timers feeding histograms.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An RAII timer: created against a histogram, records the elapsed
+/// seconds into it on drop. With telemetry disabled, construction takes
+/// no timestamp and drop records nothing — cheap enough for per-batch
+/// use in the training loop.
+///
+/// Usually created via the [`crate::span!`] macro, which also interns
+/// the histogram once:
+///
+/// ```
+/// let _epoch = sarn_obs::span!("demo_epoch_seconds");
+/// // ... timed work ...
+/// ```
+#[must_use = "a span records on drop; binding it to `_name` keeps it alive for the timed scope"]
+pub struct Span {
+    timed: Option<(Histogram, Instant)>,
+}
+
+impl Span {
+    /// Starts a span against `hist` (no-op when telemetry is disabled).
+    pub fn enter(hist: &Histogram) -> Span {
+        Span {
+            timed: crate::enabled().then(|| (hist.clone(), Instant::now())),
+        }
+    }
+
+    /// A span that records nothing (for conditionally timed paths).
+    pub fn noop() -> Span {
+        Span { timed: None }
+    }
+
+    /// Elapsed seconds so far (`None` for a no-op span).
+    pub fn elapsed_seconds(&self) -> Option<f64> {
+        self.timed
+            .as_ref()
+            .map(|(_, t0)| t0.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, t0)) = self.timed.take() {
+            hist.observe(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts an RAII [`Span`] against the named histogram (default latency
+/// buckets), interning the handle once per call site.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __SARN_OBS_HIST: ::std::sync::OnceLock<$crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        $crate::Span::enter(
+            __SARN_OBS_HIST.get_or_init(|| $crate::Registry::global().histogram($name)),
+        )
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_elapsed_time_into_the_histogram() {
+        let _guard = crate::test_flag_lock();
+        crate::set_enabled(true);
+        let h = crate::Registry::global().histogram("obs_test_span_seconds");
+        let before = h.count();
+        {
+            let s = Span::enter(&h);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(s.elapsed_seconds().is_some_and(|t| t >= 0.002));
+        }
+        assert_eq!(h.count(), before + 1);
+        assert!(h.sum() >= 0.002);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn span_macro_interns_and_noop_records_nothing() {
+        let _guard = crate::test_flag_lock();
+        crate::set_enabled(true);
+        {
+            let _s = crate::span!("obs_test_span_macro_seconds");
+        }
+        let h = crate::Registry::global().histogram("obs_test_span_macro_seconds");
+        assert!(h.count() >= 1);
+        let before = h.count();
+        {
+            let s = Span::noop();
+            assert!(s.elapsed_seconds().is_none());
+        }
+        assert_eq!(h.count(), before);
+        crate::set_enabled(false);
+    }
+}

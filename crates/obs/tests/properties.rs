@@ -1,0 +1,94 @@
+//! Property-based tests on the histogram bucket model and concurrent
+//! recording guarantees.
+
+use proptest::prelude::*;
+use sarn_obs::{latency_boundaries, magnitude_boundaries, Registry};
+
+/// A value strategy spanning many decades on both sides of zero, plus
+/// exact boundary values (the edge case the bucket model must get
+/// right: upper bounds are inclusive).
+fn wide_value() -> impl Strategy<Value = f64> {
+    (-320i32..320, -1000i64..1000).prop_map(|(exp, mant)| {
+        let m = mant as f64 / 1000.0;
+        m * 10f64.powi(exp / 10)
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_finite_value_lands_in_exactly_one_bucket(v in wide_value()) {
+        for boundaries in [latency_boundaries(), magnitude_boundaries()] {
+            let n = boundaries.len();
+            let h = Registry::global().histogram_with(
+                // A throwaway name per boundary set; interning returns the
+                // same histogram each proptest case, which is fine — we
+                // only use `bucket_index` here.
+                if n == latency_boundaries().len() { "obs_prop_latency" } else { "obs_prop_magnitude" },
+                boundaries.clone(),
+            );
+            let idx = h.bucket_index(v);
+            prop_assert!(idx <= n, "index {idx} out of range for {n} boundaries");
+            // The chosen bucket really covers `v`: above the previous
+            // boundary (if any), at or below its own (unless overflow).
+            if idx > 0 {
+                prop_assert!(v > boundaries[idx - 1], "{v} <= lower bound {}", boundaries[idx - 1]);
+            }
+            if idx < n {
+                prop_assert!(v <= boundaries[idx], "{v} > upper bound {}", boundaries[idx]);
+            } else {
+                prop_assert!(n == 0 || v > boundaries[n - 1]);
+            }
+            // And no other bucket claims it: the cover conditions above
+            // pin `idx` uniquely because boundaries are strictly
+            // increasing.
+        }
+    }
+
+    #[test]
+    fn boundary_values_are_inclusive_upper_bounds(i in 0usize..24) {
+        let boundaries = latency_boundaries();
+        let h = Registry::global().histogram_with("obs_prop_latency", boundaries.clone());
+        let b = boundaries[i];
+        prop_assert_eq!(h.bucket_index(b), i);
+        prop_assert_eq!(h.bucket_index(b * (1.0 + 1e-12)), i + 1);
+    }
+}
+
+#[test]
+fn nan_goes_to_the_overflow_bucket() {
+    let boundaries = latency_boundaries();
+    let h = Registry::global().histogram_with("obs_prop_latency", boundaries.clone());
+    assert_eq!(h.bucket_index(f64::NAN), boundaries.len());
+    assert_eq!(h.bucket_index(f64::INFINITY), boundaries.len());
+    assert_eq!(h.bucket_index(f64::NEG_INFINITY), 0);
+}
+
+/// Four threads hammer one histogram; afterwards the bucket counts must
+/// sum to the total count and the sum must equal the exact expected
+/// total (every recorded value is an integer, so f64 addition is exact
+/// regardless of interleaving).
+#[test]
+fn concurrent_recording_keeps_sum_and_count_consistent() {
+    sarn_obs::set_enabled(true);
+    let h = Registry::global()
+        .histogram_with("obs_prop_concurrent", vec![4.0, 16.0, 64.0, 256.0, 1024.0]);
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across buckets.
+                    h.observe(((t * PER_THREAD + i) % 1500) as f64);
+                }
+            });
+        }
+    });
+    sarn_obs::set_enabled(false);
+    let total = THREADS * PER_THREAD;
+    assert_eq!(h.count(), total);
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), total);
+    let expected: f64 = (0..total).map(|i| (i % 1500) as f64).sum();
+    assert_eq!(h.sum(), expected, "f64 integer additions commute exactly");
+}

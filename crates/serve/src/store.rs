@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sarn_core::{embedding_defect, SarnTrained};
 use sarn_geo::{CellId, Grid, Point};
@@ -26,6 +26,8 @@ pub struct Generation {
     embeddings: Tensor,
     /// Per-row L2 norms, precomputed at admission for cosine scoring.
     norms: Vec<f32>,
+    /// When this generation was published.
+    admitted_at: Instant,
 }
 
 impl Generation {
@@ -45,12 +47,18 @@ impl Generation {
             number,
             embeddings,
             norms,
+            admitted_at: Instant::now(),
         }
     }
 
     /// Monotonic generation number (1 for the first admitted artifact).
     pub fn number(&self) -> u64 {
         self.number
+    }
+
+    /// How long this generation has been the published one.
+    pub fn age(&self) -> Duration {
+        self.admitted_at.elapsed()
     }
 
     /// The `n x d` embedding matrix.
@@ -115,13 +123,23 @@ pub struct HealthReport {
     pub degraded_total: u64,
     /// Successfully answered requests.
     pub served_total: u64,
+    /// Time since the store was built.
+    pub uptime: Duration,
+    /// How long the currently served generation has been live (`None`
+    /// while loading) — the staleness signal: a store whose reloads keep
+    /// failing shows a growing age next to its climbing failure counters.
+    pub generation_age: Option<Duration>,
+    /// Point-in-time copy of the process-wide telemetry registry
+    /// (`None` while telemetry is disabled).
+    pub metrics: Option<sarn_obs::Snapshot>,
 }
 
 impl std::fmt::Display for HealthReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:?}: served {}, shed {}, degraded {}, reloads {}/{} ok, inflight {}",
+            "{:?}: served {}, shed {}, degraded {}, reloads {}/{} ok, inflight {}, \
+             up {:.1}s, generation age {}",
             self.state,
             self.served_total,
             self.shed_total,
@@ -129,6 +147,11 @@ impl std::fmt::Display for HealthReport {
             self.reloads_ok,
             self.reloads_ok + self.reloads_failed,
             self.inflight,
+            self.uptime.as_secs_f64(),
+            match self.generation_age {
+                Some(age) => format!("{:.1}s", age.as_secs_f64()),
+                None => "n/a".to_string(),
+            },
         )
     }
 }
@@ -192,6 +215,7 @@ pub struct EmbeddingStore {
     served: AtomicU64,
     shed: AtomicU64,
     degraded: AtomicU64,
+    started: Instant,
 }
 
 impl EmbeddingStore {
@@ -228,6 +252,7 @@ impl EmbeddingStore {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            started: Instant::now(),
         })
     }
 
@@ -307,6 +332,7 @@ impl EmbeddingStore {
         drop(current);
         let mut log = lock_recovering(&self.reload_log);
         log.consecutive_failures = 0;
+        sarn_obs::gauge("sarn_serve_generation").set(number as f64);
         Ok(number)
     }
 
@@ -334,6 +360,7 @@ impl EmbeddingStore {
     /// last-known-good generation keeps serving, the health report turns
     /// degraded, and the final attempt's typed error is returned.
     pub fn reload(&self, path: impl AsRef<Path>) -> Result<u64, ServeError> {
+        let t0 = Instant::now();
         let path = path.as_ref();
         let mut delay = self.cfg.reload_backoff;
         let mut attempt = 0usize;
@@ -344,6 +371,16 @@ impl EmbeddingStore {
                     log.reloads_ok += 1;
                     log.consecutive_failures = 0;
                     log.last_error = None;
+                    drop(log);
+                    if sarn_obs::enabled() {
+                        let seconds = t0.elapsed().as_secs_f64();
+                        sarn_obs::counter("sarn_serve_reloads_ok_total").inc();
+                        sarn_obs::histogram("sarn_serve_reload_seconds").observe(seconds);
+                        sarn_obs::record(sarn_obs::Event::ReloadOk {
+                            generation: number,
+                            seconds,
+                        });
+                    }
                     return Ok(number);
                 }
                 Err(e) => {
@@ -352,6 +389,12 @@ impl EmbeddingStore {
                         log.reloads_failed += 1;
                         log.consecutive_failures += 1;
                         log.last_error = Some(e.to_string());
+                        drop(log);
+                        sarn_obs::counter("sarn_serve_reloads_failed_total").inc();
+                        sarn_obs::record(sarn_obs::Event::ReloadFailed {
+                            attempts: attempt + 1,
+                            error: e.to_string(),
+                        });
                         return Err(e);
                     }
                     attempt += 1;
@@ -408,6 +451,8 @@ impl EmbeddingStore {
         loop {
             if cur >= self.cfg.max_inflight {
                 self.shed.fetch_add(1, AtomicOrdering::Relaxed);
+                sarn_obs::counter("sarn_serve_shed_total").inc();
+                sarn_obs::record(sarn_obs::Event::Shed { inflight: cur });
                 return Err(ServeError::Overloaded {
                     inflight: cur,
                     max_inflight: self.cfg.max_inflight,
@@ -443,6 +488,7 @@ impl EmbeddingStore {
 
     /// The embedding of one segment under the current generation.
     pub fn embedding(&self, segment: usize, deadline: Deadline) -> Result<Vec<f32>, ServeError> {
+        let _latency = sarn_obs::span!("sarn_serve_lookup_seconds");
         let _ticket = self.try_ticket()?;
         deadline.check()?;
         self.check_segment(segment)?;
@@ -458,6 +504,7 @@ impl EmbeddingStore {
     /// transparently downgrades to the grid-approximate path and the
     /// answer says so (`degraded: true`).
     pub fn knn(&self, segment: usize, k: usize, deadline: Deadline) -> Result<Knn, ServeError> {
+        let _latency = sarn_obs::span!("sarn_serve_knn_exact_seconds");
         let _ticket = self.try_ticket()?;
         deadline.check()?;
         self.check_segment(segment)?;
@@ -466,6 +513,10 @@ impl EmbeddingStore {
             && self.inflight.load(AtomicOrdering::Acquire) > self.cfg.degrade_inflight;
         if pressured {
             self.degraded.fetch_add(1, AtomicOrdering::Relaxed);
+            sarn_obs::counter("sarn_serve_degraded_total").inc();
+            sarn_obs::record(sarn_obs::Event::Degrade {
+                inflight: self.inflight.load(AtomicOrdering::Acquire),
+            });
             let mut answer = self.approx_on(&gen, segment, k, deadline)?;
             answer.degraded = true;
             self.served.fetch_add(1, AtomicOrdering::Relaxed);
@@ -502,6 +553,7 @@ impl EmbeddingStore {
         k: usize,
         deadline: Deadline,
     ) -> Result<Knn, ServeError> {
+        let _latency = sarn_obs::span!("sarn_serve_knn_approx_seconds");
         let _ticket = self.try_ticket()?;
         deadline.check()?;
         self.check_segment(segment)?;
@@ -550,9 +602,13 @@ impl EmbeddingStore {
 
     // ---- health ----------------------------------------------------------
 
-    /// Point-in-time health: lifecycle state plus lifetime counters.
+    /// Point-in-time health: lifecycle state plus lifetime counters,
+    /// uptime and generation age (the staleness signals), and — when
+    /// telemetry is enabled — a full metrics snapshot.
     pub fn health(&self) -> HealthReport {
-        let generation = self.generation();
+        let snapshot = self.snapshot();
+        let generation = snapshot.as_ref().map(|g| g.number());
+        let generation_age = snapshot.as_ref().map(|g| g.age());
         let inflight = self.inflight.load(AtomicOrdering::Acquire);
         let log = lock_recovering(&self.reload_log);
         let state = match generation {
@@ -575,6 +631,9 @@ impl EmbeddingStore {
             shed_total: self.shed.load(AtomicOrdering::Relaxed),
             degraded_total: self.degraded.load(AtomicOrdering::Relaxed),
             served_total: self.served.load(AtomicOrdering::Relaxed),
+            uptime: self.started.elapsed(),
+            generation_age,
+            metrics: sarn_obs::enabled().then(|| sarn_obs::Registry::global().snapshot()),
         }
     }
 }

@@ -341,3 +341,30 @@ fn snapshots_outlive_reloads() {
     assert_eq!(old.embeddings().at(0, 0), 1.0);
     assert_eq!(s.snapshot().expect("snapshot of gen 2").number(), 2);
 }
+
+#[test]
+fn health_reports_uptime_generation_age_and_optional_metrics() {
+    let s = store(fast_cfg());
+    // Loading: no generation yet, so no age; the store is already aging.
+    let h = s.health();
+    assert!(h.generation_age.is_none());
+    assert!(h.uptime > Duration::ZERO);
+    s.admit(embeddings(1.0)).expect("gen 1");
+    std::thread::sleep(Duration::from_millis(2));
+    let h = s.health();
+    let age1 = h.generation_age.expect("a served generation has an age");
+    assert!(age1 >= Duration::from_millis(2));
+    assert!(
+        h.uptime >= age1,
+        "the store is at least as old as its generation"
+    );
+    // A fresh admission resets the staleness clock.
+    s.admit(embeddings(2.0)).expect("gen 2");
+    let age2 = s.health().generation_age.expect("age of gen 2");
+    assert!(age2 < age1);
+    // Metrics ride along only when telemetry is enabled (these tests run
+    // with it off, so the report stays lean).
+    if !sarn_obs::enabled() {
+        assert!(h.metrics.is_none());
+    }
+}

@@ -25,12 +25,14 @@ cargo fmt --all --check
 step "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# The training hot path, tensor backend, geometry layer, and serving
-# subsystem must never panic on bad data: unwraps are banned in library
-# code there (tests, via --lib's cfg(test) compilation, still may).
-# Panics become typed TrainError / IoError / GridError / ServeError values.
-step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-geo, sarn-serve lib code)"
-cargo clippy -p sarn-core -p sarn-tensor -p sarn-geo -p sarn-serve --lib -- -D warnings -D clippy::unwrap_used
+# The training hot path, tensor backend, geometry layer, serving
+# subsystem, and telemetry layer must never panic on bad data: unwraps
+# are banned in library code there (tests, via --lib's cfg(test)
+# compilation, still may). Panics become typed TrainError / IoError /
+# GridError / ServeError values (telemetry additionally swallows export
+# errors entirely — a metrics failure must never kill a training run).
+step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-geo, sarn-serve, sarn-obs lib code)"
+cargo clippy -p sarn-core -p sarn-tensor -p sarn-geo -p sarn-serve -p sarn-obs --lib -- -D warnings -D clippy::unwrap_used
 
 step "cargo test"
 cargo test -q --workspace
@@ -65,6 +67,21 @@ SARN_NET_SCALE=0.22 SARN_EPOCHS=4 SARN_TRAJ_COUNT=30 \
 step "serve fault-injection smoke"
 SARN_NET_SCALE=0.22 SARN_EPOCHS=2 \
   cargo run -q --release -p sarn-bench --bin serve_smoke
+
+# Telemetry smoke: train twice (telemetry off/on — must be bitwise
+# identical), serve 100 queries per path, then require the exported
+# Prometheus/JSON/JSONL artifacts to parse with the key training and
+# serving series non-empty; exits non-zero on any breach or panic.
+step "telemetry export smoke (obs_smoke)"
+OBS_DIR="$(mktemp_tracked)"
+SARN_NET_SCALE=0.22 SARN_EPOCHS=2 SARN_TRAJ_COUNT=30 SARN_OBS_DIR="$OBS_DIR" \
+  cargo run -q --release -p sarn-bench --bin obs_smoke
+ls "$OBS_DIR"/metrics.prom "$OBS_DIR"/metrics.json "$OBS_DIR"/events.jsonl > /dev/null
+
+# Telemetry equivalence: the instrumented run must be bitwise identical
+# to the plain run at 1 and 4 worker threads (asserted inside the test).
+step "telemetry bitwise equivalence (obs_equivalence)"
+cargo test -q -p sarn-sys-tests --test obs_equivalence
 
 echo
 echo "ci: all checks passed"
