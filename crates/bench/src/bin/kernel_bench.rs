@@ -1,0 +1,129 @@
+//! Reduction-order kernel benchmark (ROADMAP item 6).
+//!
+//! Measures what the `SARN_REDUCTION_ORDER` knob actually buys, at the
+//! current `SARN_*` scale:
+//!
+//! 1. **Training epoch time** — one full `train` run per mode; the table
+//!    reports total wall-clock and seconds per epoch for `reference`
+//!    (bit-exact scalar kernels) vs `fast` (blocked / lane-accumulator
+//!    kernels).
+//! 2. **Serve k-NN latency** — exact and grid-approximate k-NN p50/p99
+//!    against the same published artifact, per mode; the cosine scorer
+//!    dispatches on the knob at query time.
+//!
+//! Emits machine-readable rows through the bench report machinery: run
+//! with `SARN_REPORT_JSONL=BENCH_6.json` to produce the committed CI
+//! artifact. The process-global knob is restored to `reference` on exit.
+
+use std::time::{Duration, Instant};
+
+use sarn_bench::{ExperimentScale, Table};
+use sarn_core::{train, ReductionOrder};
+use sarn_roadnet::City;
+use sarn_serve::{Deadline, EmbeddingStore, ServeConfig};
+
+const KNN_REPS: usize = 200;
+const KNN_K: usize = 10;
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn time_knn(mut run: impl FnMut(usize)) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(KNN_REPS);
+    for i in 0..KNN_REPS {
+        let t0 = Instant::now();
+        run(i);
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    (
+        percentile(&samples, 0.50).as_secs_f64() * 1e6,
+        percentile(&samples, 0.99).as_secs_f64() * 1e6,
+    )
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let net = scale.network(City::Chengdu);
+    let modes = [ReductionOrder::Reference, ReductionOrder::Fast];
+
+    // Leg 1: full training run per mode.
+    let mut epoch_table = Table::new(
+        "kernel_epoch",
+        &["mode", "threads", "epochs", "total_s", "s_per_epoch"],
+    );
+    let mut artifact = None;
+    for mode in modes {
+        let mut cfg = scale.sarn_config_for(&net, 1).with_reduction_order(mode);
+        cfg.patience = u32::MAX; // time every epoch, no early stop
+        eprintln!(
+            "[kernel_bench] training {} segments, {} epochs, mode={}",
+            net.num_segments(),
+            cfg.max_epochs,
+            mode.label()
+        );
+        let t0 = Instant::now();
+        let trained = train(&net, &cfg);
+        let total = t0.elapsed().as_secs_f64();
+        let epochs = trained.epochs_run.max(1);
+        epoch_table.row(vec![
+            mode.label().to_string(),
+            cfg.num_threads.to_string(),
+            epochs.to_string(),
+            format!("{total:.3}"),
+            format!("{:.4}", total / epochs as f64),
+        ]);
+        if mode == ReductionOrder::Reference {
+            artifact = Some(trained.embeddings);
+        }
+    }
+    epoch_table.print();
+
+    // Leg 2: serve k-NN latency per mode, against one published artifact.
+    let embeddings = artifact.expect("reference training ran first");
+    let dir = std::env::temp_dir().join(format!("sarn_kernel_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating the artifact directory");
+    let path = dir.join("embeddings.emb");
+    embeddings.save(&path).expect("saving the artifact");
+    let store = EmbeddingStore::for_network(&net, embeddings.cols(), ServeConfig::from_env())
+        .expect("building the store");
+    store.reload(&path).expect("publishing the artifact");
+    let n = net.num_segments();
+
+    let mut knn_table = Table::new(
+        "kernel_knn",
+        &[
+            "mode",
+            "exact_p50_us",
+            "exact_p99_us",
+            "approx_p50_us",
+            "approx_p99_us",
+        ],
+    );
+    for mode in modes {
+        sarn_par::set_reduction_order(mode);
+        let (exact_p50, exact_p99) = time_knn(|i| {
+            store
+                .knn(i % n, KNN_K, Deadline::unbounded())
+                .expect("exact knn");
+        });
+        let (approx_p50, approx_p99) = time_knn(|i| {
+            store
+                .knn_approx(i % n, KNN_K, Deadline::unbounded())
+                .expect("approx knn");
+        });
+        knn_table.row(vec![
+            mode.label().to_string(),
+            format!("{exact_p50:.1}"),
+            format!("{exact_p99:.1}"),
+            format!("{approx_p50:.1}"),
+            format!("{approx_p99:.1}"),
+        ]);
+    }
+    sarn_par::set_reduction_order(ReductionOrder::Reference);
+    knn_table.print();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -112,6 +112,15 @@ pub struct SarnConfig {
     /// `n` = exactly `n`. Results are identical at every setting — the
     /// backend only splits work, never reorders accumulation.
     pub num_threads: usize,
+    /// Floating-point reduction order of the tensor kernels
+    /// ([`sarn_par::ReductionOrder`]): `Reference` (default) is the scalar
+    /// bit-exact path every determinism suite runs against; `Fast` enables
+    /// the SIMD-friendly blocked kernels, which re-associate sums — still
+    /// deterministic for a fixed mode, but not bitwise comparable across
+    /// modes. An execution-strategy knob like `num_threads`, so it is *not*
+    /// part of the checkpoint fingerprint; the bitwise resume guarantee
+    /// holds within a fixed mode only.
+    pub reduction_order: sarn_par::ReductionOrder,
     /// Active components.
     pub variant: SarnVariant,
     /// InfoNCE similarity (design-choice ablation; default cosine).
@@ -180,6 +189,7 @@ impl Default for SarnConfig {
             patience: 20,
             seed: 1,
             num_threads: 1,
+            reduction_order: sarn_par::ReductionOrder::Reference,
             variant: SarnVariant::Full,
             loss_similarity: LossSimilarity::Cosine,
             readout: Readout::Mean,
@@ -247,6 +257,13 @@ impl SarnConfig {
         self
     }
 
+    /// Sets the kernel reduction order (`Reference` = bit-exact scalar,
+    /// `Fast` = SIMD-friendly re-associated sums).
+    pub fn with_reduction_order(mut self, order: sarn_par::ReductionOrder) -> Self {
+        self.reduction_order = order;
+        self
+    }
+
     /// Enables periodic checkpointing into `dir` every `every` epochs.
     pub fn with_checkpointing(mut self, dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
         self.checkpoint_dir = Some(dir.into());
@@ -302,7 +319,11 @@ impl SarnConfig {
     /// under a different value. Deliberately excluded: `max_epochs` itself
     /// (with the horizon pinned via `schedule_epochs`, a larger budget
     /// *extends* a run), `patience`, `num_threads` (training is bitwise
-    /// identical at every thread count), the checkpoint knobs themselves,
+    /// identical at every thread count), `reduction_order` (an execution
+    /// strategy, not a hyper-parameter: resuming a checkpoint under the
+    /// other mode is permitted and continues the run under that mode's
+    /// arithmetic — bitwise resume guarantees hold within a fixed mode),
+    /// the checkpoint knobs themselves,
     /// the watchdog/fault knobs (a healthy watched run is bitwise
     /// identical to an unwatched one), and the telemetry knobs (recording
     /// only reads training state; an instrumented run is bitwise identical
@@ -416,6 +437,14 @@ mod tests {
         assert_eq!(
             base.fingerprint(),
             base.clone().with_num_threads(8).fingerprint()
+        );
+        // The reduction order is an execution strategy, like the thread
+        // count: it never forks a checkpoint lineage.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_reduction_order(sarn_par::ReductionOrder::Fast)
+                .fingerprint()
         );
         assert_eq!(
             base.fingerprint(),

@@ -41,6 +41,7 @@ pub use config::{LossSimilarity, Readout, SarnConfig, SarnVariant};
 pub use features::{DiscretizedFeatures, FeatureEmbedding, NUM_FEATURES};
 pub use model::SarnModel;
 pub use queues::CellQueues;
+pub use sarn_par::ReductionOrder;
 pub use similarity::{pairwise_similarity, SpatialSimilarity, SpatialSimilarityConfig};
 pub use train::{train, try_train, zero_grads_except, SarnTrained};
 pub use watchdog::{

@@ -111,6 +111,7 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
     let start = Instant::now();
     cfg.obs.apply();
     sarn_par::set_num_threads(cfg.num_threads);
+    sarn_par::set_reduction_order(cfg.reduction_order);
     let n = net.num_segments();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A4E);
 
@@ -708,11 +709,12 @@ fn train_batch(
     Ok(loss_value)
 }
 
-/// In-place row L2 normalization of a raw tensor.
+/// In-place row L2 normalization of a raw tensor (the norm honors the
+/// reduction-order knob through the shared kernel).
 fn normalize_rows(t: &mut Tensor) {
     for i in 0..t.rows() {
         let row = t.row_slice_mut(i);
-        let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        let n = sarn_tensor::kernels::squared_norm(row).sqrt().max(1e-12);
         for v in row.iter_mut() {
             *v /= n;
         }
@@ -935,9 +937,6 @@ mod tests {
     }
 
     fn cosine(a: &[f32], b: &[f32]) -> f32 {
-        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
-        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-        dot / (na * nb + 1e-9)
+        sarn_tensor::kernels::cosine(a, b)
     }
 }

@@ -34,11 +34,7 @@ impl Generation {
     fn new(number: u64, embeddings: Tensor) -> Self {
         let norms = (0..embeddings.rows())
             .map(|i| {
-                embeddings
-                    .row_slice(i)
-                    .iter()
-                    .map(|v| v * v)
-                    .sum::<f32>()
+                sarn_tensor::kernels::squared_norm(embeddings.row_slice(i))
                     .sqrt()
                     .max(1e-12)
             })
@@ -66,9 +62,13 @@ impl Generation {
         &self.embeddings
     }
 
-    /// Cosine similarity between two rows.
+    /// Cosine similarity between two rows, through the shared
+    /// [`sarn_tensor::kernels`] dot kernel (so serve-side scoring follows
+    /// the same reduction-order knob as training) against the precomputed
+    /// norms.
     fn similarity(&self, a: usize, b: usize) -> f32 {
-        let dot = Tensor::dot(self.embeddings.row_slice(a), self.embeddings.row_slice(b));
+        let dot =
+            sarn_tensor::kernels::dot(self.embeddings.row_slice(a), self.embeddings.row_slice(b));
         dot / (self.norms[a] * self.norms[b])
     }
 }

@@ -99,6 +99,16 @@ enum Op {
         values: usize,
         seg: Rc<Vec<usize>>,
     },
+    /// [`Op::SegmentWeightedSum`] with an ELU applied to the aggregated
+    /// output in the same pass (`y = elu(sum)`), saving the GAT encoder a
+    /// full tape node and an extra sweep over the hidden matrix between
+    /// layers.
+    SegmentWeightedSumElu {
+        alpha: usize,
+        values: usize,
+        seg: Rc<Vec<usize>>,
+        elu_alpha: f32,
+    },
     /// Mean cross-entropy of row-logits against integer labels.
     CrossEntropy {
         logits: usize,
@@ -353,12 +363,13 @@ impl Graph {
         self.push(v, Op::LeakyRelu(a.id, alpha), needs, None)
     }
 
-    /// Exponential linear unit: `x` for `x > 0`, `alpha (e^x - 1)` otherwise.
+    /// Exponential linear unit: `x` for `x > 0`, `alpha (e^x - 1)` otherwise
+    /// (the expression lives in [`crate::kernels::elu`], shared with the
+    /// fused scatter so both produce bit-identical values).
     pub fn elu(&self, a: Var, alpha: f32) -> Var {
-        let v =
-            self.nodes.borrow()[a.id]
-                .value
-                .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let v = self.nodes.borrow()[a.id]
+            .value
+            .map(|x| crate::kernels::elu(x, alpha));
         let needs = self.needs(a.id);
         self.push(v, Op::Elu(a.id, alpha), needs, None)
     }
@@ -568,29 +579,13 @@ impl Graph {
     ) -> Var {
         let v = {
             let nodes = self.nodes.borrow();
-            let a = &nodes[alpha.id].value;
-            let vals = &nodes[values.id].value;
-            assert_eq!(a.cols(), 1, "segment_weighted_sum alpha must be a column");
-            assert_eq!(a.rows(), vals.rows(), "alpha/value count mismatch");
-            assert_eq!(a.rows(), seg.len(), "segment id count mismatch");
-            let cols = vals.cols().max(1);
-            let mut out = vec![0.0f32; nseg * vals.cols()];
-            let seg: &[usize] = &seg;
-            let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
-            sarn_par::par_chunks_mut(&mut out, cols, gate, |offset, chunk| {
-                let (s0, s1) = (offset / cols, (offset + chunk.len()) / cols);
-                for (e, &s) in seg.iter().enumerate() {
-                    if s < s0 || s >= s1 {
-                        continue;
-                    }
-                    let w = a.at(e, 0);
-                    let dst = &mut chunk[(s - s0) * cols..(s - s0 + 1) * cols];
-                    for (o, &x) in dst.iter_mut().zip(vals.row_slice(e).iter()) {
-                        *o += w * x;
-                    }
-                }
-            });
-            Tensor::from_vec(nseg, vals.cols(), out)
+            segment_weighted_sum_value(
+                &nodes[alpha.id].value,
+                &nodes[values.id].value,
+                &seg,
+                nseg,
+                None,
+            )
         };
         let needs = self.needs(alpha.id) || self.needs(values.id);
         self.push(
@@ -599,6 +594,46 @@ impl Graph {
                 alpha: alpha.id,
                 values: values.id,
                 seg,
+            },
+            needs,
+            None,
+        )
+    }
+
+    /// [`Graph::segment_weighted_sum`] with an ELU (parameter `elu_alpha`)
+    /// fused into the output pass: `y = elu(Σ_e alpha[e] * values[e])`.
+    ///
+    /// The scatter accumulation order and the ELU expression are exactly
+    /// those of the unfused `segment_weighted_sum` + [`Graph::elu`] pair, so
+    /// the fused op is bit-identical to the two-node form in both reduction
+    /// orders — it only removes a tape node and a full extra pass over the
+    /// `nseg x d` output.
+    pub fn segment_weighted_sum_elu(
+        &self,
+        alpha: Var,
+        values: Var,
+        seg: Rc<Vec<usize>>,
+        nseg: usize,
+        elu_alpha: f32,
+    ) -> Var {
+        let v = {
+            let nodes = self.nodes.borrow();
+            segment_weighted_sum_value(
+                &nodes[alpha.id].value,
+                &nodes[values.id].value,
+                &seg,
+                nseg,
+                Some(elu_alpha),
+            )
+        };
+        let needs = self.needs(alpha.id) || self.needs(values.id);
+        self.push(
+            v,
+            Op::SegmentWeightedSumElu {
+                alpha: alpha.id,
+                values: values.id,
+                seg,
+                elu_alpha,
             },
             needs,
             None,
@@ -747,6 +782,42 @@ impl Graph {
     }
 }
 
+/// Backward of the segment scatter, shared by the plain and the ELU-fused
+/// op (the latter pre-multiplies `g` by the ELU derivative). Both gradients
+/// are elementwise over edges (no accumulation).
+fn segment_weighted_sum_backward(
+    nodes: &mut [Node],
+    g: &Tensor,
+    alpha: usize,
+    values: usize,
+    seg: &[usize],
+) {
+    let a = nodes[alpha].value.clone();
+    let v = nodes[values].value.clone();
+    let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
+    let mut da = vec![0.0f32; a.rows()];
+    sarn_par::par_chunks_mut(&mut da, 1, gate, |offset, chunk| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            let e = offset + i;
+            *o = Tensor::dot(g.row_slice(seg[e]), v.row_slice(e));
+        }
+    });
+    let cols = v.cols().max(1);
+    let mut dv = vec![0.0f32; v.len()];
+    sarn_par::par_chunks_mut(&mut dv, cols, gate, |offset, chunk| {
+        let e0 = offset / cols;
+        for (de, orow) in chunk.chunks_mut(cols).enumerate() {
+            let e = e0 + de;
+            let w = a.at(e, 0);
+            for (o, &x) in orow.iter_mut().zip(g.row_slice(seg[e])) {
+                *o = w * x;
+            }
+        }
+    });
+    accumulate(nodes, alpha, Tensor::from_vec(a.rows(), 1, da));
+    accumulate(nodes, values, Tensor::from_vec(v.rows(), v.cols(), dv));
+}
+
 fn accumulate(nodes: &mut [Node], id: usize, delta: Tensor) {
     if !nodes[id].needs_grad {
         return;
@@ -773,6 +844,46 @@ pub(crate) fn softmax_rows_value(m: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+/// Forward pass shared by the plain and the ELU-fused segment scatter:
+/// `out[seg[e]] += alpha[e] * values[e]`, then optionally `elu` applied to
+/// each output chunk while it is still cache-hot. The scatter partitions
+/// destination rows; each owner scans the whole edge list in ascending
+/// order, so accumulation matches the serial path bit-for-bit, and the ELU
+/// is elementwise on identical sums — fusion never changes a bit.
+fn segment_weighted_sum_value(
+    a: &Tensor,
+    vals: &Tensor,
+    seg: &[usize],
+    nseg: usize,
+    elu_alpha: Option<f32>,
+) -> Tensor {
+    assert_eq!(a.cols(), 1, "segment_weighted_sum alpha must be a column");
+    assert_eq!(a.rows(), vals.rows(), "alpha/value count mismatch");
+    assert_eq!(a.rows(), seg.len(), "segment id count mismatch");
+    let cols = vals.cols().max(1);
+    let mut out = vec![0.0f32; nseg * vals.cols()];
+    let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
+    sarn_par::par_chunks_mut(&mut out, cols, gate, |offset, chunk| {
+        let (s0, s1) = (offset / cols, (offset + chunk.len()) / cols);
+        for (e, &s) in seg.iter().enumerate() {
+            if s < s0 || s >= s1 {
+                continue;
+            }
+            let w = a.at(e, 0);
+            let dst = &mut chunk[(s - s0) * cols..(s - s0 + 1) * cols];
+            for (o, &x) in dst.iter_mut().zip(vals.row_slice(e).iter()) {
+                *o += w * x;
+            }
+        }
+        if let Some(al) = elu_alpha {
+            for o in chunk.iter_mut() {
+                *o = crate::kernels::elu(*o, al);
+            }
+        }
+    });
+    Tensor::from_vec(nseg, vals.cols(), out)
 }
 
 fn segment_softmax_value(scores: &Tensor, seg: &[usize], nseg: usize) -> Tensor {
@@ -1086,32 +1197,29 @@ fn backward_step(nodes: &mut [Node], id: usize, g: &Tensor) {
             accumulate(nodes, *scores, Tensor::from_vec(alpha.rows(), 1, d));
         }
         Op::SegmentWeightedSum { alpha, values, seg } => {
-            let a = nodes[*alpha].value.clone();
-            let v = nodes[*values].value.clone();
-            // Both gradients are elementwise over edges (no accumulation).
-            let seg: &[usize] = seg;
-            let gate = par_gate(seg.len() >= PAR_MIN_EDGES);
-            let mut da = vec![0.0f32; a.rows()];
-            sarn_par::par_chunks_mut(&mut da, 1, gate, |offset, chunk| {
-                for (i, o) in chunk.iter_mut().enumerate() {
-                    let e = offset + i;
-                    *o = Tensor::dot(g.row_slice(seg[e]), v.row_slice(e));
-                }
-            });
-            let cols = v.cols().max(1);
-            let mut dv = vec![0.0f32; v.len()];
-            sarn_par::par_chunks_mut(&mut dv, cols, gate, |offset, chunk| {
-                let e0 = offset / cols;
-                for (de, orow) in chunk.chunks_mut(cols).enumerate() {
-                    let e = e0 + de;
-                    let w = a.at(e, 0);
-                    for (o, &x) in orow.iter_mut().zip(g.row_slice(seg[e])) {
-                        *o = w * x;
+            segment_weighted_sum_backward(nodes, g, *alpha, *values, seg);
+        }
+        Op::SegmentWeightedSumElu {
+            alpha,
+            values,
+            seg,
+            elu_alpha,
+        } => {
+            // Chain through the fused ELU first: ds = g ⊙ elu'(y), the same
+            // value-based derivative as Op::Elu (y is the fused output), then
+            // the plain scatter backward sees ds in place of g.
+            let al = *elu_alpha;
+            let ds = g.zip(
+                &nodes[id].value,
+                |x, out| {
+                    if out > 0.0 {
+                        x
+                    } else {
+                        x * (out + al)
                     }
-                }
-            });
-            accumulate(nodes, *alpha, Tensor::from_vec(a.rows(), 1, da));
-            accumulate(nodes, *values, Tensor::from_vec(v.rows(), v.cols(), dv));
+                },
+            );
+            segment_weighted_sum_backward(nodes, &ds, *alpha, *values, seg);
         }
         Op::CrossEntropy { logits, labels } => {
             let mut d = softmax_rows_value(&nodes[*logits].value);

@@ -121,6 +121,24 @@ impl GatLayer {
     /// `e_ij = LeakyReLU(a^T [W x_i || W x_j])`, softmax over each node's
     /// in-neighborhood, then the attention-weighted message sum.
     pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var, edges: &EdgeIndex) -> Var {
+        self.forward_activated(g, store, x, edges, None)
+    }
+
+    /// [`GatLayer::forward`] with an optional ELU (parameter `elu_alpha`)
+    /// applied to the layer output. For concatenating (hidden) layers the
+    /// ELU is fused into each head's scatter
+    /// ([`Graph::segment_weighted_sum_elu`]); because ELU is elementwise and
+    /// head concatenation only rearranges columns, this is bit-identical to
+    /// `elu(forward(..))` while saving a tape node and an extra pass over
+    /// the `n x d` hidden matrix.
+    pub fn forward_activated(
+        &self,
+        g: &Graph,
+        store: &ParamStore,
+        x: Var,
+        edges: &EdgeIndex,
+        elu_alpha: Option<f32>,
+    ) -> Var {
         let center_idx: &[usize] = &edges.center;
         let neighbor_idx: &[usize] = &edges.neighbor;
         let mut outs = Vec::with_capacity(self.heads.len());
@@ -134,7 +152,12 @@ impl GatLayer {
             let scores = g.matmul(cat, a);
             let scores = g.leaky_relu(scores, ATTN_LEAKY_SLOPE);
             let alpha = g.segment_softmax(scores, Rc::clone(&edges.center), edges.n);
-            let msg = g.segment_weighted_sum(alpha, hn, Rc::clone(&edges.center), edges.n);
+            let msg = match (self.concat, elu_alpha) {
+                (true, Some(al)) => {
+                    g.segment_weighted_sum_elu(alpha, hn, Rc::clone(&edges.center), edges.n, al)
+                }
+                _ => g.segment_weighted_sum(alpha, hn, Rc::clone(&edges.center), edges.n),
+            };
             outs.push(msg);
         }
         if self.concat {
@@ -144,7 +167,13 @@ impl GatLayer {
             for &o in &outs[1..] {
                 acc = g.add(acc, o);
             }
-            g.scale(acc, 1.0 / outs.len() as f32)
+            let avg = g.scale(acc, 1.0 / outs.len() as f32);
+            // Averaging mixes head outputs, so the ELU cannot be fused into
+            // the per-head scatters; apply it on the averaged output.
+            match elu_alpha {
+                Some(al) => g.elu(avg, al),
+                None => avg,
+            }
         }
     }
 }
@@ -232,14 +261,14 @@ impl GatEncoder {
             .param_ids()
     }
 
-    /// Records the full encoder on the tape.
+    /// Records the full encoder on the tape. Hidden layers fuse their ELU
+    /// into the attention scatter (bit-identical to the separate
+    /// `elu(layer(..))` form — see [`GatLayer::forward_activated`]).
     pub fn forward(&self, g: &Graph, store: &ParamStore, x: Var, edges: &EdgeIndex) -> Var {
         let mut h = x;
         for (l, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, store, h, edges);
-            if l + 1 < self.layers.len() {
-                h = g.elu(h, 1.0);
-            }
+            let hidden = l + 1 < self.layers.len();
+            h = layer.forward_activated(g, store, h, edges, hidden.then_some(1.0));
         }
         h
     }

@@ -49,6 +49,7 @@ mod autograd;
 pub mod grad_check;
 pub mod init;
 pub mod io;
+pub mod kernels;
 pub mod layers;
 pub mod optim;
 mod params;

@@ -10,6 +10,11 @@
 //! row blocks computed concurrently. Every output element is written by
 //! exactly one thread with the same accumulation order as the serial loop,
 //! so results are bit-identical at any thread count.
+//!
+//! The matmul-shaped ops additionally honor the process-wide
+//! [`sarn_par::ReductionOrder`] knob: `Reference` (default) keeps the
+//! scalar loops below, `Fast` dispatches to the autovectorizable blocked
+//! kernels in [`crate::kernels`]. See that module for the exact contract.
 
 use std::fmt;
 
@@ -160,8 +165,10 @@ impl Tensor {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop streams over contiguous
-    /// rows of both the accumulator and `rhs`.
+    /// In [`sarn_par::ReductionOrder::Reference`] mode (default) this is the
+    /// scalar `i-k-j` loop, streaming contiguous rows of both the
+    /// accumulator and `rhs`; in `Fast` mode it dispatches to the packed-B
+    /// panel kernel ([`crate::kernels::matmul_fast`]).
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, rhs.rows,
@@ -169,6 +176,13 @@ impl Tensor {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        if sarn_par::reduction_order() == sarn_par::ReductionOrder::Fast {
+            return Tensor::from_vec(
+                n,
+                m,
+                crate::kernels::matmul_fast(&self.data, n, k, &rhs.data, m),
+            );
+        }
         let mut out = vec![0.0f32; n * m];
         // Row blocks of the output are independent; within a block the
         // i-k-j order is exactly the serial loop.
@@ -199,6 +213,13 @@ impl Tensor {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (k, n, m) = (self.rows, self.cols, rhs.cols);
+        if sarn_par::reduction_order() == sarn_par::ReductionOrder::Fast {
+            return Tensor::from_vec(
+                n,
+                m,
+                crate::kernels::t_matmul_fast(&self.data, k, n, &rhs.data, m),
+            );
+        }
         let mut out = vec![0.0f32; n * m];
         // Each block owns a contiguous range of output rows and scans the
         // full `kk` axis in ascending order, applying only the entries that
@@ -231,6 +252,13 @@ impl Tensor {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (n, k, m) = (self.rows, self.cols, rhs.rows);
+        if sarn_par::reduction_order() == sarn_par::ReductionOrder::Fast {
+            return Tensor::from_vec(
+                n,
+                m,
+                crate::kernels::matmul_t_fast(&self.data, n, k, &rhs.data, m),
+            );
+        }
         let mut out = vec![0.0f32; n * m];
         sarn_par::par_chunks_mut(&mut out, m.max(1), par_min_out(k), |offset, chunk| {
             let i0 = offset / m.max(1);
@@ -321,15 +349,16 @@ impl Tensor {
         self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
-    /// Squared Frobenius norm.
+    /// Squared Frobenius norm (honors the reduction-order knob).
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum()
+        crate::kernels::squared_norm(&self.data)
     }
 
-    /// Dot product of two row slices of equal length.
+    /// Dot product of two row slices of equal length (honors the
+    /// reduction-order knob).
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+        crate::kernels::dot(a, b)
     }
 
     /// Stacks rows gathered from `self` by index.

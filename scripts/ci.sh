@@ -25,14 +25,15 @@ cargo fmt --all --check
 step "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# The training hot path, tensor backend, geometry layer, serving
-# subsystem, and telemetry layer must never panic on bad data: unwraps
-# are banned in library code there (tests, via --lib's cfg(test)
-# compilation, still may). Panics become typed TrainError / IoError /
-# GridError / ServeError values (telemetry additionally swallows export
-# errors entirely — a metrics failure must never kill a training run).
-step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-geo, sarn-serve, sarn-obs lib code)"
-cargo clippy -p sarn-core -p sarn-tensor -p sarn-geo -p sarn-serve -p sarn-obs --lib -- -D warnings -D clippy::unwrap_used
+# The training hot path, tensor backend (including the reduction-order
+# kernels), parallel backend, geometry layer, serving subsystem, and
+# telemetry layer must never panic on bad data: unwraps are banned in
+# library code there (tests, via --lib's cfg(test) compilation, still
+# may). Panics become typed TrainError / IoError / GridError /
+# ServeError values (telemetry additionally swallows export errors
+# entirely — a metrics failure must never kill a training run).
+step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-par, sarn-geo, sarn-serve, sarn-obs lib code)"
+cargo clippy -p sarn-core -p sarn-tensor -p sarn-par -p sarn-geo -p sarn-serve -p sarn-obs --lib -- -D warnings -D clippy::unwrap_used
 
 step "cargo test"
 cargo test -q --workspace
@@ -44,6 +45,26 @@ for t in 1 2 4; do
   step "parallel equivalence (RAYON_NUM_THREADS=$t)"
   RAYON_NUM_THREADS=$t cargo test -q -p sarn-sys-tests --test parallel_equivalence
 done
+
+# Fast <-> Reference kernel equivalence: the property/golden suites and
+# the end-to-end reduction-order determinism contract, in both modes
+# (the suites flip the knob internally; the env var seeds the default).
+for order in reference fast; do
+  step "kernel equivalence (SARN_REDUCTION_ORDER=$order)"
+  SARN_REDUCTION_ORDER=$order cargo test -q -p sarn-tensor \
+    --test kernel_equivalence --test kernel_golden
+  SARN_REDUCTION_ORDER=$order cargo test -q -p sarn-sys-tests \
+    --test kernel_reduction_order
+done
+
+# Kernel benchmark: epoch time in both reduction modes plus serve-side
+# exact/approx k-NN latency, written to the committed BENCH_6.json
+# (SARN_REPORT_JSONL appends, so start from a clean file).
+step "kernel benchmark (BENCH_6.json)"
+rm -f BENCH_6.json
+SARN_NET_SCALE=0.22 SARN_EPOCHS=3 SARN_REPORT_JSONL=BENCH_6.json \
+  cargo run -q --release -p sarn-bench --bin kernel_bench
+test -s BENCH_6.json
 
 # Checkpoint/resume smoke: train half a run with checkpointing on, resume
 # it from the directory, and require bitwise equality with a straight run

@@ -1,0 +1,99 @@
+//! Reduction-order determinism contract, end to end.
+//!
+//! `SarnConfig::reduction_order` selects between the Reference kernels
+//! (scalar left-to-right accumulation, bit-identical to the pre-SIMD code)
+//! and the Fast kernels (lane accumulators / packed panels that
+//! re-associate sums in a fixed order). The contract this suite pins:
+//!
+//! 1. **Reference is the bitwise anchor.** Training in Reference mode
+//!    produces identical bits at 1 and 4 threads — the same guarantee every
+//!    other determinism suite (resume, parallel equivalence, telemetry
+//!    invisibility) relies on, so those suites keep their fixtures.
+//! 2. **Fast is self-deterministic.** Two Fast runs with the same seed and
+//!    thread count agree bitwise — re-association is *fixed*, not raced —
+//!    and the Fast kernels split rows without reordering accumulation, so
+//!    Fast is thread-count invariant too.
+//! 3. Cross-mode results are *numerically* close (the modes compute the
+//!    same math) but are **not** promised bitwise equal.
+//!
+//! The reduction-order knob is a process global (set from the config at
+//! the top of training), so the tests in this binary serialize on a mutex
+//! and restore Reference before releasing it.
+
+use std::sync::Mutex;
+
+use sarn_core::{train, ReductionOrder, SarnConfig, SarnTrained};
+use sarn_roadnet::{City, RoadNetwork, SynthConfig};
+
+static KNOB: Mutex<()> = Mutex::new(());
+
+fn small_net() -> RoadNetwork {
+    SynthConfig::city(City::Chengdu).scaled(0.22).generate()
+}
+
+fn run(net: &RoadNetwork, order: ReductionOrder, threads: usize) -> SarnTrained {
+    let mut cfg = SarnConfig::tiny()
+        .with_reduction_order(order)
+        .with_num_threads(threads);
+    cfg.max_epochs = 3;
+    train(net, &cfg)
+}
+
+/// Restores the process-global default on drop so a failing assertion
+/// cannot leak Fast mode into later tests of this binary.
+struct ResetOnDrop;
+impl Drop for ResetOnDrop {
+    fn drop(&mut self) {
+        sarn_par::set_reduction_order(ReductionOrder::Reference);
+        sarn_par::set_num_threads(1);
+    }
+}
+
+#[test]
+fn reference_mode_is_bitwise_identical_across_thread_counts() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = ResetOnDrop;
+    let net = small_net();
+    let serial = run(&net, ReductionOrder::Reference, 1);
+    let parallel = run(&net, ReductionOrder::Reference, 4);
+    assert_eq!(serial.loss_history, parallel.loss_history);
+    assert_eq!(serial.embeddings.data(), parallel.embeddings.data());
+}
+
+#[test]
+fn fast_mode_is_self_deterministic_and_thread_invariant() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = ResetOnDrop;
+    let net = small_net();
+    let first = run(&net, ReductionOrder::Fast, 2);
+    let second = run(&net, ReductionOrder::Fast, 2);
+    assert_eq!(
+        first.loss_history, second.loss_history,
+        "same seed + same thread count must reproduce Fast bits"
+    );
+    assert_eq!(first.embeddings.data(), second.embeddings.data());
+
+    // The Fast kernels also split work without reordering accumulation, so
+    // thread count is invisible in Fast mode too.
+    let serial = run(&net, ReductionOrder::Fast, 1);
+    assert_eq!(first.loss_history, serial.loss_history);
+    assert_eq!(first.embeddings.data(), serial.embeddings.data());
+}
+
+#[test]
+fn modes_compute_the_same_math_to_float_tolerance() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = ResetOnDrop;
+    let net = small_net();
+    let reference = run(&net, ReductionOrder::Reference, 1);
+    let fast = run(&net, ReductionOrder::Fast, 1);
+    assert_eq!(reference.epochs_run, fast.epochs_run);
+    // Rounding differences compound across optimizer steps, so only the
+    // first epoch — one forward/backward from identical weights — is held
+    // to a tight bound.
+    let (a, b) = (reference.loss_history[0], fast.loss_history[0]);
+    assert!(
+        (a - b).abs() <= 1e-2 * (1.0 + a.abs()),
+        "first-epoch loss diverged across modes: {a} vs {b}"
+    );
+}
