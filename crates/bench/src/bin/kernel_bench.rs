@@ -1,24 +1,34 @@
-//! Reduction-order kernel benchmark (ROADMAP item 6).
+//! Kernel and spatial-join benchmark (ROADMAP items 6 and 7).
 //!
-//! Measures what the `SARN_REDUCTION_ORDER` knob actually buys, at the
+//! Measures what the execution-strategy knobs actually buy, at the
 //! current `SARN_*` scale:
 //!
-//! 1. **Training epoch time** — one full `train` run per mode; the table
-//!    reports total wall-clock and seconds per epoch for `reference`
-//!    (bit-exact scalar kernels) vs `fast` (blocked / lane-accumulator
-//!    kernels).
-//! 2. **Serve k-NN latency** — exact and grid-approximate k-NN p50/p99
+//! 1. **`A^s` build time** — the spatial self-join per `SARN_SPATIAL_JOIN`
+//!    mode (`grid` bucketed vs `reference` all-pairs): segments, edges,
+//!    wall-clock, and the process peak-RSS high-water mark after each
+//!    build. The grid join runs first so its RSS bound is read before the
+//!    `O(n^2)` oracle can raise the water mark.
+//! 2. **Training epoch time** — one full `train` run per reduction mode;
+//!    the table reports total wall-clock and seconds per epoch for
+//!    `reference` (bit-exact scalar kernels) vs `fast` (blocked /
+//!    lane-accumulator kernels).
+//! 3. **Serve k-NN latency** — exact and grid-approximate k-NN p50/p99
 //!    against the same published artifact, per mode; the cosine scorer
 //!    dispatches on the knob at query time.
 //!
+//! `SARN_KERNEL_BENCH_LEGS` (comma list of `join`, `train`, `knn`;
+//! default all) restricts the run — CI uses `join` alone for the
+//! scale-2.0 crossover row, where a full training run would dominate the
+//! gate's wall-clock.
+//!
 //! Emits machine-readable rows through the bench report machinery: run
-//! with `SARN_REPORT_JSONL=BENCH_6.json` to produce the committed CI
+//! with `SARN_REPORT_JSONL=BENCH_7.json` to produce the committed CI
 //! artifact. The process-global knob is restored to `reference` on exit.
 
 use std::time::{Duration, Instant};
 
 use sarn_bench::{ExperimentScale, Table};
-use sarn_core::{train, ReductionOrder};
+use sarn_core::{train, ReductionOrder, SpatialJoin, SpatialSimilarity};
 use sarn_roadnet::City;
 use sarn_serve::{Deadline, EmbeddingStore, ServeConfig};
 
@@ -44,45 +54,98 @@ fn time_knn(mut run: impl FnMut(usize)) -> (f64, f64) {
     )
 }
 
+/// Which benchmark legs to run (`SARN_KERNEL_BENCH_LEGS`, comma list;
+/// unknown names are ignored, empty/unset means all).
+fn leg_enabled(name: &str) -> bool {
+    match std::env::var("SARN_KERNEL_BENCH_LEGS") {
+        Ok(v) if !v.trim().is_empty() => v.split(',').any(|l| l.trim() == name),
+        _ => true,
+    }
+}
+
+/// Process peak RSS in MB, or a dash where procfs is unavailable.
+fn peak_rss_mb() -> String {
+    match sarn_obs::peak_rss_bytes() {
+        Some(bytes) => format!("{:.1}", bytes as f64 / (1024.0 * 1024.0)),
+        None => "-".to_string(),
+    }
+}
+
 fn main() {
     let scale = ExperimentScale::from_env();
     let net = scale.network(City::Chengdu);
     let modes = [ReductionOrder::Reference, ReductionOrder::Fast];
 
-    // Leg 1: full training run per mode.
-    let mut epoch_table = Table::new(
-        "kernel_epoch",
-        &["mode", "threads", "epochs", "total_s", "s_per_epoch"],
-    );
-    let mut artifact = None;
-    for mode in modes {
-        let mut cfg = scale.sarn_config_for(&net, 1).with_reduction_order(mode);
-        cfg.patience = u32::MAX; // time every epoch, no early stop
-        eprintln!(
-            "[kernel_bench] training {} segments, {} epochs, mode={}",
-            net.num_segments(),
-            cfg.max_epochs,
-            mode.label()
+    // Leg 0: the A^s spatial self-join, grid first so its peak-RSS row is
+    // read before the all-pairs oracle can raise the high-water mark.
+    if leg_enabled("join") {
+        let mut join_table = Table::new(
+            "spatial_join",
+            &["mode", "segments", "edges", "build_ms", "peak_rss_mb"],
         );
-        let t0 = Instant::now();
-        let trained = train(&net, &cfg);
-        let total = t0.elapsed().as_secs_f64();
-        let epochs = trained.epochs_run.max(1);
-        epoch_table.row(vec![
-            mode.label().to_string(),
-            cfg.num_threads.to_string(),
-            epochs.to_string(),
-            format!("{total:.3}"),
-            format!("{:.4}", total / epochs as f64),
-        ]);
-        if mode == ReductionOrder::Reference {
-            artifact = Some(trained.embeddings);
+        for join in [SpatialJoin::Grid, SpatialJoin::Reference] {
+            let cfg = scale.sarn_config_for(&net, 1).with_spatial_join(join);
+            eprintln!(
+                "[kernel_bench] building A^s over {} segments, join={}",
+                net.num_segments(),
+                join.label()
+            );
+            let t0 = Instant::now();
+            let sim = SpatialSimilarity::build(&net, &cfg.similarity);
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            join_table.row(vec![
+                join.label().to_string(),
+                net.num_segments().to_string(),
+                sim.num_edges().to_string(),
+                format!("{build_ms:.2}"),
+                peak_rss_mb(),
+            ]);
         }
+        join_table.print();
     }
-    epoch_table.print();
 
-    // Leg 2: serve k-NN latency per mode, against one published artifact.
-    let embeddings = artifact.expect("reference training ran first");
+    // Leg 1: full training run per mode.
+    let mut artifact = None;
+    if leg_enabled("train") {
+        let mut epoch_table = Table::new(
+            "kernel_epoch",
+            &["mode", "threads", "epochs", "total_s", "s_per_epoch"],
+        );
+        for mode in modes {
+            let mut cfg = scale.sarn_config_for(&net, 1).with_reduction_order(mode);
+            cfg.patience = u32::MAX; // time every epoch, no early stop
+            eprintln!(
+                "[kernel_bench] training {} segments, {} epochs, mode={}",
+                net.num_segments(),
+                cfg.max_epochs,
+                mode.label()
+            );
+            let t0 = Instant::now();
+            let trained = train(&net, &cfg);
+            let total = t0.elapsed().as_secs_f64();
+            let epochs = trained.epochs_run.max(1);
+            epoch_table.row(vec![
+                mode.label().to_string(),
+                cfg.num_threads.to_string(),
+                epochs.to_string(),
+                format!("{total:.3}"),
+                format!("{:.4}", total / epochs as f64),
+            ]);
+            if mode == ReductionOrder::Reference {
+                artifact = Some(trained.embeddings);
+            }
+        }
+        epoch_table.print();
+    }
+
+    if !leg_enabled("knn") {
+        return;
+    }
+
+    // Leg 2: serve k-NN latency per mode, against one published artifact
+    // (trained here if the train leg was skipped).
+    let embeddings =
+        artifact.unwrap_or_else(|| train(&net, &scale.sarn_config_for(&net, 1)).embeddings);
     let dir = std::env::temp_dir().join(format!("sarn_kernel_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("creating the artifact directory");
     let path = dir.join("embeddings.emb");

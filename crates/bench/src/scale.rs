@@ -28,6 +28,10 @@ pub struct ExperimentScale {
     /// Kernel reduction order (`SARN_REDUCTION_ORDER`: `reference` |
     /// `fast`; default `reference` — the bit-exact scalar path).
     pub reduction_order: sarn_par::ReductionOrder,
+    /// `A^s` spatial-join strategy (`SARN_SPATIAL_JOIN`: `grid` |
+    /// `reference`; default `grid` — both build the identical edge list,
+    /// the reference all-pairs scan is the O(n^2) equivalence oracle).
+    pub spatial_join: sarn_core::SpatialJoin,
     /// Checkpoint directory (`SARN_CKPT_DIR`; unset = no checkpointing).
     pub ckpt_dir: Option<std::path::PathBuf>,
     /// Save a checkpoint every this many epochs (`SARN_CKPT_EVERY`,
@@ -81,6 +85,7 @@ impl ExperimentScale {
             max_traj_segments: get("SARN_MAX_TRAJ_SEGMENTS", 30.0) as usize,
             num_threads: get("SARN_NUM_THREADS", 1.0) as usize,
             reduction_order: sarn_par::ReductionOrder::from_env(),
+            spatial_join: sarn_core::SpatialJoin::from_env(),
             ckpt_dir: std::env::var("SARN_CKPT_DIR")
                 .ok()
                 .filter(|v| !v.is_empty())
@@ -142,6 +147,7 @@ impl ExperimentScale {
         cfg.seed = seed;
         cfg.num_threads = self.num_threads;
         cfg.reduction_order = self.reduction_order;
+        cfg.similarity.join = self.spatial_join;
         if let Some(dir) = &self.ckpt_dir {
             cfg = cfg.with_checkpointing(dir, self.ckpt_every);
             cfg.checkpoint_keep = self.ckpt_keep;
@@ -191,6 +197,7 @@ mod tests {
             max_traj_segments: 15,
             num_threads: 1,
             reduction_order: Default::default(),
+            spatial_join: Default::default(),
             ckpt_dir: None,
             ckpt_every: 5,
             ckpt_keep: 3,
@@ -224,6 +231,7 @@ mod tests {
             max_traj_segments: 15,
             num_threads: 1,
             reduction_order: Default::default(),
+            spatial_join: Default::default(),
             ckpt_dir: Some("/tmp/sarn-ckpts".into()),
             ckpt_every: 4,
             ckpt_keep: 2,

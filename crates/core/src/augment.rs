@@ -9,7 +9,8 @@
 //! are clamped into `[ε, 1-ε]`. When a pair carries a *dual-typed* edge
 //! (both topological and spatial), sampling either copy removes both.
 
-use std::collections::HashSet;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
 
 use rand::{Rng, SeedableRng};
 use sarn_tensor::layers::EdgeIndex;
@@ -195,9 +196,43 @@ fn unordered(i: usize, j: usize) -> (usize, usize) {
     }
 }
 
+/// An Efraimidis–Spirakis key with its item index, totally ordered by
+/// `(key, index)` via `f64::total_cmp` — exactly the order a stable
+/// ascending sort of the keys would produce (stability breaks key ties by
+/// index).
+struct SampleKey(f64, usize);
+
+impl PartialEq for SampleKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for SampleKey {}
+
+impl PartialOrd for SampleKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SampleKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
 /// Weighted sampling without replacement (Efraimidis–Spirakis): draw `k`
 /// indices with probability proportional to `weights`, by taking the `k`
 /// smallest keys `-ln(U) / w`.
+///
+/// The selection streams over the weights with a bounded max-heap of the
+/// `k` smallest `(key, index)` pairs — `O(m log k)` time and `O(k)`
+/// auxiliary memory instead of materializing and sorting all `m` keys.
+/// The drawn RNG stream (one uniform per weight, in index order), the
+/// selected set, and the returned ascending-key order are all identical to
+/// the sort-everything formulation, so per-epoch augmentation is bit-for-bit
+/// unchanged by the streaming rewrite.
 pub fn weighted_sample_without_replacement(
     rng: &mut impl Rng,
     weights: &[f64],
@@ -207,17 +242,21 @@ pub fn weighted_sample_without_replacement(
     if k == 0 {
         return Vec::new();
     }
-    let mut keyed: Vec<(f64, usize)> = weights
-        .iter()
-        .enumerate()
-        .map(|(i, &w)| {
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let key = if w > 0.0 { -u.ln() / w } else { f64::INFINITY };
-            (key, i)
-        })
-        .collect();
-    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
-    keyed.into_iter().take(k).map(|(_, i)| i).collect()
+    let mut heap: BinaryHeap<SampleKey> = BinaryHeap::with_capacity(k);
+    for (i, &w) in weights.iter().enumerate() {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let key = if w > 0.0 { -u.ln() / w } else { f64::INFINITY };
+        let entry = SampleKey(key, i);
+        if heap.len() < k {
+            heap.push(entry);
+        } else if heap.peek().is_some_and(|top| entry < *top) {
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+    let mut picked = heap.into_vec();
+    picked.sort_unstable();
+    picked.into_iter().map(|s| s.1).collect()
 }
 
 #[cfg(test)]

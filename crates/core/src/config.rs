@@ -264,6 +264,14 @@ impl SarnConfig {
         self
     }
 
+    /// Sets the `A^s` spatial-join strategy (`Reference` = all-pairs
+    /// oracle, `Grid` = bucketed near-linear join; bit-identical output,
+    /// so not fingerprinted).
+    pub fn with_spatial_join(mut self, join: crate::similarity::SpatialJoin) -> Self {
+        self.similarity.join = join;
+        self
+    }
+
     /// Enables periodic checkpointing into `dir` every `every` epochs.
     pub fn with_checkpointing(mut self, dir: impl Into<std::path::PathBuf>, every: usize) -> Self {
         self.checkpoint_dir = Some(dir.into());
@@ -323,7 +331,10 @@ impl SarnConfig {
     /// strategy, not a hyper-parameter: resuming a checkpoint under the
     /// other mode is permitted and continues the run under that mode's
     /// arithmetic — bitwise resume guarantees hold within a fixed mode),
-    /// the checkpoint knobs themselves,
+    /// `similarity.join` (the `A^s` spatial-join strategy builds the
+    /// identical edge list either way —
+    /// `crates/core/tests/spatial_join_equivalence.rs` proves it — so it
+    /// can never fork a trajectory), the checkpoint knobs themselves,
     /// the watchdog/fault knobs (a healthy watched run is bitwise
     /// identical to an unwatched one), and the telemetry knobs (recording
     /// only reads training state; an instrumented run is bitwise identical
@@ -449,6 +460,14 @@ mod tests {
         assert_eq!(
             base.fingerprint(),
             base.clone().with_checkpointing("/tmp/x", 2).fingerprint()
+        );
+        // The spatial-join strategy builds the identical `A^s` edge list
+        // either way, so it is likewise excluded.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_spatial_join(crate::similarity::SpatialJoin::Reference)
+                .fingerprint()
         );
         // Gradient clipping reshapes the trajectory; the watchdog does not.
         assert_ne!(

@@ -42,7 +42,9 @@ pub use features::{DiscretizedFeatures, FeatureEmbedding, NUM_FEATURES};
 pub use model::SarnModel;
 pub use queues::CellQueues;
 pub use sarn_par::ReductionOrder;
-pub use similarity::{pairwise_similarity, SpatialSimilarity, SpatialSimilarityConfig};
+pub use similarity::{
+    join_cell_side_m, pairwise_similarity, SpatialJoin, SpatialSimilarity, SpatialSimilarityConfig,
+};
 pub use train::{train, try_train, zero_grads_except, SarnTrained};
 pub use watchdog::{
     embedding_defect, DivergenceReport, EmbeddingDefect, FaultKind, FaultSpec, HealthViolation,

@@ -8,21 +8,86 @@
 //! cosine terms is zero and the pair carries no usable spatial signal —
 //! this keeps `A^s` as sparse as the paper's Table 3 reports).
 //!
-//! Construction uses a `δ_ds`-sized spatial hash, so the cost is near-linear
-//! in the number of segments instead of `O(n^2)`. When the parallel backend
-//! is enabled (see [`sarn_par::set_num_threads`]), segments are partitioned
-//! into contiguous index ranges scanned concurrently; each range emits its
-//! edges in the serial scan order and the per-range results are concatenated
-//! in range order, so the edge list is identical to the serial build.
+//! # Join strategies
+//!
+//! Construction is a spatial self-join over segment midpoints, selected by
+//! [`SpatialJoin`] (DESIGN.md §13):
+//!
+//! * [`SpatialJoin::Reference`] — the literal all-pairs `O(n^2)` scan. It is
+//!   the *oracle*: trivially correct, and the order every suite pins — each
+//!   `i` emits its partners `j > i` in ascending order.
+//! * [`SpatialJoin::Grid`] (default) — a grid-bucketed join over
+//!   [`sarn_geo::Grid`]: midpoints are bucketed into cells sized to cover
+//!   the `δ_ds` ring (see [`join_cell_side_m`]), and each segment is
+//!   compared only against candidates from its Chebyshev-1 cell
+//!   neighborhood. Near-linear time on real road networks. Candidates are
+//!   sorted per segment before scoring, and the weight of every surviving
+//!   pair comes from the same [`pairwise_similarity`] call — so the edge
+//!   list is **bit-for-bit identical** to the reference scan (same pairs,
+//!   same weights, same order; `crates/core/tests/spatial_join_equivalence.rs`
+//!   enforces it).
+//!
+//! Both joins parallelize identically when the backend is enabled (see
+//! [`sarn_par::set_num_threads`]): segments are partitioned into contiguous
+//! index ranges scanned concurrently, each range emits its edges in the
+//! serial scan order, and the per-range results are concatenated in range
+//! order — so the edge list does not depend on the thread count either.
 
 use std::f64::consts::PI;
 
-use sarn_geo::{angular_distance, haversine_m, Grid};
+use sarn_geo::{angular_distance, haversine_m, BoundingBox, Grid, EARTH_RADIUS_M};
 use sarn_roadnet::RoadNetwork;
 
 /// Below this many segments the build stays serial: the whole scan is
 /// cheaper than a thread spawn.
 const PAR_MIN_SEGMENTS: usize = 512;
+
+/// Which spatial self-join builds `A^s`.
+///
+/// An execution-strategy knob like [`sarn_par::ReductionOrder`]: both
+/// strategies produce bit-identical edge lists, so the choice is excluded
+/// from the checkpoint config fingerprint and may differ between a
+/// checkpoint's producer and its resumer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpatialJoin {
+    /// All-pairs `O(n^2)` scan — the exactness oracle the equivalence
+    /// suites compare against.
+    Reference,
+    /// Grid-bucketed join over [`sarn_geo::Grid`] cells sized to the
+    /// `δ_ds` ring — near-linear on road networks, bit-identical output.
+    #[default]
+    Grid,
+}
+
+impl SpatialJoin {
+    /// Parses the conventional knob spelling (case-insensitive
+    /// `"reference"`/`"grid"`); anything else is `None`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "reference" | "ref" | "allpairs" => Some(Self::Reference),
+            "grid" => Some(Self::Grid),
+            _ => None,
+        }
+    }
+
+    /// Reads `SARN_SPATIAL_JOIN` from the environment, defaulting to
+    /// `Grid` when unset or unparseable.
+    pub fn from_env() -> Self {
+        std::env::var("SARN_SPATIAL_JOIN")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Stable lowercase label (`"reference"` / `"grid"`), the inverse of
+    /// [`SpatialJoin::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Reference => "reference",
+            Self::Grid => "grid",
+        }
+    }
+}
 
 /// Parameters of `A^s`.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +96,9 @@ pub struct SpatialSimilarityConfig {
     pub delta_ds_m: f64,
     /// Angular distance threshold `δ_as` in radians (paper default: π/8).
     pub delta_as_rad: f64,
+    /// Join strategy building the matrix. Excluded from the config
+    /// fingerprint: both strategies emit bit-identical edge lists.
+    pub join: SpatialJoin,
 }
 
 impl Default for SpatialSimilarityConfig {
@@ -38,6 +106,7 @@ impl Default for SpatialSimilarityConfig {
         Self {
             delta_ds_m: 200.0,
             delta_as_rad: PI / 8.0,
+            join: SpatialJoin::default(),
         }
     }
 }
@@ -50,35 +119,14 @@ pub struct SpatialSimilarity {
 }
 
 impl SpatialSimilarity {
-    /// Builds `A^s` for a road network.
+    /// Builds `A^s` for a road network with the join strategy named in
+    /// `cfg` (bit-identical output either way).
     pub fn build(net: &RoadNetwork, cfg: &SpatialSimilarityConfig) -> Self {
-        let n = net.num_segments();
-        let midpoints: Vec<_> = (0..n).map(|i| net.segment(i).midpoint()).collect();
-        let grid = Grid::new(*net.bbox(), cfg.delta_ds_m.max(1.0));
-        let mut cell_members: Vec<Vec<usize>> = vec![Vec::new(); grid.num_cells()];
-        for (i, mp) in midpoints.iter().enumerate() {
-            cell_members[grid.cell_of(mp)].push(i);
-        }
-        let parts = sarn_par::par_ranges(n, PAR_MIN_SEGMENTS, |range| {
-            let mut edges = Vec::new();
-            for i in range {
-                let mp = &midpoints[i];
-                for cell in grid.neighborhood(grid.cell_of(mp), 1) {
-                    for &j in &cell_members[cell] {
-                        if j <= i {
-                            continue;
-                        }
-                        if let Some(w) = pairwise_similarity(net, i, j, cfg) {
-                            edges.push((i, j, w));
-                        }
-                    }
-                }
-            }
-            edges
-        });
-        Self {
-            edges: parts.into_iter().flatten().collect(),
-        }
+        let edges = match cfg.join {
+            SpatialJoin::Reference => build_reference(net, cfg),
+            SpatialJoin::Grid => build_grid(net, cfg),
+        };
+        Self { edges }
     }
 
     /// Undirected spatial edges `(i, j, A^s_{i,j})` with `i < j`.
@@ -90,6 +138,94 @@ impl SpatialSimilarity {
     pub fn num_edges(&self) -> usize {
         self.edges.len()
     }
+}
+
+/// The all-pairs oracle: every `(i, j)` with `i < j`, in ascending `(i, j)`
+/// order.
+fn build_reference(net: &RoadNetwork, cfg: &SpatialSimilarityConfig) -> Vec<(usize, usize, f64)> {
+    let n = net.num_segments();
+    sarn_par::par_flat_ranges(n, PAR_MIN_SEGMENTS, |range| {
+        let mut edges = Vec::new();
+        for i in range {
+            for j in (i + 1)..n {
+                if let Some(w) = pairwise_similarity(net, i, j, cfg) {
+                    edges.push((i, j, w));
+                }
+            }
+        }
+        edges
+    })
+}
+
+/// The grid-bucketed join: bucket midpoints into cells wide enough to
+/// cover the `δ_ds` ring, then compare each segment only against the
+/// sorted candidates of its Chebyshev-1 neighborhood. Sorting the
+/// candidate list per segment restores the oracle's ascending-`j` emission
+/// order, and the accept/weight decision is the same [`pairwise_similarity`]
+/// call — hence bitwise-identical output.
+fn build_grid(net: &RoadNetwork, cfg: &SpatialSimilarityConfig) -> Vec<(usize, usize, f64)> {
+    let n = net.num_segments();
+    let grid = Grid::new(*net.bbox(), join_cell_side_m(net.bbox(), cfg.delta_ds_m));
+    // Midpoints are averages of in-box endpoints, so every one maps to a
+    // real (unclamped) cell.
+    let cell_of: Vec<usize> = (0..n)
+        .map(|i| grid.cell_of(&net.segment(i).midpoint()))
+        .collect();
+    let mut cell_members: Vec<Vec<usize>> = vec![Vec::new(); grid.num_cells()];
+    for (i, &c) in cell_of.iter().enumerate() {
+        cell_members[c].push(i);
+    }
+    sarn_par::par_flat_ranges(n, PAR_MIN_SEGMENTS, |range| {
+        let mut edges = Vec::new();
+        // Both scratch buffers are reused across the whole range — the hot
+        // loop performs no per-query allocation.
+        let mut cells: Vec<usize> = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
+        for i in range {
+            grid.neighborhood_into(cell_of[i], 1, &mut cells);
+            candidates.clear();
+            for &cell in &cells {
+                candidates.extend(cell_members[cell].iter().copied().filter(|&j| j > i));
+            }
+            // Cells are distinct, members within a cell ascend, but members
+            // of *different* cells interleave arbitrarily: sort to restore
+            // the oracle's ascending-j order.
+            candidates.sort_unstable();
+            for &j in &candidates {
+                if let Some(w) = pairwise_similarity(net, i, j, cfg) {
+                    edges.push((i, j, w));
+                }
+            }
+        }
+        edges
+    })
+}
+
+/// Cell side (meters) guaranteeing that any pair within haversine `δ_ds`
+/// lands in Chebyshev-adjacent cells of the join grid.
+///
+/// The grid buckets by [`sarn_geo::LocalProjection`] — an equirectangular
+/// projection whose east-west scale is fixed at the box's minimum latitude
+/// — while the pair predicate uses the haversine distance. North-south the
+/// projection never exceeds the haversine (`d >= R·|Δφ|` exactly), but
+/// east-west a pair at haversine `d` can project up to
+/// `d · cos(φ_ref) / cos(φ)` apart when it sits at a latitude `φ` with a
+/// smaller cosine than the reference. The side is therefore stretched by
+/// the worst-case ratio over the box (plus a curvature term for
+/// `sin x <= x` and an epsilon for rounding), so the radius-1 neighborhood
+/// provably covers the `δ_ds` ring and the grid join misses no pair the
+/// all-pairs oracle accepts.
+pub fn join_cell_side_m(bbox: &BoundingBox, delta_ds_m: f64) -> f64 {
+    let delta = delta_ds_m.max(1.0);
+    let ref_cos = bbox.min_lat.to_radians().cos().max(1e-9);
+    let max_abs_lat = bbox.min_lat.abs().max(bbox.max_lat.abs());
+    let min_cos = max_abs_lat.to_radians().cos().max(1e-9);
+    let stretch = (ref_cos / min_cos).max(1.0);
+    // Largest longitude gap (radians) a within-δ pair can span, and the
+    // matching bound on how much `sin(Δλ/2)` undershoots `Δλ/2`.
+    let dlam = (delta / (EARTH_RADIUS_M * min_cos)).min(PI);
+    let curvature = 1.0 / (1.0 - (dlam / 2.0).powi(2) / 6.0).max(0.5);
+    delta * stretch * curvature * (1.0 + 1e-9)
 }
 
 /// `A^s_{i,j}` for one pair, or `None` when either threshold is exceeded.
@@ -209,5 +345,65 @@ mod tests {
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(pairs.len(), before);
+    }
+
+    #[test]
+    fn grid_join_matches_reference_on_a_city() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.4).generate();
+        let reference = SpatialSimilarity::build(
+            &net,
+            &SpatialSimilarityConfig {
+                join: SpatialJoin::Reference,
+                ..SpatialSimilarityConfig::default()
+            },
+        );
+        let grid = SpatialSimilarity::build(
+            &net,
+            &SpatialSimilarityConfig {
+                join: SpatialJoin::Grid,
+                ..SpatialSimilarityConfig::default()
+            },
+        );
+        assert!(reference.num_edges() > 0);
+        assert_eq!(reference.edges(), grid.edges());
+    }
+
+    #[test]
+    fn join_cell_side_covers_delta_and_is_finite() {
+        let bb = BoundingBox {
+            min_lat: 30.63,
+            min_lon: 104.03,
+            max_lat: 30.68,
+            max_lon: 104.088,
+        };
+        let side = join_cell_side_m(&bb, 200.0);
+        assert!(side >= 200.0, "side {side} below delta");
+        assert!(side < 220.0, "side {side} over-inflated at city scale");
+        // Degenerate threshold clamps to the 1 m floor.
+        assert!(join_cell_side_m(&bb, 0.0) >= 1.0);
+        // High-latitude boxes stretch the side but keep it finite.
+        let polar = BoundingBox {
+            min_lat: 69.0,
+            min_lon: 18.0,
+            max_lat: 69.4,
+            max_lon: 19.0,
+        };
+        let polar_side = join_cell_side_m(&polar, 200.0);
+        assert!(polar_side.is_finite() && polar_side >= 200.0);
+    }
+
+    #[test]
+    fn spatial_join_parsing_and_labels() {
+        assert_eq!(
+            SpatialJoin::parse("reference"),
+            Some(SpatialJoin::Reference)
+        );
+        assert_eq!(SpatialJoin::parse("REF"), Some(SpatialJoin::Reference));
+        assert_eq!(SpatialJoin::parse("Grid"), Some(SpatialJoin::Grid));
+        assert_eq!(SpatialJoin::parse("kdtree"), None);
+        for j in [SpatialJoin::Reference, SpatialJoin::Grid] {
+            assert_eq!(SpatialJoin::parse(j.label()), Some(j));
+        }
+        assert_eq!(SpatialJoin::default(), SpatialJoin::Grid);
     }
 }

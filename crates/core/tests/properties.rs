@@ -54,6 +54,7 @@ proptest! {
         let tight = SpatialSimilarityConfig {
             delta_ds_m: base.delta_ds_m * scale,
             delta_as_rad: base.delta_as_rad * scale,
+            ..SpatialSimilarityConfig::default()
         };
         if let (Some(loose_v), Some(tight_v)) = (
             pairwise_similarity(&net, 0, 1, &base),

@@ -1,0 +1,202 @@
+//! Grid join ≡ all-pairs oracle, bitwise, on adversarial geometry.
+//!
+//! `SpatialJoin::Grid` promises the **identical** edge list to
+//! `SpatialJoin::Reference` — same pairs, same `f64` weight bits, same
+//! order — at every thread count (DESIGN.md §13). This suite attacks the
+//! promise with the network shapes most likely to break a bucketed join:
+//!
+//! * **clustered** — dense blobs with empty space between them, so cell
+//!   occupancy is wildly uneven and many candidates share a cell;
+//! * **collinear** — every midpoint on one parallel of latitude, so the
+//!   grid degenerates to a single row and the bounding box has zero
+//!   height;
+//! * **single-cell** — the whole network inside one grid cell, where the
+//!   join must fall back to an in-cell all-pairs scan bit-for-bit;
+//! * **boundary-straddling** — midpoints jittered a few meters around the
+//!   cell-side spacing, so qualifying pairs constantly cross cell
+//!   boundaries and any off-by-one in the neighborhood ring drops edges.
+//!
+//! Each network is checked at 1 and 4 threads for both joins; the
+//! clustered and collinear generators exceed the build's 512-segment
+//! serial fallback so the parallel range scan genuinely runs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sarn_core::{SpatialJoin, SpatialSimilarity, SpatialSimilarityConfig};
+use sarn_geo::Point;
+use sarn_roadnet::{HighwayClass, RoadNetwork, RoadSegment};
+
+/// One degree of latitude in meters, for sizing jitter in test geometry.
+const M_PER_DEG_LAT: f64 = 111_320.0;
+
+fn cfg(join: SpatialJoin) -> SpatialSimilarityConfig {
+    SpatialSimilarityConfig {
+        join,
+        ..SpatialSimilarityConfig::default()
+    }
+}
+
+/// A short segment whose midpoint is `(lat, lon)`, with a random-ish
+/// bearing driven by `dir` so angular pruning stays exercised.
+fn seg_at(lat: f64, lon: f64, dir: f64) -> RoadSegment {
+    let half = 0.0003; // ~33 m half-length
+    let (dlat, dlon) = (half * dir.cos(), half * dir.sin());
+    RoadSegment::between(
+        HighwayClass::Primary,
+        Point::new(lat - dlat, lon - dlon),
+        Point::new(lat + dlat, lon + dlon),
+    )
+}
+
+/// Runs `f` under a temporary thread-count setting, restoring the serial
+/// default afterwards.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    sarn_par::set_num_threads(n);
+    let r = f();
+    sarn_par::set_num_threads(1);
+    r
+}
+
+/// Builds the reference edge list serially, then asserts the grid join —
+/// and the parallel variants of both joins — reproduce it bit for bit.
+fn assert_joins_agree(net: &RoadNetwork) -> Result<(), String> {
+    let oracle = with_threads(1, || {
+        SpatialSimilarity::build(net, &cfg(SpatialJoin::Reference))
+    });
+    let bits = |s: &SpatialSimilarity| -> Vec<(usize, usize, u64)> {
+        s.edges()
+            .iter()
+            .map(|&(i, j, w)| (i, j, w.to_bits()))
+            .collect()
+    };
+    let want = bits(&oracle);
+    for (join, threads) in [
+        (SpatialJoin::Reference, 4),
+        (SpatialJoin::Grid, 1),
+        (SpatialJoin::Grid, 4),
+    ] {
+        let got = with_threads(threads, || SpatialSimilarity::build(net, &cfg(join)));
+        prop_assert_eq!(
+            &want,
+            &bits(&got),
+            "{} join at {} threads diverged from the serial oracle",
+            join.label(),
+            threads
+        );
+    }
+    Ok(())
+}
+
+/// Dense blobs separated by empty space; >512 segments so the parallel
+/// range scan engages.
+fn clustered_net(seed: u64, num_clusters: usize) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(f64, f64)> = (0..num_clusters)
+        .map(|_| {
+            (
+                30.63 + rng.gen_range(0.0..0.04),
+                104.03 + rng.gen_range(0.0..0.05),
+            )
+        })
+        .collect();
+    let segs: Vec<RoadSegment> = (0..560)
+        .map(|k| {
+            let (clat, clon) = centers[k % centers.len()];
+            seg_at(
+                clat + rng.gen_range(-0.002..0.002),
+                clon + rng.gen_range(-0.002..0.002),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            )
+        })
+        .collect();
+    RoadNetwork::new(segs, &[])
+}
+
+/// Everything on one parallel of latitude: the bounding box has zero
+/// height, so the join grid collapses to a single row.
+fn collinear_net(seed: u64, n: usize) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lat = 30.65;
+    let mut lon = 104.0;
+    let segs: Vec<RoadSegment> = (0..n)
+        .map(|_| {
+            lon += rng.gen_range(0.0002..0.0009); // 20–90 m gaps
+            seg_at(lat, lon, std::f64::consts::FRAC_PI_2) // all eastbound
+        })
+        .collect();
+    RoadNetwork::new(segs, &[])
+}
+
+/// The whole network inside a ~60 m disc — far smaller than the ~200 m
+/// join cell, so the grid is a single cell and the join must degrade to
+/// the all-pairs scan exactly.
+fn single_cell_net(seed: u64, n: usize) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let segs: Vec<RoadSegment> = (0..n)
+        .map(|_| {
+            seg_at(
+                30.65 + rng.gen_range(-0.00025..0.00025),
+                104.05 + rng.gen_range(-0.00025..0.00025),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            )
+        })
+        .collect();
+    RoadNetwork::new(segs, &[])
+}
+
+/// Midpoints jittered ±`jitter_m` around a lattice whose spacing equals
+/// the δ_ds threshold — the worst case for cell-boundary bookkeeping:
+/// nearly every qualifying pair lives in *adjacent* cells, and pair
+/// distances hover right at the 200 m accept/reject edge.
+fn boundary_net(seed: u64, jitter_m: f64) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spacing_deg = 200.0 / M_PER_DEG_LAT;
+    let jitter_deg = jitter_m / M_PER_DEG_LAT;
+    let mut segs = Vec::new();
+    for row in 0..8 {
+        for col in 0..8 {
+            segs.push(seg_at(
+                30.63 + row as f64 * spacing_deg + rng.gen_range(-jitter_deg..jitter_deg),
+                104.03 + col as f64 * spacing_deg + rng.gen_range(-jitter_deg..jitter_deg),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ));
+        }
+    }
+    RoadNetwork::new(segs, &[])
+}
+
+proptest! {
+    // City-scale builds per case: a handful of cases exercises every
+    // geometry class without dominating the suite's runtime.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn clustered_networks_agree(seed in 0u64..1_000_000, clusters in 2usize..6) {
+        assert_joins_agree(&clustered_net(seed, clusters))?;
+    }
+
+    #[test]
+    fn collinear_networks_agree(seed in 0u64..1_000_000, n in 520usize..600) {
+        assert_joins_agree(&collinear_net(seed, n))?;
+    }
+
+    #[test]
+    fn single_cell_networks_agree(seed in 0u64..1_000_000, n in 16usize..80) {
+        assert_joins_agree(&single_cell_net(seed, n))?;
+    }
+
+    #[test]
+    fn boundary_straddling_networks_agree(seed in 0u64..1_000_000, jitter_m in 0.5f64..8.0) {
+        assert_joins_agree(&boundary_net(seed, jitter_m))?;
+    }
+}
+
+#[test]
+fn one_segment_network_has_no_edges_under_either_join() {
+    let net = RoadNetwork::new(vec![seg_at(30.65, 104.05, 0.3)], &[]);
+    for join in [SpatialJoin::Reference, SpatialJoin::Grid] {
+        let sim = SpatialSimilarity::build(&net, &cfg(join));
+        assert_eq!(sim.num_edges(), 0, "{} join", join.label());
+    }
+}

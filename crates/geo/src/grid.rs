@@ -188,11 +188,25 @@ impl Grid {
     }
 
     /// Ids of cells within `radius` cells of `id` (Chebyshev ring), including
-    /// `id` itself.
+    /// `id` itself. Rows and columns outside the grid are clamped away, so a
+    /// corner cell's radius-1 neighborhood has 4 cells, an edge cell's 6, an
+    /// interior cell's 9 (`crates/geo/tests/neighborhood_golden.rs` pins the
+    /// exact ids). Allocates a fresh `Vec` per call — hot loops should hold a
+    /// buffer and call [`Grid::neighborhood_into`] instead.
     pub fn neighborhood(&self, id: CellId, radius: usize) -> Vec<CellId> {
+        let mut out = Vec::new();
+        self.neighborhood_into(id, radius, &mut out);
+        out
+    }
+
+    /// [`Grid::neighborhood`] writing into a caller-provided buffer: `out`
+    /// is cleared and then filled with the ring's cell ids in the same
+    /// row-major order. Lets per-query loops (the `A^s` grid join, serve's
+    /// approximate k-NN) reuse one allocation across queries.
+    pub fn neighborhood_into(&self, id: CellId, radius: usize, out: &mut Vec<CellId>) {
+        out.clear();
         let (row, col) = self.cell_coords(id);
         let r = radius as isize;
-        let mut out = Vec::new();
         for dr in -r..=r {
             for dc in -r..=r {
                 let nr = row as isize + dr;
@@ -202,7 +216,6 @@ impl Grid {
                 }
             }
         }
-        out
     }
 }
 

@@ -1,0 +1,90 @@
+//! Golden ring geometry for [`Grid::neighborhood`].
+//!
+//! The `A^s` grid join and serve's approximate k-NN both assume the
+//! Chebyshev ring is clamped at the map border — a corner cell sees 4
+//! cells at radius 1, an edge cell 6, an interior cell 9 — and that ids
+//! come back in row-major order. These tests pin the *exact* id lists on
+//! a 10×10 grid so any future change to clamping, ordering, or the
+//! row-major id scheme fails loudly instead of silently dropping join
+//! candidates at the boundary.
+
+use sarn_geo::{BoundingBox, CellId, Grid};
+
+/// ~5.5 km × 5.5 km around Chengdu — exactly 10×10 cells at 600 m.
+fn ten_by_ten() -> Grid {
+    let g = Grid::new(
+        BoundingBox {
+            min_lat: 30.63,
+            min_lon: 104.03,
+            max_lat: 30.68,
+            max_lon: 104.088,
+        },
+        600.0,
+    );
+    // The goldens below hard-code row-major ids on this layout.
+    assert_eq!((g.nx(), g.ny()), (10, 10), "fixture grid changed shape");
+    g
+}
+
+#[test]
+fn radius_one_rings_at_the_four_corners() {
+    let g = ten_by_ten();
+    // Bottom-left, bottom-right, top-left, top-right: 4 cells each,
+    // row-major, ring clamped at both borders.
+    assert_eq!(g.neighborhood(0, 1), vec![0, 1, 10, 11]);
+    assert_eq!(g.neighborhood(9, 1), vec![8, 9, 18, 19]);
+    assert_eq!(g.neighborhood(90, 1), vec![80, 81, 90, 91]);
+    assert_eq!(g.neighborhood(99, 1), vec![88, 89, 98, 99]);
+}
+
+#[test]
+fn radius_one_rings_on_the_four_edges() {
+    let g = ten_by_ten();
+    // One cell from each border (bottom, top, left, right): 6 cells,
+    // clamped on exactly one axis.
+    assert_eq!(g.neighborhood(5, 1), vec![4, 5, 6, 14, 15, 16]);
+    assert_eq!(g.neighborhood(95, 1), vec![84, 85, 86, 94, 95, 96]);
+    assert_eq!(g.neighborhood(40, 1), vec![30, 31, 40, 41, 50, 51]);
+    assert_eq!(g.neighborhood(49, 1), vec![38, 39, 48, 49, 58, 59]);
+}
+
+#[test]
+fn radius_one_ring_in_the_interior_is_the_full_nine() {
+    let g = ten_by_ten();
+    assert_eq!(
+        g.neighborhood(55, 1),
+        vec![44, 45, 46, 54, 55, 56, 64, 65, 66]
+    );
+}
+
+#[test]
+fn radius_zero_is_the_cell_itself() {
+    let g = ten_by_ten();
+    for id in [0, 9, 55, 99] {
+        assert_eq!(g.neighborhood(id, 0), vec![id]);
+    }
+}
+
+#[test]
+fn radius_two_corner_ring_clamps_to_a_three_by_three_block() {
+    let g = ten_by_ten();
+    assert_eq!(g.neighborhood(0, 2), vec![0, 1, 2, 10, 11, 12, 20, 21, 22]);
+}
+
+#[test]
+fn oversized_radius_returns_every_cell_in_row_major_order() {
+    let g = ten_by_ten();
+    let all: Vec<CellId> = (0..g.num_cells()).collect();
+    assert_eq!(g.neighborhood(55, 10), all);
+    assert_eq!(g.neighborhood(0, 1_000), all);
+}
+
+#[test]
+fn neighborhood_into_clears_the_buffer_and_matches_the_allocating_path() {
+    let g = ten_by_ten();
+    let mut buf: Vec<CellId> = vec![usize::MAX; 64]; // stale garbage
+    for (id, radius) in [(0, 1), (55, 1), (95, 2), (99, 0)] {
+        g.neighborhood_into(id, radius, &mut buf);
+        assert_eq!(buf, g.neighborhood(id, radius), "cell {id} radius {radius}");
+    }
+}

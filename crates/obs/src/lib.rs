@@ -41,6 +41,7 @@ mod config;
 pub mod export;
 mod journal;
 mod metrics;
+mod proc;
 mod registry;
 mod span;
 
@@ -51,6 +52,7 @@ pub use export::{
 };
 pub use journal::{Event, EventJournal, TimedEvent, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{latency_boundaries, magnitude_boundaries, Counter, Gauge, Histogram};
+pub use proc::peak_rss_bytes;
 pub use registry::{HistogramSnapshot, Registry, Snapshot};
 pub use span::Span;
 

@@ -1,0 +1,73 @@
+//! Process-level resource probes.
+//!
+//! Peak resident set size is the honest memory number for a build or
+//! training run: it is monotone over the process lifetime, so reading it
+//! after a phase bounds every transient allocation inside that phase —
+//! exactly what the scaling benches and the `scale_smoke` sys test need
+//! to show the grid join never materializes an all-pairs intermediate.
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable (non-Linux
+/// hosts) or unparseable. The value is a high-water mark — deltas between
+/// two reads bound the *growth* a phase caused, not its absolute
+/// footprint — but consecutive reads may jitter by a few pages in either
+/// direction: the kernel folds per-thread RSS counters into the mark
+/// lazily, so treat differences below ~1 MiB as noise.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm_bytes(&status)
+}
+
+/// Parses the `VmHWM:` line of a `/proc/<pid>/status` document. Split out
+/// from the probe so the format handling is testable off-procfs.
+fn parse_vm_hwm_bytes(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:    123456 kB`.
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .strip_suffix("kB")
+        .map(str::trim)?
+        .parse()
+        .ok()?;
+    kb.checked_mul(1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_canonical_status_document() {
+        let status = "Name:\tsarn\nVmPeak:\t  999999 kB\nVmHWM:\t  123456 kB\nVmRSS:\t  100 kB\n";
+        assert_eq!(parse_vm_hwm_bytes(status), Some(123_456 * 1024));
+    }
+
+    #[test]
+    fn rejects_missing_or_malformed_lines() {
+        assert_eq!(parse_vm_hwm_bytes(""), None);
+        assert_eq!(parse_vm_hwm_bytes("VmRSS:\t 100 kB\n"), None);
+        assert_eq!(parse_vm_hwm_bytes("VmHWM:\t not-a-number kB\n"), None);
+        assert_eq!(parse_vm_hwm_bytes("VmHWM:\t 100 MB\n"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn live_probe_reports_a_plausible_peak() {
+        let peak = peak_rss_bytes().expect("procfs should exist on Linux");
+        // A running test binary holds at least 1 MiB and (sanity bound)
+        // under 1 TiB.
+        assert!(peak > 1 << 20, "peak {peak} implausibly small");
+        assert!(peak < 1 << 40, "peak {peak} implausibly large");
+    }
+
+    #[test]
+    fn consecutive_reads_agree_within_accounting_slack() {
+        let (Some(a), Some(b)) = (peak_rss_bytes(), peak_rss_bytes()) else {
+            return; // non-Linux: nothing to check
+        };
+        // The mark is monotone up to the kernel's lazy per-thread RSS
+        // folding; back-to-back reads must agree within that slack.
+        assert!(a.abs_diff(b) < 1 << 20, "reads {a} and {b} diverged");
+    }
+}

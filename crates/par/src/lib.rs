@@ -223,6 +223,29 @@ where
     })
 }
 
+/// [`par_ranges`] for map-producing callers: splits `0..n` into contiguous
+/// ranges, maps each through `f` (which returns a `Vec` of items), and
+/// concatenates the per-range vectors **in range order** — so the result is
+/// element-for-element identical to the serial `f(0..n)` call at any thread
+/// count. This is the shape of every deterministic emit-style scan in the
+/// workspace (the `A^s` spatial joins emit edges this way).
+pub fn par_flat_ranges<T, F>(n: usize, min_per_call: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let mut parts = par_ranges(n, min_per_call, f);
+    if parts.len() == 1 {
+        return parts.pop().unwrap_or_default();
+    }
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +345,22 @@ mod tests {
         for o in [ReductionOrder::Reference, ReductionOrder::Fast] {
             assert_eq!(ReductionOrder::parse(o.label()), Some(o));
         }
+    }
+
+    #[test]
+    fn par_flat_ranges_matches_serial_concatenation() {
+        for threads in [1, 2, 4, 9] {
+            let flat = with_threads(threads, || {
+                par_flat_ranges(100, 0, |r| r.map(|i| i * 3).collect::<Vec<usize>>())
+            });
+            let expect: Vec<usize> = (0..100).map(|i| i * 3).collect();
+            assert_eq!(flat, expect, "threads = {threads}");
+        }
+        // Empty domain yields an empty vector, not a panic.
+        assert_eq!(
+            par_flat_ranges(0, 0, |r| r.collect::<Vec<usize>>()),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

@@ -573,19 +573,25 @@ impl EmbeddingStore {
         let cell = self.segment_cell[segment];
         let max_radius = self.grid.nx().max(self.grid.ny());
         let mut radius = self.cfg.approx_radius;
-        let candidates = loop {
+        // One ring buffer and one candidate list for the whole expansion
+        // loop: each retry clears and refills instead of reallocating.
+        let mut cells: Vec<sarn_geo::CellId> = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
+        loop {
             deadline.check()?;
-            let cells = self.grid.neighborhood(cell, radius);
-            let candidates: Vec<usize> = cells
-                .iter()
-                .flat_map(|&c| self.buckets[c].iter().copied())
-                .filter(|&s| s != segment)
-                .collect();
+            self.grid.neighborhood_into(cell, radius, &mut cells);
+            candidates.clear();
+            candidates.extend(
+                cells
+                    .iter()
+                    .flat_map(|&c| self.buckets[c].iter().copied())
+                    .filter(|&s| s != segment),
+            );
             if candidates.len() >= k || radius >= max_radius {
-                break candidates;
+                break;
             }
             radius = radius.saturating_mul(2).max(radius + 1);
-        };
+        }
         let mut scored = Vec::with_capacity(candidates.len());
         for (j, &i) in candidates.iter().enumerate() {
             if j % self.cfg.deadline_check_every == 0 {

@@ -26,14 +26,15 @@ step "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # The training hot path, tensor backend (including the reduction-order
-# kernels), parallel backend, geometry layer, serving subsystem, and
-# telemetry layer must never panic on bad data: unwraps are banned in
-# library code there (tests, via --lib's cfg(test) compilation, still
-# may). Panics become typed TrainError / IoError / GridError /
-# ServeError values (telemetry additionally swallows export errors
-# entirely — a metrics failure must never kill a training run).
-step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-par, sarn-geo, sarn-serve, sarn-obs lib code)"
-cargo clippy -p sarn-core -p sarn-tensor -p sarn-par -p sarn-geo -p sarn-serve -p sarn-obs --lib -- -D warnings -D clippy::unwrap_used
+# kernels), parallel backend, geometry layer, road-network layer (the
+# spatial join's data source), serving subsystem, and telemetry layer
+# must never panic on bad data: unwraps are banned in library code there
+# (tests, via --lib's cfg(test) compilation, still may). Panics become
+# typed TrainError / IoError / GridError / ServeError values (telemetry
+# additionally swallows export errors entirely — a metrics failure must
+# never kill a training run).
+step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-par, sarn-geo, sarn-roadnet, sarn-serve, sarn-obs lib code)"
+cargo clippy -p sarn-core -p sarn-tensor -p sarn-par -p sarn-geo -p sarn-roadnet -p sarn-serve -p sarn-obs --lib -- -D warnings -D clippy::unwrap_used
 
 step "cargo test"
 cargo test -q --workspace
@@ -57,14 +58,35 @@ for order in reference fast; do
     --test kernel_reduction_order
 done
 
-# Kernel benchmark: epoch time in both reduction modes plus serve-side
-# exact/approx k-NN latency, written to the committed BENCH_6.json
-# (SARN_REPORT_JSONL appends, so start from a clean file).
-step "kernel benchmark (BENCH_6.json)"
-rm -f BENCH_6.json
-SARN_NET_SCALE=0.22 SARN_EPOCHS=3 SARN_REPORT_JSONL=BENCH_6.json \
+# Spatial-join equivalence: the grid join must reproduce the all-pairs
+# oracle bit for bit on adversarial geometry (the suite flips the knob
+# explicitly; the env var seeds the default path the rest of the tests
+# take), and training must be bitwise join-invariant end to end.
+for join in grid reference; do
+  step "spatial join equivalence (SARN_SPATIAL_JOIN=$join)"
+  SARN_SPATIAL_JOIN=$join cargo test -q -p sarn-core \
+    --test spatial_join_equivalence
+  SARN_SPATIAL_JOIN=$join cargo test -q -p sarn-sys-tests --test scale_smoke
+done
+
+# The scale-2.0 leg (~9k segments, one epoch per join mode, peak-RSS
+# budget) is #[ignore]d in the tier-1 suite — debug-mode training at
+# that size is minutes — and runs here in release instead.
+step "scale smoke at SARN_NET_SCALE=2.0 (release, --ignored)"
+cargo test -q --release -p sarn-sys-tests --test scale_smoke -- --ignored
+
+# Kernel benchmark: A^s build time + peak RSS in both join modes, epoch
+# time in both reduction modes, and serve-side exact/approx k-NN
+# latency, written to the committed BENCH_7.json (SARN_REPORT_JSONL
+# appends, so start from a clean file). A second join-only invocation at
+# scale 2.0 records the O(n²) → near-linear crossover row.
+step "kernel benchmark (BENCH_7.json)"
+rm -f BENCH_7.json
+SARN_NET_SCALE=0.22 SARN_EPOCHS=3 SARN_REPORT_JSONL=BENCH_7.json \
   cargo run -q --release -p sarn-bench --bin kernel_bench
-test -s BENCH_6.json
+SARN_NET_SCALE=2.0 SARN_KERNEL_BENCH_LEGS=join SARN_REPORT_JSONL=BENCH_7.json \
+  cargo run -q --release -p sarn-bench --bin kernel_bench
+test -s BENCH_7.json
 
 # Checkpoint/resume smoke: train half a run with checkpointing on, resume
 # it from the directory, and require bitwise equality with a straight run
