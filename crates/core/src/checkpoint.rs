@@ -333,6 +333,68 @@ impl Checkpoint {
         }
         Ok(ckpt)
     }
+
+    /// Reads only the header and META section of a checkpoint file —
+    /// magic, version, and the scalar [`CheckpointMeta`] — without
+    /// touching the (much larger) tensor sections. Warm-start uses this
+    /// compatibility probe to reject an incompatible candidate (foreign
+    /// file, newer format, different config fingerprint, damaged META)
+    /// with a typed error *before* committing to a full load, so a bad
+    /// checkpoint can never fail a retrain mid-restore.
+    pub fn probe_header(path: impl AsRef<Path>) -> Result<CheckpointMeta, CheckpointError> {
+        let mut f = File::open(path.as_ref())?;
+        let mut head = [0u8; 12];
+        read_exact_or(&mut f, &mut head, "header")?;
+        if &head[..8] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice"));
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let name = SECTION_NAMES[0];
+        let mut sh = [0u8; 16];
+        read_exact_or(&mut f, &mut sh, name)?;
+        if &sh[..4] != SECTION_TAGS[0] {
+            return Err(corrupt(
+                name,
+                format!(
+                    "unexpected section tag {:?}",
+                    String::from_utf8_lossy(&sh[..4])
+                ),
+            ));
+        }
+        let len = u64::from_le_bytes(sh[4..12].try_into().expect("8-byte slice"));
+        let crc = u32::from_le_bytes(sh[12..16].try_into().expect("4-byte slice"));
+        // META holds scalars plus the loss history and shuffle order — a
+        // length beyond this bound cannot be a sane section and must not
+        // drive a giant allocation.
+        if len > (1 << 28) {
+            return Err(corrupt(name, format!("implausible META length {len}")));
+        }
+        let mut payload = vec![0u8; len as usize];
+        read_exact_or(&mut f, &mut payload, name)?;
+        if crc32(&payload) != crc {
+            return Err(corrupt(name, "checksum mismatch"));
+        }
+        decode_meta(&payload)
+    }
+}
+
+/// `read_exact` with `UnexpectedEof` mapped to the typed truncation error
+/// (any other I/O failure stays an I/O error).
+fn read_exact_or(
+    f: &mut File,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), CheckpointError> {
+    f.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated { section }
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
 }
 
 /// Telemetry for one checkpoint write/load: duration and size histograms
@@ -791,6 +853,67 @@ mod tests {
         assert_eq!(left.iter().map(|(e, _)| *e).collect::<Vec<_>>(), vec![3, 4]);
         // The other fingerprint's checkpoint survives.
         assert!(latest_checkpoint(&dir, Some(0xB)).is_some());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn probe_header_reads_meta_without_the_tensor_sections() {
+        let dir = tmp_dir("probe");
+        let path = dir.join(checkpoint_file_name(0xC0FFEE, 3));
+        let ckpt = sample_checkpoint();
+        ckpt.save(&path).unwrap();
+        // The probe's meta is the full load's meta.
+        assert_eq!(Checkpoint::probe_header(&path).unwrap(), ckpt.meta);
+        // It still works when every section *after* META is torn off —
+        // proof it never touches the tensor payloads.
+        let bytes = ckpt.to_bytes();
+        let meta_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let beheaded = dir.join("beheaded.sarnckpt");
+        fs::write(&beheaded, &bytes[..12 + 16 + meta_len]).unwrap();
+        assert_eq!(Checkpoint::probe_header(&beheaded).unwrap(), ckpt.meta);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn probe_header_rejects_damage_with_typed_errors() {
+        let dir = tmp_dir("probe_bad");
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.to_bytes();
+
+        let garbage = dir.join("garbage.sarnckpt");
+        fs::write(&garbage, b"not a checkpoint at all").unwrap();
+        assert!(matches!(
+            Checkpoint::probe_header(&garbage),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        let truncated = dir.join("truncated.sarnckpt");
+        fs::write(&truncated, &bytes[..20]).unwrap();
+        assert!(matches!(
+            Checkpoint::probe_header(&truncated),
+            Err(CheckpointError::Truncated { section: "META" })
+        ));
+
+        let mut flipped = bytes.clone();
+        flipped[30] ^= 0xFF; // inside the META payload
+        let corrupt = dir.join("corrupt.sarnckpt");
+        fs::write(&corrupt, &flipped).unwrap();
+        assert!(matches!(
+            Checkpoint::probe_header(&corrupt),
+            Err(CheckpointError::Corrupt {
+                section: "META",
+                ..
+            })
+        ));
+
+        let mut versioned = bytes;
+        versioned[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let newer = dir.join("newer.sarnckpt");
+        fs::write(&newer, &versioned).unwrap();
+        assert!(matches!(
+            Checkpoint::probe_header(&newer),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
         fs::remove_dir_all(dir).ok();
     }
 

@@ -143,6 +143,26 @@ pub struct SarnConfig {
     /// there is none — the mode the bench harness uses, making interrupted
     /// table/figure runs restartable with the same command line.
     pub resume_auto: bool,
+    /// Warm-start: seed the model parameters from this checkpoint file and
+    /// then train a *fresh* run (epoch 0, fresh optimizer/queues/RNG) — the
+    /// online pipeline's retrain mode after a network edit, where the old
+    /// weights are a good initialization but the exact trajectory cannot
+    /// continue (the segment set changed). The checkpoint must pass the
+    /// [`crate::Checkpoint::probe_header`] fingerprint check; parameter
+    /// tensors whose shape depends on network content (the feature-
+    /// embedding vocab tables) are copied row-prefix-wise. Mutually
+    /// exclusive with `resume_from`/`resume_auto`. Excluded from the
+    /// fingerprint: it changes the initialization, not the hyper-parameter
+    /// trajectory a checkpoint lineage is keyed by — warm-started runs are
+    /// a new lineage by construction (fresh epoch 0).
+    pub warm_start_from: Option<std::path::PathBuf>,
+    /// Wall-clock training budget in seconds (`0` = unbounded, the
+    /// default). Checked at epoch boundaries; an exceeded budget aborts
+    /// the run with [`crate::watchdog::TrainError::DeadlineExceeded`]
+    /// instead of returning partial embeddings. Excluded from the
+    /// fingerprint like `max_epochs`: it bounds how *long* a run gets,
+    /// never which trajectory it takes.
+    pub max_train_seconds: f64,
     /// Global gradient-norm clip applied by the optimizer before each step
     /// (`0` = no clipping, the default). Clipping reshapes the trajectory,
     /// so this knob is part of the config fingerprint.
@@ -198,6 +218,8 @@ impl Default for SarnConfig {
             checkpoint_keep: 3,
             resume_from: None,
             resume_auto: false,
+            warm_start_from: None,
+            max_train_seconds: 0.0,
             clip_norm: 0.0,
             watchdog: WatchdogConfig::default(),
             fault: None,
@@ -282,6 +304,19 @@ impl SarnConfig {
     /// Resumes training from an explicit checkpoint file.
     pub fn with_resume_from(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Warm-starts a fresh run from a checkpoint's parameters (see
+    /// [`SarnConfig::warm_start_from`]).
+    pub fn with_warm_start_from(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.warm_start_from = Some(path.into());
+        self
+    }
+
+    /// Sets the wall-clock training budget (`0` = unbounded).
+    pub fn with_max_train_seconds(mut self, seconds: f64) -> Self {
+        self.max_train_seconds = seconds;
         self
     }
 
@@ -478,6 +513,16 @@ mod tests {
             base.fingerprint(),
             base.clone()
                 .with_watchdog(WatchdogConfig::default())
+                .fingerprint()
+        );
+        // Warm-start changes the initialization (a new lineage, fresh
+        // epoch 0), not the trajectory knobs a lineage is keyed by; the
+        // deadline only bounds a run's length. Both are excluded.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_warm_start_from("/tmp/ck/x.sarnckpt")
+                .with_max_train_seconds(30.0)
                 .fingerprint()
         );
         // Telemetry never perturbs the trajectory either.

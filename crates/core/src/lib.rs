@@ -43,9 +43,10 @@ pub use model::SarnModel;
 pub use queues::CellQueues;
 pub use sarn_par::ReductionOrder;
 pub use similarity::{
-    join_cell_side_m, pairwise_similarity, SpatialJoin, SpatialSimilarity, SpatialSimilarityConfig,
+    join_cell_side_m, pairwise_similarity, SpatialIndex, SpatialJoin, SpatialSimilarity,
+    SpatialSimilarityConfig,
 };
-pub use train::{train, try_train, zero_grads_except, SarnTrained};
+pub use train::{train, try_train, warm_start_apply, zero_grads_except, SarnTrained};
 pub use watchdog::{
     embedding_defect, DivergenceReport, EmbeddingDefect, FaultKind, FaultSpec, HealthViolation,
     RecoveryEvent, TrainError, Watchdog, WatchdogConfig,

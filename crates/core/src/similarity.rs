@@ -228,6 +228,182 @@ pub fn join_cell_side_m(bbox: &BoundingBox, delta_ds_m: f64) -> f64 {
     delta * stretch * curvature * (1.0 + 1e-9)
 }
 
+/// Incrementally maintained `A^s`: the grid-bucketed join's state (grid,
+/// per-cell member lists) kept alive between edits so a single-segment
+/// change re-scores only the candidates inside the edited segment's
+/// `δ_ds` ring instead of rebuilding the whole matrix.
+///
+/// The maintained edge list is **bitwise identical** to a from-scratch
+/// [`SpatialSimilarity::build`] on the current network after every
+/// operation, at every thread count:
+///
+/// * **insert** — the appended segment holds the maximum index, so its
+///   edges `(j, new)` sort after every existing `(j, j')` and before
+///   `(j + 1, ·)`; one ordered merge pass splices them in. Weights come
+///   from the same [`pairwise_similarity`] call the full build makes.
+///   A midpoint outside the grid's box triggers an `O(n)` re-bucketing
+///   over the grown box (no re-scoring) — a clamped boundary cell's
+///   radius-1 neighborhood would no longer provably cover the ring.
+/// * **remove** — edges touching the segment are dropped and surviving
+///   endpoints renumbered monotonically, which preserves the ascending
+///   `(i, j)` order; geometry of the survivors is untouched, so no
+///   weight changes.
+/// * **reclass** — a no-op: `A^s` weights depend only on geometry
+///   (midpoint distance and heading), never on the highway class.
+///
+/// `crates/core/tests/spatial_join_equivalence.rs` and the pipeline sys
+/// suite enforce the equivalence against both join oracles.
+#[derive(Clone, Debug)]
+pub struct SpatialIndex {
+    cfg: SpatialSimilarityConfig,
+    grid: Grid,
+    /// Cell of each segment's midpoint (index = segment id).
+    cell_of: Vec<usize>,
+    /// Segment ids bucketed by cell, ascending within each bucket.
+    cell_members: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl SpatialIndex {
+    /// Builds the index for a network: the canonical edge list (via
+    /// [`SpatialSimilarity::build`], honoring `cfg.join`) plus the live
+    /// grid buckets subsequent edits are repaired against.
+    pub fn build(net: &RoadNetwork, cfg: &SpatialSimilarityConfig) -> Self {
+        let edges = SpatialSimilarity::build(net, cfg).edges().to_vec();
+        let mut index = Self {
+            cfg: *cfg,
+            grid: Grid::new(*net.bbox(), join_cell_side_m(net.bbox(), cfg.delta_ds_m)),
+            cell_of: Vec::new(),
+            cell_members: Vec::new(),
+            edges,
+        };
+        index.rebucket(net);
+        index
+    }
+
+    /// The maintained undirected spatial edges `(i, j, A^s_{i,j})`,
+    /// `i < j`, ascending — bitwise what a full rebuild would produce.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Number of segments currently indexed.
+    pub fn num_segments(&self) -> usize {
+        self.cell_of.len()
+    }
+
+    /// The thresholds and join strategy the index was built with.
+    pub fn config(&self) -> &SpatialSimilarityConfig {
+        &self.cfg
+    }
+
+    /// Repairs the index after `net` gained one appended segment (id
+    /// `net.num_segments() - 1`): buckets the new midpoint (re-gridding
+    /// over the grown box if it falls outside), scores only the radius-1
+    /// ring candidates, and splices the fresh edges in order. Returns the
+    /// number of spatial edges the new segment gained.
+    ///
+    /// # Panics
+    /// Panics unless `net` has exactly one more segment than the index.
+    pub fn insert(&mut self, net: &RoadNetwork) -> usize {
+        let n = net.num_segments();
+        assert_eq!(
+            n,
+            self.cell_of.len() + 1,
+            "insert repairs exactly one appended segment"
+        );
+        let new = n - 1;
+        let mp = net.segment(new).midpoint();
+        if self.grid.contains(&mp) {
+            let c = self.grid.cell_of(&mp);
+            self.cell_of.push(c);
+            // `new` is the maximum id, so pushing keeps the bucket ascending.
+            self.cell_members[c].push(new);
+        } else {
+            self.rebucket(net);
+        }
+        let mut cells = Vec::new();
+        self.grid
+            .neighborhood_into(self.cell_of[new], 1, &mut cells);
+        let mut candidates: Vec<usize> = cells
+            .iter()
+            .flat_map(|&c| self.cell_members[c].iter().copied())
+            .filter(|&j| j != new)
+            .collect();
+        candidates.sort_unstable();
+        // Same scoring call as the full build, ascending j — so the fresh
+        // `(j, new)` edges are exactly the full build's missing suffix of
+        // each `i == j` run.
+        let fresh: Vec<(usize, usize, f64)> = candidates
+            .iter()
+            .filter_map(|&j| pairwise_similarity(net, j, new, &self.cfg).map(|w| (j, new, w)))
+            .collect();
+        let gained = fresh.len();
+        let mut merged = Vec::with_capacity(self.edges.len() + fresh.len());
+        let mut fi = 0;
+        for &e in &self.edges {
+            // `(j, new)` precedes `(i, j2)` iff `j < i`: `new` is the
+            // maximum id, so at equal first components the old edge wins.
+            while fi < fresh.len() && fresh[fi].0 < e.0 {
+                merged.push(fresh[fi]);
+                fi += 1;
+            }
+            merged.push(e);
+        }
+        merged.extend_from_slice(&fresh[fi..]);
+        self.edges = merged;
+        gained
+    }
+
+    /// Repairs the index after segment `r` was removed from its network:
+    /// drops `r`'s edges and bucket entry and renumbers every surviving
+    /// id above `r` down by one — the same monotone renumbering
+    /// [`sarn_roadnet::RoadNetwork::remove_segment`] applies, which
+    /// preserves the ascending edge order. No re-scoring: the survivors'
+    /// geometry is unchanged.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn remove(&mut self, r: usize) {
+        assert!(r < self.cell_of.len(), "segment {r} out of range");
+        let cell = self.cell_of.remove(r);
+        self.cell_members[cell].retain(|&m| m != r);
+        for bucket in &mut self.cell_members {
+            for m in bucket.iter_mut() {
+                if *m > r {
+                    *m -= 1;
+                }
+            }
+        }
+        self.edges.retain(|&(i, j, _)| i != r && j != r);
+        for e in &mut self.edges {
+            if e.0 > r {
+                e.0 -= 1;
+            }
+            if e.1 > r {
+                e.1 -= 1;
+            }
+        }
+    }
+
+    /// Re-grids over the network's current bounding box and re-buckets
+    /// every midpoint. `O(n)` bookkeeping, **zero** similarity re-scoring
+    /// — the edge list is untouched.
+    fn rebucket(&mut self, net: &RoadNetwork) {
+        let bbox = *net.bbox();
+        self.grid = Grid::new(bbox, join_cell_side_m(&bbox, self.cfg.delta_ds_m));
+        let n = net.num_segments();
+        self.cell_of = (0..n)
+            .map(|i| self.grid.cell_of(&net.segment(i).midpoint()))
+            .collect();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.grid.num_cells()];
+        for (i, &c) in self.cell_of.iter().enumerate() {
+            members[c].push(i);
+        }
+        self.cell_members = members;
+    }
+}
+
 /// `A^s_{i,j}` for one pair, or `None` when either threshold is exceeded.
 pub fn pairwise_similarity(
     net: &RoadNetwork,
@@ -390,6 +566,138 @@ mod tests {
         };
         let polar_side = join_cell_side_m(&polar, 200.0);
         assert!(polar_side.is_finite() && polar_side >= 200.0);
+    }
+
+    /// Splitmix64 — enough randomness to scramble an edit schedule
+    /// deterministically without pulling the rand shim into core.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn assert_index_matches_rebuild(index: &SpatialIndex, net: &RoadNetwork) {
+        for join in [SpatialJoin::Reference, SpatialJoin::Grid] {
+            let oracle = SpatialSimilarity::build(
+                net,
+                &SpatialSimilarityConfig {
+                    join,
+                    ..*index.config()
+                },
+            );
+            assert_eq!(
+                index.edges(),
+                oracle.edges(),
+                "index diverged from {} rebuild at n={}",
+                join.label(),
+                net.num_segments()
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_index_tracks_random_edits_bitwise() {
+        let mut net = SynthConfig::city(City::Chengdu).scaled(0.25).generate();
+        let cfg = SpatialSimilarityConfig::default();
+        let mut index = SpatialIndex::build(&net, &cfg);
+        assert!(index.edges().len() > 10, "seed network too sparse to test");
+        assert_index_matches_rebuild(&index, &net);
+
+        let bbox = *net.bbox();
+        let mut rng = 0x5a17_u64;
+        let mut inserted = 0usize;
+        for step in 0..30 {
+            match splitmix(&mut rng) % 3 {
+                0 => {
+                    // Insert near a random existing midpoint so the new
+                    // segment actually gains spatial edges.
+                    let anchor = (splitmix(&mut rng) as usize) % net.num_segments();
+                    let mp = net.segment(anchor).midpoint();
+                    let jitter = |r: &mut u64| ((splitmix(r) % 2001) as f64 - 1000.0) * 1e-7;
+                    let start = Point::new(mp.lat + jitter(&mut rng), mp.lon + jitter(&mut rng));
+                    let end = Point::new(start.lat + 0.0007, start.lon + jitter(&mut rng));
+                    let new = RoadSegment::between(HighwayClass::Secondary, start, end);
+                    let a = (splitmix(&mut rng) as usize) % net.num_segments();
+                    net.add_segment(new, &[a], &[]);
+                    inserted += index.insert(&net);
+                }
+                1 => {
+                    let r = (splitmix(&mut rng) as usize) % net.num_segments();
+                    net.remove_segment(r);
+                    index.remove(r);
+                }
+                _ => {
+                    // Reclass never touches A^s — geometry-only weights.
+                    let r = (splitmix(&mut rng) as usize) % net.num_segments();
+                    net.reclass_segment(r, HighwayClass::Service);
+                }
+            }
+            assert_eq!(index.num_segments(), net.num_segments());
+            // Full-rebuild comparison is O(n^2); check a prefix of steps
+            // plus the final state rather than every iteration.
+            if step < 6 || step == 29 {
+                assert_index_matches_rebuild(&index, &net);
+            }
+        }
+        assert!(inserted > 0, "no insert ever gained a spatial edge");
+        assert_index_matches_rebuild(&index, &net);
+        // The grid never regrew: every jittered insert stayed in the box.
+        assert!(bbox.contains(&Point::new(bbox.min_lat, bbox.min_lon)));
+    }
+
+    #[test]
+    fn spatial_index_rebuckets_when_an_insert_outgrows_the_box() {
+        let mut net = tiny_net();
+        let cfg = SpatialSimilarityConfig::default();
+        let mut index = SpatialIndex::build(&net, &cfg);
+        assert_index_matches_rebuild(&index, &net);
+        // ~550 m north of the old box: outside the grid, inside δ_ds of
+        // nothing at first hop, then a second insert bridges back.
+        let far = seg((30.006, 104.0), (30.0068, 104.0));
+        net.add_segment(far, &[0], &[]);
+        assert_eq!(index.insert(&net), 0, "far segment gains no edges");
+        assert_index_matches_rebuild(&index, &net);
+        let bridge = seg((30.0055, 104.0), (30.0063, 104.0));
+        net.add_segment(bridge, &[0], &[]);
+        assert!(index.insert(&net) >= 1, "bridge should pair with far");
+        assert_index_matches_rebuild(&index, &net);
+    }
+
+    #[test]
+    fn spatial_index_remove_renumbers_without_rescoring() {
+        let net = SynthConfig::city(City::Chengdu).scaled(0.2).generate();
+        let cfg = SpatialSimilarityConfig::default();
+        let mut index = SpatialIndex::build(&net, &cfg);
+        let mut shadow = net.clone();
+        // Remove a middle segment; surviving weights must be the exact
+        // bits the original build produced for those pairs.
+        let r = shadow.num_segments() / 2;
+        let expected: Vec<(usize, usize, f64)> = index
+            .edges()
+            .iter()
+            .filter(|&&(i, j, _)| i != r && j != r)
+            .map(|&(i, j, w)| {
+                (
+                    if i > r { i - 1 } else { i },
+                    if j > r { j - 1 } else { j },
+                    w,
+                )
+            })
+            .collect();
+        shadow.remove_segment(r);
+        index.remove(r);
+        assert_eq!(index.edges(), &expected[..]);
+        assert_index_matches_rebuild(&index, &shadow);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one appended segment")]
+    fn spatial_index_insert_rejects_unsynced_network() {
+        let net = tiny_net();
+        let mut index = SpatialIndex::build(&net, &SpatialSimilarityConfig::default());
+        index.insert(&net); // no segment was appended
     }
 
     #[test]

@@ -144,6 +144,14 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
     let mut start_epoch = 0usize;
     let mut base_seconds = 0.0f64;
     let mut already_stopped = false;
+    if cfg.warm_start_from.is_some() && (cfg.resume_from.is_some() || cfg.resume_auto) {
+        return Err(CheckpointError::StateMismatch(
+            "warm_start_from is mutually exclusive with resume_from/resume_auto: \
+             a warm start begins a fresh run, a resume continues an old one"
+                .to_string(),
+        )
+        .into());
+    }
     let resume_path = match (&cfg.resume_from, cfg.resume_auto, &cfg.checkpoint_dir) {
         (Some(p), _, _) => Some(p.clone()),
         (None, true, Some(dir)) => checkpoint::latest_checkpoint(dir, Some(fingerprint)),
@@ -180,6 +188,32 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
         base_seconds = ckpt.meta.train_seconds;
     }
 
+    // Warm start: seed both parameter branches from a compatible
+    // checkpoint, then proceed as a fresh run (epoch 0, fresh optimizer,
+    // queues, and RNG) — the old weights initialize, nothing else carries
+    // over. The online pipeline retrains this way after a network edit.
+    if let Some(path) = &cfg.warm_start_from {
+        // Probe first: an incompatible candidate is rejected on its META
+        // section alone, before any tensor payload is read.
+        let meta = Checkpoint::probe_header(path)?;
+        if meta.fingerprint != fingerprint {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: meta.fingerprint,
+                found: fingerprint,
+            }
+            .into());
+        }
+        let ckpt = Checkpoint::load(path)?;
+        let applied = warm_start_apply(&ckpt.query, &mut model.store)?
+            + warm_start_apply(&ckpt.momentum, &mut model.store_momentum)?;
+        if sarn_obs::enabled() {
+            sarn_obs::counter("sarn_train_warm_starts_total").inc();
+            sarn_obs::Registry::global()
+                .gauge("sarn_train_warm_start_params_applied")
+                .set(applied as f64);
+        }
+    }
+
     // Watchdog state. The rollback anchor is a full in-memory checkpoint
     // (the same structure the crash-safe subsystem persists), refreshed at
     // every healthy epoch boundary — recovery therefore works even when
@@ -207,6 +241,20 @@ pub fn try_train(net: &RoadNetwork, cfg: &SarnConfig) -> Result<SarnTrained, Tra
     while epoch < cfg.max_epochs {
         if already_stopped {
             break;
+        }
+        // Deadline probe at the epoch boundary: a budgeted run that ran
+        // out of wall clock aborts with a typed error rather than handing
+        // back half-trained embeddings as if they were final.
+        if cfg.max_train_seconds > 0.0 {
+            let elapsed = base_seconds + start.elapsed().as_secs_f64();
+            if elapsed > cfg.max_train_seconds {
+                export_obs(&cfg.obs);
+                return Err(TrainError::DeadlineExceeded {
+                    elapsed_seconds: elapsed,
+                    budget_seconds: cfg.max_train_seconds,
+                    epochs_run: loss_history.len(),
+                });
+            }
         }
         let epoch_span = sarn_obs::span!("sarn_train_epoch_seconds");
         let epoch_lr = schedule.lr_at(epoch as u64) * lr_scale;
@@ -471,6 +519,50 @@ fn capture_state(
                 .collect(),
         }),
     }
+}
+
+/// Seeds a freshly built store from a warm-start snapshot. Same-name
+/// parameters with equal shapes are copied whole; the feature-embedding
+/// vocab tables — whose row count tracks the *network's* bin contents, not
+/// the hyper-parameters — copy the common row prefix when the embedding
+/// width matches (rows are keyed by bin id, so a shared prefix means the
+/// same bins). Parameters with no usable counterpart keep their fresh
+/// initialization. Returns how many parameters received values; zero means
+/// the checkpoint has nothing in common with this model and is an error.
+///
+/// Public because the online pipeline reuses it for its last-known-good
+/// fallback: re-seeding a fresh model on the *edited* network from the
+/// last healthy parameter snapshot, then embedding without training.
+pub fn warm_start_apply(
+    snap: &ParamStoreSnapshot,
+    store: &mut ParamStore,
+) -> Result<usize, CheckpointError> {
+    let by_name: std::collections::HashMap<&str, &Tensor> = snap
+        .params
+        .iter()
+        .map(|(name, t)| (name.as_str(), t))
+        .collect();
+    let mut applied = 0usize;
+    for id in store.ids().collect::<Vec<_>>() {
+        let Some(&src) = by_name.get(store.name(id)) else {
+            continue;
+        };
+        let dst = store.value_mut(id);
+        let (src_rows, src_cols) = src.shape();
+        let (dst_rows, dst_cols) = dst.shape();
+        if src_cols != dst_cols {
+            continue;
+        }
+        let rows = src_rows.min(dst_rows);
+        dst.data_mut()[..rows * dst_cols].copy_from_slice(&src.data()[..rows * src_cols]);
+        applied += 1;
+    }
+    if applied == 0 {
+        return Err(CheckpointError::StateMismatch(
+            "warm-start checkpoint shares no applicable parameters with the model".to_string(),
+        ));
+    }
+    Ok(applied)
 }
 
 /// Restores a loaded checkpoint into freshly built training state,
@@ -916,6 +1008,116 @@ mod tests {
         for ext in ["emb", "query", "momentum"] {
             std::fs::remove_file(stem.with_extension(ext)).ok();
         }
+    }
+
+    #[test]
+    fn warm_start_seeds_a_fresh_run_across_a_network_edit() {
+        let net = tiny_net();
+        let dir = std::env::temp_dir().join(format!(
+            "sarn_warm_{}_{:p}",
+            std::process::id(),
+            &net as *const _
+        ));
+        let mut cfg = SarnConfig::tiny().with_checkpointing(&dir, 1);
+        cfg.max_epochs = 2;
+        train(&net, &cfg);
+        let latest = checkpoint::latest_checkpoint(&dir, Some(cfg.fingerprint())).unwrap();
+
+        // Edit the network (append a segment), then warm-start on it: the
+        // vocab tables may have grown, so this exercises the prefix path.
+        let mut edited = net.clone();
+        let seg = {
+            let s = edited.segment(0).clone();
+            sarn_roadnet::RoadSegment::between(s.class, s.start, s.end)
+        };
+        edited.add_segment(seg, &[0], &[]);
+        let mut warm_cfg = cfg.clone().with_warm_start_from(&latest);
+        warm_cfg.checkpoint_every = 0;
+        warm_cfg.checkpoint_dir = None;
+        let warm = try_train(&edited, &warm_cfg).unwrap();
+        assert_eq!(warm.embeddings.rows(), edited.num_segments());
+        assert!(warm.embeddings.all_finite());
+        // A warm start is a fresh run: the history restarts at epoch 0.
+        assert_eq!(warm.epochs_run, warm_cfg.max_epochs);
+
+        // The seeded run differs from a cold run on the same network —
+        // proof the checkpoint's weights actually reached the model.
+        let cold = try_train(&edited, &{
+            let mut c = warm_cfg.clone();
+            c.warm_start_from = None;
+            c
+        })
+        .unwrap();
+        assert_ne!(warm.embeddings.data(), cold.embeddings.data());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn warm_start_rejects_incompatibility_with_typed_errors() {
+        let net = tiny_net();
+        let dir = std::env::temp_dir().join(format!(
+            "sarn_warmbad_{}_{:p}",
+            std::process::id(),
+            &net as *const _
+        ));
+        let mut cfg = SarnConfig::tiny().with_checkpointing(&dir, 1);
+        cfg.max_epochs = 1;
+        train(&net, &cfg);
+        let latest = checkpoint::latest_checkpoint(&dir, Some(cfg.fingerprint())).unwrap();
+
+        // A different seed is a different fingerprint: probe rejects it.
+        let other = cfg.clone().with_seed(99).with_warm_start_from(&latest);
+        assert!(matches!(
+            try_train(&net, &other),
+            Err(TrainError::Checkpoint(
+                CheckpointError::ConfigMismatch { .. }
+            ))
+        ));
+
+        // Warm start and resume are mutually exclusive.
+        let mut both = cfg.clone().with_warm_start_from(&latest);
+        both.resume_auto = true;
+        assert!(matches!(
+            try_train(&net, &both),
+            Err(TrainError::Checkpoint(CheckpointError::StateMismatch(_)))
+        ));
+
+        // Garbage file: the probe's typed error surfaces, not a mid-load
+        // failure.
+        let junk = dir.join("junk.sarnckpt");
+        std::fs::write(&junk, b"???").unwrap();
+        let mut junk_cfg = cfg.clone().with_warm_start_from(&junk);
+        junk_cfg.checkpoint_every = 0;
+        assert!(matches!(
+            try_train(&net, &junk_cfg),
+            Err(TrainError::Checkpoint(
+                CheckpointError::BadMagic | CheckpointError::Truncated { .. }
+            ))
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn deadline_aborts_with_a_typed_error_not_partial_output() {
+        let net = tiny_net();
+        let mut cfg = SarnConfig::tiny();
+        cfg.max_epochs = 3;
+        cfg.max_train_seconds = 1e-9; // already spent by the A^s build
+        match try_train(&net, &cfg) {
+            Err(TrainError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+                epochs_run,
+            }) => {
+                assert!(elapsed_seconds > budget_seconds);
+                assert_eq!(epochs_run, 0);
+            }
+            Err(e) => panic!("expected DeadlineExceeded, got {e}"),
+            Ok(_) => panic!("expected DeadlineExceeded, got a trained model"),
+        }
+        // Zero disables the deadline entirely.
+        cfg.max_train_seconds = 0.0;
+        assert!(try_train(&net, &cfg).is_ok());
     }
 
     #[test]

@@ -350,6 +350,17 @@ pub enum TrainError {
     /// The watchdog exhausted its retry budget; the report names the
     /// violation, epoch, and batch, plus every recovery attempted.
     Diverged(Box<DivergenceReport>),
+    /// [`crate::SarnConfig::max_train_seconds`] elapsed before the run
+    /// finished its epochs. Checked only at epoch boundaries, so the
+    /// overrun can exceed the deadline by up to one epoch.
+    DeadlineExceeded {
+        /// Wall-clock seconds the run had consumed at the check.
+        elapsed_seconds: f64,
+        /// The configured budget.
+        budget_seconds: f64,
+        /// Epochs fully completed before the run was cut short.
+        epochs_run: usize,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -357,6 +368,15 @@ impl fmt::Display for TrainError {
         match self {
             TrainError::Checkpoint(e) => write!(f, "{e}"),
             TrainError::Diverged(report) => write!(f, "{report}"),
+            TrainError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+                epochs_run,
+            } => write!(
+                f,
+                "training deadline exceeded: {elapsed_seconds:.2}s elapsed of a \
+                 {budget_seconds:.2}s budget after {epochs_run} epochs"
+            ),
         }
     }
 }

@@ -145,6 +145,17 @@ impl Grid {
         &self.bbox
     }
 
+    /// Whether a point lies inside the grid's bounding box — i.e. whether
+    /// [`Grid::cell_of`] maps it without clamping. Incremental consumers
+    /// (the `A^s` repair index, online bucket maintenance) use this to
+    /// decide between a bucket-local insert and a grid rebuild over the
+    /// grown box: a clamped out-of-box point would land in a boundary
+    /// cell whose Chebyshev-1 neighborhood no longer provably covers its
+    /// true `δ_ds` ring.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.bbox.contains(p)
+    }
+
     /// Cell containing a point. Finite points outside the box are clamped
     /// to the nearest boundary cell, so every finite point maps to a valid
     /// cell; a non-finite coordinate clamps to that axis's first cell
@@ -231,6 +242,18 @@ mod tests {
             max_lat: 30.68,
             max_lon: 104.088,
         }
+    }
+
+    #[test]
+    fn contains_tracks_the_bounding_box() {
+        let g = Grid::new(test_bbox(), 600.0);
+        assert!(g.contains(&Point::new(30.65, 104.05)));
+        assert!(!g.contains(&Point::new(30.7, 104.05)));
+        assert!(!g.contains(&Point::new(30.65, 104.1)));
+        // Out-of-box points still clamp to a valid cell (the documented
+        // fallback); `contains` is how callers tell the two regimes apart.
+        let c = g.cell_of(&Point::new(30.7, 104.1));
+        assert!(c < g.num_cells());
     }
 
     #[test]

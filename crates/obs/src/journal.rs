@@ -111,6 +111,30 @@ pub enum Event {
         /// `(column, value)` pairs, in column order.
         cells: Vec<(String, String)>,
     },
+    /// One pipeline stage attempt finished (success or typed failure).
+    PipelineStage {
+        /// Edit batch ordinal the pipeline was processing.
+        batch: u64,
+        /// Stage name (`applying` / `repairing` / `retraining` /
+        /// `exporting` / `reloading`).
+        stage: String,
+        /// Attempt ordinal within the stage (1 = first try).
+        attempt: usize,
+        /// Whether the attempt succeeded.
+        ok: bool,
+        /// Wall-clock seconds of the attempt.
+        seconds: f64,
+        /// The attempt's error, if it failed.
+        error: Option<String>,
+    },
+    /// The serving store crossed its staleness SLO: the live generation's
+    /// age exceeded the configured maximum.
+    ServeStale {
+        /// The stale generation's number.
+        generation: u64,
+        /// Its age in seconds when the breach was observed.
+        age_seconds: f64,
+    },
 }
 
 impl Event {
@@ -128,6 +152,8 @@ impl Event {
             Event::Shed { .. } => "shed",
             Event::Degrade { .. } => "degrade",
             Event::BenchRow { .. } => "bench_row",
+            Event::PipelineStage { .. } => "pipeline_stage",
+            Event::ServeStale { .. } => "serve_stale",
         }
     }
 }
@@ -234,6 +260,31 @@ impl TimedEvent {
                     cells_obj.field_str(k, v);
                 }
                 w.field_raw("cells", &cells_obj.finish());
+            }
+            Event::PipelineStage {
+                batch,
+                stage,
+                attempt,
+                ok,
+                seconds,
+                error,
+            } => {
+                w.field_u64("batch", *batch);
+                w.field_str("stage", stage);
+                w.field_u64("attempt", *attempt as u64);
+                w.field_raw("ok", if *ok { "true" } else { "false" });
+                w.field_f64("seconds", *seconds);
+                match error {
+                    Some(e) => w.field_str("error", e),
+                    None => w.field_null("error"),
+                }
+            }
+            Event::ServeStale {
+                generation,
+                age_seconds,
+            } => {
+                w.field_u64("generation", *generation);
+                w.field_f64("age_seconds", *age_seconds);
             }
         }
         w.finish()
@@ -498,6 +549,26 @@ mod tests {
                     ("Method".into(), "SARN".into()),
                     ("F1".into(), "98.7".into()),
                 ],
+            },
+            Event::PipelineStage {
+                batch: 3,
+                stage: "retraining".into(),
+                attempt: 2,
+                ok: false,
+                seconds: 0.4,
+                error: Some("injected divergence".into()),
+            },
+            Event::PipelineStage {
+                batch: 3,
+                stage: "reloading".into(),
+                attempt: 1,
+                ok: true,
+                seconds: 0.05,
+                error: None,
+            },
+            Event::ServeStale {
+                generation: 9,
+                age_seconds: 12.5,
             },
         ];
         for e in events.iter().cloned() {

@@ -1,0 +1,60 @@
+//! # sarn-pipeline
+//!
+//! Fault-tolerant **online** loop for SARN embeddings: the road network
+//! keeps changing underneath a serving system, and this crate turns a
+//! typed stream of network edits into fresh embeddings without ever
+//! letting a query observe a torn or silently stale generation.
+//!
+//! One batch flows through five supervised stages (DESIGN.md §14):
+//!
+//! ```text
+//!        +-> applying --> repairing --> retraining --> exporting --> reloading -+
+//! idle --+     |              |             |              |             |      +--> idle
+//!              v              v             v              v             v
+//!          typed EditError  crash-safe   diverged ->    torn write    transient I/O
+//!          (batch atomic:   (nothing     last-known-    caught by     outlasted by
+//!          retry re-reads   durable      good fallback  read-back     the store's
+//!          the log)         until done)  (no gradient   before the    bounded
+//!                                        steps)         rename       retries
+//! ```
+//!
+//! - **[`EditBatch`]** ([`edit`]): `SegmentAdd` / `SegmentRemove` /
+//!   `ReclassSegment` records addressing segments by stable `u64` keys,
+//!   in a CRC-framed wire format whose every failure mode is a typed
+//!   [`EditError`].
+//! - **[`LiveNetwork`]** ([`live`]): two-phase validate-then-apply keeps
+//!   batches atomic; `A^t` is repaired inside the `RoadNetwork` mutators
+//!   and `A^s` by [`sarn_core::SpatialIndex`]'s localized grid re-joins —
+//!   bitwise identical to a full rebuild, at a fraction of the cost.
+//! - **Retraining** warm-starts from the newest compatible checkpoint
+//!   (gated by the cheap [`sarn_core::Checkpoint::probe_header`]); a
+//!   diverging or deadline-blown retrain falls back to last-known-good
+//!   parameters applied to a fresh model — stale-but-sane embeddings
+//!   beat no embeddings.
+//! - **Export** writes `gen-<n>.emb` via tmp + read-back validation +
+//!   atomic rename; **reload** hot-swaps the [`ServeFront`]'s
+//!   [`sarn_serve::EmbeddingStore`] behind an `Arc` swap, with the
+//!   staleness SLO ([`sarn_serve::ServeConfig::max_staleness`]) watching
+//!   generation age.
+//! - **[`Cursor`]** ([`cursor`]): every stage transition is persisted
+//!   atomically, so a killed pipeline [`Pipeline::resume`]s without
+//!   re-applying edits or re-training batches whose artifacts already
+//!   made it to disk.
+//! - **[`PipelineFault`]** ([`error`]): deterministic per-stage sabotage
+//!   (corrupt record, mid-repair crash, diverging retrain, torn export,
+//!   reload I/O fault) in the training watchdog's `FaultSpec` mold, so
+//!   every recovery path has a test that actually exercises it.
+
+#![warn(missing_docs)]
+
+pub mod cursor;
+pub mod edit;
+pub mod error;
+pub mod live;
+mod pipeline;
+
+pub use cursor::{Cursor, CursorError, Stage};
+pub use edit::{EditBatch, EditError, NetworkEdit};
+pub use error::{PipelineError, PipelineFault, PipelineFaultKind};
+pub use live::{AppliedStats, LiveNetwork};
+pub use pipeline::{BatchReport, Pipeline, PipelineConfig, ServeFront};

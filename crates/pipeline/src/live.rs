@@ -1,0 +1,329 @@
+//! The live, editable network: `RoadNetwork` + incremental `A^s` index +
+//! stable-key addressing, mutated only through validated edit batches.
+
+use std::collections::HashMap;
+
+use sarn_core::{SpatialIndex, SpatialSimilarityConfig};
+use sarn_roadnet::{RoadNetwork, RoadSegment};
+
+use crate::edit::{EditBatch, EditError, NetworkEdit};
+
+/// What one applied batch did, for telemetry and bench tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppliedStats {
+    /// Segments appended.
+    pub added: usize,
+    /// Segments removed.
+    pub removed: usize,
+    /// Segments reclassified.
+    pub reclassed: usize,
+    /// `A^s` edges gained by the incremental re-joins (adds only; removals
+    /// drop edges without rescoring).
+    pub spatial_edges_gained: usize,
+}
+
+/// A road network plus the state the online pipeline must keep in sync
+/// with it:
+///
+/// - the incremental [`SpatialIndex`] whose edge list stays **bitwise
+///   identical** to a from-scratch [`sarn_core::SpatialSimilarity`] build
+///   after every edit (`A^t` is repaired inside the `RoadNetwork`
+///   mutators themselves);
+/// - a stable `u64` key per segment, because dense indices shift on every
+///   removal. Initial segments get keys `0..n`; adds carry caller-chosen
+///   fresh keys.
+///
+/// Batches go through **two-phase apply**: [`LiveNetwork::validate`]
+/// simulates the whole batch against the live key set without touching
+/// anything, then [`LiveNetwork::apply`] mutates. A batch that fails
+/// validation therefore leaves the network byte-for-byte untouched —
+/// the pipeline's "applying" stage is atomic per batch.
+#[derive(Clone, Debug)]
+pub struct LiveNetwork {
+    net: RoadNetwork,
+    index: SpatialIndex,
+    /// Dense index -> stable key.
+    key_of: Vec<u64>,
+    /// Stable key -> dense index.
+    index_of: HashMap<u64, usize>,
+}
+
+impl LiveNetwork {
+    /// Wraps a network, assigning keys `0..n` to its segments and building
+    /// the spatial index from scratch (the one full join the pipeline ever
+    /// pays; every edit after this is a localized repair).
+    pub fn new(net: RoadNetwork, sim: &SpatialSimilarityConfig) -> Self {
+        let index = SpatialIndex::build(&net, sim);
+        let n = net.num_segments();
+        let key_of: Vec<u64> = (0..n as u64).collect();
+        let index_of = key_of.iter().map(|&k| (k, k as usize)).collect();
+        Self {
+            net,
+            index,
+            key_of,
+            index_of,
+        }
+    }
+
+    /// The current network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The incrementally maintained `A^s` edge list (`(i, j, w)` with
+    /// `i < j`, ascending).
+    pub fn spatial_edges(&self) -> &[(usize, usize, f64)] {
+        self.index.edges()
+    }
+
+    /// Stable key of a dense segment index.
+    pub fn key_of(&self, index: usize) -> u64 {
+        self.key_of[index]
+    }
+
+    /// Dense index of a stable key, if live.
+    pub fn index_of(&self, key: u64) -> Option<usize> {
+        self.index_of.get(&key).copied()
+    }
+
+    /// Checks a batch against the live key set without mutating anything.
+    /// Simulates the batch in order, so a record may legally reference a
+    /// key added (or re-use one removed) earlier in the same batch.
+    pub fn validate(&self, batch: &EditBatch) -> Result<(), EditError> {
+        let mut live: std::collections::HashSet<u64> = self.key_of.iter().copied().collect();
+        let mut count = self.key_of.len();
+        for e in &batch.edits {
+            match e {
+                NetworkEdit::SegmentAdd {
+                    key,
+                    in_neighbors,
+                    out_neighbors,
+                    ..
+                } => {
+                    if live.contains(key) {
+                        return Err(EditError::DuplicateSegment { key: *key });
+                    }
+                    for nb in in_neighbors.iter().chain(out_neighbors) {
+                        if !live.contains(nb) {
+                            return Err(EditError::UnknownSegment { key: *nb });
+                        }
+                    }
+                    live.insert(*key);
+                    count += 1;
+                }
+                NetworkEdit::SegmentRemove { key } => {
+                    if !live.remove(key) {
+                        return Err(EditError::UnknownSegment { key: *key });
+                    }
+                    count -= 1;
+                    if count == 0 {
+                        return Err(EditError::EmptyNetwork);
+                    }
+                }
+                NetworkEdit::ReclassSegment { key, .. } => {
+                    if !live.contains(key) {
+                        return Err(EditError::UnknownSegment { key: *key });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates, then applies a batch: network mutation (which repairs
+    /// `A^t` in place) interleaved with the localized `A^s` repairs, and
+    /// the key maps kept in lockstep. Returns per-batch stats.
+    pub fn apply(&mut self, batch: &EditBatch) -> Result<AppliedStats, EditError> {
+        self.validate(batch)?;
+        let mut stats = AppliedStats::default();
+        for e in &batch.edits {
+            match e {
+                NetworkEdit::SegmentAdd {
+                    key,
+                    class,
+                    start,
+                    end,
+                    in_neighbors,
+                    out_neighbors,
+                } => {
+                    let to_idx = |keys: &[u64], map: &HashMap<u64, usize>| -> Vec<usize> {
+                        keys.iter().map(|k| map[k]).collect()
+                    };
+                    let ins = to_idx(in_neighbors, &self.index_of);
+                    let outs = to_idx(out_neighbors, &self.index_of);
+                    let seg = RoadSegment::between(*class, *start, *end);
+                    let new = self.net.add_segment(seg, &ins, &outs);
+                    stats.spatial_edges_gained += self.index.insert(&self.net);
+                    self.key_of.push(*key);
+                    self.index_of.insert(*key, new);
+                    stats.added += 1;
+                }
+                NetworkEdit::SegmentRemove { key } => {
+                    let r = self.index_of[key];
+                    self.net.remove_segment(r);
+                    self.index.remove(r);
+                    self.key_of.remove(r);
+                    self.index_of.remove(key);
+                    // Every segment past `r` slid down one slot.
+                    for (i, k) in self.key_of.iter().enumerate().skip(r) {
+                        self.index_of.insert(*k, i);
+                    }
+                    stats.removed += 1;
+                }
+                NetworkEdit::ReclassSegment { key, class } => {
+                    // A^t weights are repaired inside the mutator; A^s is
+                    // untouched because spatial similarity depends only on
+                    // geometry.
+                    self.net.reclass_segment(self.index_of[key], *class);
+                    stats.reclassed += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sarn_core::{SpatialJoin, SpatialSimilarity};
+    use sarn_geo::Point;
+    use sarn_roadnet::{City, HighwayClass, SynthConfig};
+
+    fn small_net() -> RoadNetwork {
+        SynthConfig::city(City::Chengdu).scaled(0.15).generate()
+    }
+
+    fn cfg() -> SpatialSimilarityConfig {
+        SpatialSimilarityConfig::default()
+    }
+
+    fn add_near(live: &LiveNetwork, key: u64, nb: usize) -> NetworkEdit {
+        let s = live.network().segment(nb);
+        let start = s.end;
+        let end = Point {
+            lat: start.lat + 4e-4,
+            lon: start.lon + 2e-4,
+        };
+        NetworkEdit::SegmentAdd {
+            key,
+            class: HighwayClass::Secondary,
+            start,
+            end,
+            in_neighbors: vec![live.key_of(nb)],
+            out_neighbors: vec![],
+        }
+    }
+
+    #[test]
+    fn applies_a_mixed_batch_and_stays_bitwise_consistent() {
+        let mut live = LiveNetwork::new(small_net(), &cfg());
+        let n0 = live.network().num_segments();
+        let batch = EditBatch::new(vec![
+            add_near(&live, 1_000, 3),
+            NetworkEdit::SegmentRemove {
+                key: live.key_of(7),
+            },
+            NetworkEdit::ReclassSegment {
+                key: live.key_of(5),
+                class: HighwayClass::Service,
+            },
+            add_near(&live, 1_001, 12),
+        ]);
+        let stats = live.apply(&batch).expect("apply");
+        assert_eq!(
+            stats,
+            AppliedStats {
+                added: 2,
+                removed: 1,
+                reclassed: 1,
+                spatial_edges_gained: stats.spatial_edges_gained,
+            }
+        );
+        assert_eq!(live.network().num_segments(), n0 + 1);
+        // Keys survive renumbering: key 1_000 still resolves to the
+        // segment added first, wherever it now sits.
+        let idx = live.index_of(1_000).expect("key 1000 live");
+        assert_eq!(live.key_of(idx), 1_000);
+        assert!(live.index_of(7).is_none(), "removed key still resolves");
+        // The incremental index matches a from-scratch grid join bitwise.
+        let grid_cfg = SpatialSimilarityConfig {
+            join: SpatialJoin::Grid,
+            ..cfg()
+        };
+        let rebuilt = SpatialSimilarity::build(live.network(), &grid_cfg);
+        assert_eq!(live.spatial_edges(), rebuilt.edges());
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_network_untouched() {
+        let mut live = LiveNetwork::new(small_net(), &cfg());
+        let before_edges = live.spatial_edges().to_vec();
+        let before_n = live.network().num_segments();
+        // A batch whose LAST record is bad: the earlier good records must
+        // not partially apply.
+        let batch = EditBatch::new(vec![
+            add_near(&live, 2_000, 4),
+            NetworkEdit::SegmentRemove { key: 999_999 },
+        ]);
+        assert_eq!(
+            live.apply(&batch),
+            Err(EditError::UnknownSegment { key: 999_999 })
+        );
+        assert_eq!(live.network().num_segments(), before_n);
+        assert_eq!(live.spatial_edges(), &before_edges[..]);
+        assert!(live.index_of(2_000).is_none());
+
+        // Duplicate key within one batch.
+        let dup = EditBatch::new(vec![add_near(&live, 5, 0)]);
+        assert_eq!(
+            live.apply(&dup),
+            Err(EditError::DuplicateSegment { key: 5 })
+        );
+
+        // Draining the network below one segment.
+        let drain = EditBatch::new(
+            (0..before_n)
+                .map(|i| NetworkEdit::SegmentRemove {
+                    key: live.key_of(i),
+                })
+                .collect(),
+        );
+        assert_eq!(live.apply(&drain), Err(EditError::EmptyNetwork));
+        assert_eq!(live.network().num_segments(), before_n);
+    }
+
+    #[test]
+    fn batch_records_may_reference_earlier_records_in_the_same_batch() {
+        let mut live = LiveNetwork::new(small_net(), &cfg());
+        // Add a segment, then immediately reclass it and hang another off
+        // it — both references resolve because validation simulates in
+        // order.
+        let first = add_near(&live, 3_000, 2);
+        let batch = EditBatch::new(vec![
+            first,
+            NetworkEdit::ReclassSegment {
+                key: 3_000,
+                class: HighwayClass::Motorway,
+            },
+            NetworkEdit::SegmentAdd {
+                key: 3_001,
+                class: HighwayClass::Residential,
+                start: Point {
+                    lat: 30.66,
+                    lon: 104.07,
+                },
+                end: Point {
+                    lat: 30.6605,
+                    lon: 104.0705,
+                },
+                in_neighbors: vec![3_000],
+                out_neighbors: vec![],
+            },
+        ]);
+        live.apply(&batch).expect("intra-batch references apply");
+        let i = live.index_of(3_000).expect("live");
+        assert_eq!(live.network().segment(i).class, HighwayClass::Motorway);
+        assert!(live.index_of(3_001).is_some());
+    }
+}

@@ -132,6 +132,83 @@ impl RoadNetwork {
             .filter(|&i| self.segments[i].speed_limit_kmh.is_some())
             .collect()
     }
+
+    // ---- online mutation (the incremental-update pipeline's write path) --
+
+    /// Appends a segment, wiring it into `A^t`: a directed edge arrives
+    /// from every listed in-neighbor and departs to every listed
+    /// out-neighbor, each weighted per Eq. 1. Returns the new segment's
+    /// index (always `num_segments() - 1`, so existing indices are stable).
+    ///
+    /// # Panics
+    /// Panics if a neighbor index is out of range.
+    pub fn add_segment(
+        &mut self,
+        segment: RoadSegment,
+        in_neighbors: &[usize],
+        out_neighbors: &[usize],
+    ) -> usize {
+        let new = self.segments.len();
+        for &nb in in_neighbors.iter().chain(out_neighbors) {
+            assert!(nb < new, "neighbor {nb} out of range for {new} segments");
+        }
+        let w_new = segment.class.weight();
+        for &i in in_neighbors {
+            let w = (self.segments[i].class.weight() + w_new) / 2.0;
+            self.topo_edges.push((i, new, w));
+        }
+        for &j in out_neighbors {
+            let w = (w_new + self.segments[j].class.weight()) / 2.0;
+            self.topo_edges.push((new, j, w));
+        }
+        self.segments.push(segment);
+        self.bbox = BoundingBox::of(self.segments.iter().flat_map(|s| [s.start, s.end]));
+        new
+    }
+
+    /// Removes segment `r`: its topological edges are dropped and every
+    /// surviving index above `r` shifts down by one (a monotone renumber,
+    /// so relative segment order — and hence any index-sorted edge list —
+    /// is preserved). Returns the removed segment.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range or if it would empty the network (an
+    /// empty network has no bounding box).
+    pub fn remove_segment(&mut self, r: usize) -> RoadSegment {
+        assert!(r < self.segments.len(), "segment {r} out of range");
+        assert!(
+            self.segments.len() > 1,
+            "removing the last segment would empty the network"
+        );
+        let seg = self.segments.remove(r);
+        self.topo_edges.retain(|&(i, j, _)| i != r && j != r);
+        for (i, j, _) in &mut self.topo_edges {
+            if *i > r {
+                *i -= 1;
+            }
+            if *j > r {
+                *j -= 1;
+            }
+        }
+        self.bbox = BoundingBox::of(self.segments.iter().flat_map(|s| [s.start, s.end]));
+        seg
+    }
+
+    /// Changes segment `i`'s highway class, recomputing the Eq. 1 weight
+    /// of every topological edge incident to it (geometry is untouched, so
+    /// `A^s` — whose weights depend only on geometry — is unaffected).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn reclass_segment(&mut self, i: usize, class: crate::types::HighwayClass) {
+        assert!(i < self.segments.len(), "segment {i} out of range");
+        self.segments[i].class = class;
+        for &mut (a, b, ref mut w) in &mut self.topo_edges {
+            if a == i || b == i {
+                *w = (self.segments[a].class.weight() + self.segments[b].class.weight()) / 2.0;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +264,81 @@ mod tests {
         assert!(net.labeled_segments().is_empty());
         net.segments_mut()[1].speed_limit_kmh = Some(30);
         assert_eq!(net.labeled_segments(), vec![1]);
+    }
+
+    #[test]
+    fn add_segment_wires_eq1_edges_and_grows_bbox() {
+        let mut net = two_segment_net();
+        let c = RoadSegment::between(
+            HighwayClass::Primary,
+            Point::new(30.002, 104.0),
+            Point::new(30.003, 104.001),
+        );
+        let id = net.add_segment(c.clone(), &[1], &[0]);
+        assert_eq!(id, 2);
+        assert_eq!(net.num_segments(), 3);
+        // New edges: 1 -> 2 (Residential+Primary)/2 and 2 -> 0 (Primary+Motorway)/2.
+        assert!(net.topo_edges().contains(&(1, 2, (2.0 + 4.5) / 2.0)));
+        assert!(net.topo_edges().contains(&(2, 0, (4.5 + 6.0) / 2.0)));
+        assert!(net.bbox().contains(&Point::new(30.003, 104.001)));
+    }
+
+    #[test]
+    fn remove_segment_renumbers_monotonically() {
+        let mut net = two_segment_net();
+        let c = RoadSegment::between(
+            HighwayClass::Primary,
+            Point::new(30.002, 104.0),
+            Point::new(30.003, 104.0),
+        );
+        net.add_segment(c, &[1], &[]);
+        let removed = net.remove_segment(0);
+        assert_eq!(removed.class, HighwayClass::Motorway);
+        assert_eq!(net.num_segments(), 2);
+        // Old edge (0,1) died with segment 0; old (1,2) renumbered to (0,1).
+        assert_eq!(net.topo_edges(), &[(0, 1, (2.0 + 4.5) / 2.0)]);
+        // The bbox shrank back to the remaining extent.
+        assert!((net.bbox().min_lat - 30.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reclass_recomputes_incident_weights_only() {
+        let mut net = two_segment_net();
+        net.reclass_segment(1, HighwayClass::Motorway);
+        assert_eq!(net.segment(1).class, HighwayClass::Motorway);
+        assert_eq!(net.topo_edges()[0], (0, 1, 6.0));
+    }
+
+    #[test]
+    fn mutations_match_a_from_scratch_build() {
+        // Applying the same final state through `new` must agree on
+        // weights and bbox with the mutation path.
+        let mut net = two_segment_net();
+        let c = RoadSegment::between(
+            HighwayClass::Primary,
+            Point::new(30.002, 104.0),
+            Point::new(30.003, 104.0),
+        );
+        net.add_segment(c.clone(), &[1], &[]);
+        net.reclass_segment(0, HighwayClass::Trunk);
+        let rebuilt = RoadNetwork::new(
+            vec![net.segment(0).clone(), net.segment(1).clone(), c],
+            &[(0, 1), (1, 2)],
+        );
+        assert_eq!(net.topo_edges(), rebuilt.topo_edges());
+        assert_eq!(net.bbox(), rebuilt.bbox());
+    }
+
+    #[test]
+    #[should_panic(expected = "last segment")]
+    fn remove_refuses_to_empty_the_network() {
+        let a = RoadSegment::between(
+            HighwayClass::Primary,
+            Point::new(30.0, 104.0),
+            Point::new(30.001, 104.0),
+        );
+        let mut net = RoadNetwork::new(vec![a], &[]);
+        net.remove_segment(0);
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct ServeConfig {
     /// Starting Chebyshev cell radius of the approximate candidate search
     /// (grows until enough candidates are found).
     pub approx_radius: usize,
+    /// Staleness SLO: when the live generation's age exceeds this, the
+    /// store's health degrades to [`crate::ServeState::Stale`] (queries
+    /// keep being served — stale answers beat no answers — but the breach
+    /// is journaled and counted so an operator, or the online pipeline,
+    /// reacts). `None` disables the check.
+    pub max_staleness: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +50,7 @@ impl Default for ServeConfig {
             deadline_check_every: 256,
             grid_clen_m: 500.0,
             approx_radius: 1,
+            max_staleness: None,
         }
     }
 }
@@ -60,10 +67,13 @@ impl ServeConfig {
     /// defaults: `SARN_SERVE_MAX_INFLIGHT`, `SARN_SERVE_DEGRADE_INFLIGHT`,
     /// `SARN_SERVE_DEADLINE_MS` (`0` = unbounded),
     /// `SARN_SERVE_RELOAD_RETRIES`, `SARN_SERVE_RELOAD_BACKOFF_MS`,
-    /// `SARN_SERVE_CLEN_M`, and `SARN_SERVE_APPROX_RADIUS`.
+    /// `SARN_SERVE_CLEN_M`, `SARN_SERVE_APPROX_RADIUS`, and
+    /// `SARN_SERVE_MAX_STALENESS_S` (`0` = no staleness SLO; fractional
+    /// seconds accepted).
     pub fn from_env() -> Self {
         let d = ServeConfig::default();
         let deadline_ms: u64 = env_parse("SARN_SERVE_DEADLINE_MS", 0);
+        let max_staleness_s: f64 = env_parse("SARN_SERVE_MAX_STALENESS_S", 0.0);
         Self {
             max_inflight: env_parse("SARN_SERVE_MAX_INFLIGHT", d.max_inflight),
             degrade_inflight: env_parse("SARN_SERVE_DEGRADE_INFLIGHT", d.degrade_inflight),
@@ -76,6 +86,8 @@ impl ServeConfig {
             deadline_check_every: d.deadline_check_every,
             grid_clen_m: env_parse("SARN_SERVE_CLEN_M", d.grid_clen_m),
             approx_radius: env_parse("SARN_SERVE_APPROX_RADIUS", d.approx_radius),
+            max_staleness: (max_staleness_s > 0.0 && max_staleness_s.is_finite())
+                .then(|| Duration::from_secs_f64(max_staleness_s)),
         }
     }
 }

@@ -28,12 +28,20 @@
 //!   sheds excess requests with [`ServeError::Overloaded`]; between the
 //!   degrade threshold and the shed ceiling, exact k-NN transparently
 //!   downgrades to the grid-approximate path and says so in the response.
+//! - **Staleness SLO.** With [`ServeConfig::max_staleness`] set (env:
+//!   `SARN_SERVE_MAX_STALENESS_S`), a generation that outlives its budget
+//!   turns the health report [`ServeState::Stale`] — queries keep being
+//!   served, but the breach is journaled and counted
+//!   (`sarn_serve_stale_total`) once per generation so the online pipeline
+//!   (or an operator) reacts. A fresh admission clears the state.
 //!
 //! The serving state machine (DESIGN.md §10):
 //!
 //! ```text
 //! loading --first good admit--> serving(gen N)
 //! serving --reload failure----> degraded(gen N)   [stale answers continue]
+//! serving --age > staleness---> stale(gen N)      [stale answers continue]
+//! stale   --good admit--------> serving(gen N+1)  [atomic flip]
 //! degraded --good reload------> serving(gen N+1)  [atomic flip]
 //! any state --inflight >= max-> shedding          [typed Overloaded]
 //! ```

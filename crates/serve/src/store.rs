@@ -96,6 +96,16 @@ pub enum ServeState {
         /// Generation currently answering the admitted requests.
         generation: u64,
     },
+    /// Still serving, but the live generation's age has crossed the
+    /// staleness SLO ([`ServeConfig::max_staleness`]). Queries keep
+    /// succeeding — stale answers beat no answers — and a fresh admission
+    /// clears the state.
+    Stale {
+        /// Over-age generation still answering queries.
+        generation: u64,
+        /// Its age when the report was taken.
+        age: Duration,
+    },
 }
 
 /// Point-in-time health of an [`EmbeddingStore`] — the serving analogue
@@ -211,6 +221,11 @@ pub struct EmbeddingStore {
     current: RwLock<Option<Arc<Generation>>>,
     reload_log: Mutex<ReloadLog>,
     fault: Mutex<Option<LoadFault>>,
+    /// Latched on the first health check that observes an SLO breach for
+    /// the current generation, so the breach is journaled and counted
+    /// once per generation rather than once per probe; a fresh admission
+    /// re-arms it.
+    stale_flagged: std::sync::atomic::AtomicBool,
     inflight: AtomicUsize,
     served: AtomicU64,
     shed: AtomicU64,
@@ -248,6 +263,7 @@ impl EmbeddingStore {
             current: RwLock::new(None),
             reload_log: Mutex::new(ReloadLog::default()),
             fault: Mutex::new(None),
+            stale_flagged: std::sync::atomic::AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -332,6 +348,9 @@ impl EmbeddingStore {
         drop(current);
         let mut log = lock_recovering(&self.reload_log);
         log.consecutive_failures = 0;
+        drop(log);
+        // A fresh generation re-arms the one-shot staleness latch.
+        self.stale_flagged.store(false, AtomicOrdering::Release);
         sarn_obs::gauge("sarn_serve_generation").set(number as f64);
         Ok(number)
     }
@@ -617,6 +636,13 @@ impl EmbeddingStore {
         let generation_age = snapshot.as_ref().map(|g| g.age());
         let inflight = self.inflight.load(AtomicOrdering::Acquire);
         let log = lock_recovering(&self.reload_log);
+        // Staleness: age of the live generation against the SLO. Checked
+        // after overload and reload failures in the precedence below —
+        // those states describe *why* the store may be growing stale.
+        let over_age = match (self.cfg.max_staleness, generation_age) {
+            (Some(slo), Some(age)) if age > slo => Some(age),
+            _ => None,
+        };
         let state = match generation {
             None => ServeState::Loading,
             Some(g) if inflight >= self.cfg.max_inflight => ServeState::Shedding { generation: g },
@@ -624,8 +650,21 @@ impl EmbeddingStore {
                 generation: g,
                 consecutive_failures: log.consecutive_failures,
             },
-            Some(g) => ServeState::Serving { generation: g },
+            Some(g) => match over_age {
+                Some(age) => ServeState::Stale { generation: g, age },
+                None => ServeState::Serving { generation: g },
+            },
         };
+        if let (Some(age), Some(g)) = (over_age, generation) {
+            // Journal and count the breach once per generation.
+            if !self.stale_flagged.swap(true, AtomicOrdering::AcqRel) {
+                sarn_obs::counter("sarn_serve_stale_total").inc();
+                sarn_obs::record(sarn_obs::Event::ServeStale {
+                    generation: g,
+                    age_seconds: age.as_secs_f64(),
+                });
+            }
+        }
         HealthReport {
             state,
             generation,

@@ -368,3 +368,59 @@ fn health_reports_uptime_generation_age_and_optional_metrics() {
         assert!(h.metrics.is_none());
     }
 }
+
+#[test]
+fn staleness_slo_turns_health_stale_and_a_fresh_admit_clears_it() {
+    let cfg = ServeConfig {
+        max_staleness: Some(Duration::from_millis(5)),
+        ..fast_cfg()
+    };
+    let s = store(cfg);
+    // No SLO breach while loading: there is no generation to be stale.
+    assert_eq!(s.health().state, ServeState::Loading);
+
+    s.admit(embeddings(1.0)).expect("gen 1");
+    assert_eq!(s.health().state, ServeState::Serving { generation: 1 });
+    std::thread::sleep(Duration::from_millis(8));
+    match s.health().state {
+        ServeState::Stale { generation, age } => {
+            assert_eq!(generation, 1);
+            assert!(age >= Duration::from_millis(5));
+        }
+        other => panic!("expected Stale, got {other:?}"),
+    }
+    // Queries still succeed while stale — stale beats unavailable.
+    assert!(s.embedding(0, Deadline::unbounded()).is_ok());
+
+    // A fresh admission clears the state (and re-arms the latch).
+    s.admit(embeddings(2.0)).expect("gen 2");
+    assert_eq!(s.health().state, ServeState::Serving { generation: 2 });
+
+    // Degraded takes precedence over Stale: the failure explains the age.
+    s.inject_fault(Some(LoadFault {
+        fail_loads: u32::MAX,
+        delay_ms: 0,
+    }));
+    let missing = tmp("stale_missing.emb");
+    let _ = s.reload(&missing);
+    std::thread::sleep(Duration::from_millis(8));
+    match s.health().state {
+        ServeState::Degraded { generation, .. } => assert_eq!(generation, 2),
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+}
+
+#[test]
+fn staleness_env_knob_parses_and_zero_disables() {
+    // Not set (or zero): no SLO.
+    std::env::remove_var("SARN_SERVE_MAX_STALENESS_S");
+    assert!(ServeConfig::from_env().max_staleness.is_none());
+    std::env::set_var("SARN_SERVE_MAX_STALENESS_S", "0");
+    assert!(ServeConfig::from_env().max_staleness.is_none());
+    std::env::set_var("SARN_SERVE_MAX_STALENESS_S", "2.5");
+    assert_eq!(
+        ServeConfig::from_env().max_staleness,
+        Some(Duration::from_secs_f64(2.5))
+    );
+    std::env::remove_var("SARN_SERVE_MAX_STALENESS_S");
+}

@@ -33,8 +33,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # typed TrainError / IoError / GridError / ServeError values (telemetry
 # additionally swallows export errors entirely — a metrics failure must
 # never kill a training run).
-step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-par, sarn-geo, sarn-roadnet, sarn-serve, sarn-obs lib code)"
-cargo clippy -p sarn-core -p sarn-tensor -p sarn-par -p sarn-geo -p sarn-roadnet -p sarn-serve -p sarn-obs --lib -- -D warnings -D clippy::unwrap_used
+step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-par, sarn-geo, sarn-roadnet, sarn-serve, sarn-obs, sarn-pipeline lib code)"
+cargo clippy -p sarn-core -p sarn-tensor -p sarn-par -p sarn-geo -p sarn-roadnet -p sarn-serve -p sarn-obs -p sarn-pipeline --lib -- -D warnings -D clippy::unwrap_used
 
 step "cargo test"
 cargo test -q --workspace
@@ -110,6 +110,28 @@ SARN_NET_SCALE=0.22 SARN_EPOCHS=4 SARN_TRAJ_COUNT=30 \
 step "serve fault-injection smoke"
 SARN_NET_SCALE=0.22 SARN_EPOCHS=2 \
   cargo run -q --release -p sarn-bench --bin serve_smoke
+
+# Online-pipeline smoke: four edit batches with an injected fault in
+# every stage (corrupt record, torn export, reload I/O, diverging
+# retrain, mid-repair crash) must all land — generation monotone, serve
+# front never torn or stale, incremental A^s bitwise equal to a full
+# rebuild; exits non-zero on any breach. The same binary times the
+# localized A^s repair against a from-scratch grid join into the
+# committed BENCH_8.json (a second repair-only invocation at scale 2.0
+# records the row where the two strategies actually separate).
+step "online pipeline smoke (BENCH_8.json)"
+rm -f BENCH_8.json
+SARN_NET_SCALE=0.22 SARN_EPOCHS=2 SARN_REPORT_JSONL=BENCH_8.json \
+  cargo run -q --release -p sarn-bench --bin pipeline_smoke
+SARN_NET_SCALE=2.0 SARN_PIPELINE_SMOKE_LEGS=repair SARN_REPORT_JSONL=BENCH_8.json \
+  cargo run -q --release -p sarn-bench --bin pipeline_smoke
+test -s BENCH_8.json
+
+# Online-pipeline system suite in release: the faulted concurrent-reader
+# run, the kill/resume bitwise-convergence run, and the staleness-SLO
+# probe are minutes in debug mode at their retrain counts.
+step "online pipeline system tests (release)"
+cargo test -q --release -p sarn-sys-tests --test pipeline_online
 
 # Telemetry smoke: train twice (telemetry off/on — must be bitwise
 # identical), serve 100 queries per path, then require the exported
