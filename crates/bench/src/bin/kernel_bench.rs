@@ -150,7 +150,8 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("creating the artifact directory");
     let path = dir.join("embeddings.emb");
     embeddings.save(&path).expect("saving the artifact");
-    let store = EmbeddingStore::for_network(&net, embeddings.cols(), ServeConfig::from_env())
+    let serve_cfg = ServeConfig::from_env().expect("SARN_SERVE_* knobs");
+    let store = EmbeddingStore::for_network(&net, embeddings.cols(), serve_cfg)
         .expect("building the store");
     store.reload(&path).expect("publishing the artifact");
     let n = net.num_segments();

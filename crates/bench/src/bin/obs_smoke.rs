@@ -78,8 +78,8 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("creating the export directory");
     let artifact = dir.join("embeddings.emb");
     on.embeddings.save(&artifact).expect("saving the artifact");
-    let store =
-        EmbeddingStore::for_network(&net, cfg.d, ServeConfig::from_env()).expect("building store");
+    let serve_cfg = ServeConfig::from_env().expect("SARN_SERVE_* knobs");
+    let store = EmbeddingStore::for_network(&net, cfg.d, serve_cfg).expect("building store");
     store.reload(&artifact).expect("initial reload");
     let n = net.num_segments();
     const QUERIES: usize = 100;

@@ -115,7 +115,7 @@ fn fault_smoke(scale: &ExperimentScale) {
     let serve = ServeConfig {
         max_staleness: Some(Duration::from_secs(600)),
         reload_backoff: Duration::from_millis(1),
-        ..ServeConfig::from_env()
+        ..ServeConfig::from_env().expect("SARN_SERVE_* knobs")
     };
     let mut cfg = PipelineConfig::new(train, serve, &state_dir);
     cfg.stage_backoff = Duration::from_millis(1);

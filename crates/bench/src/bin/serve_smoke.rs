@@ -69,7 +69,7 @@ fn main() {
     let path = dir.join("embeddings.emb");
     trained.embeddings.save(&path).expect("saving the artifact");
 
-    let serve_cfg = ServeConfig::from_env();
+    let serve_cfg = ServeConfig::from_env().expect("SARN_SERVE_* knobs");
     let store = EmbeddingStore::for_network(&net, cfg.d, serve_cfg).expect("building the store");
     assert_eq!(store.health().state, ServeState::Loading);
 

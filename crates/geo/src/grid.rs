@@ -210,6 +210,26 @@ impl Grid {
         out
     }
 
+    /// Maps a cell to one of `num_shards` geographic partitions: the
+    /// row-major cell range is cut into `num_shards` contiguous bands of
+    /// near-equal cell count, so each shard is a horizontal slab of the
+    /// bounding box (plus at most one partial row at each end) — the
+    /// spatial-locality prior that makes a shard a useful failure domain:
+    /// losing one shard degrades coverage in one region, not everywhere.
+    ///
+    /// The mapping is monotone in `id` (band boundaries never interleave)
+    /// and every shard index below `min(num_shards, num_cells)` is hit by
+    /// at least one cell. `num_shards == 0` is treated as 1.
+    pub fn shard_of(&self, id: CellId, num_shards: usize) -> usize {
+        let shards = num_shards.max(1);
+        let cells = self.num_cells();
+        // `id * shards / cells` in u128: MAX_CELLS * usize-sized shard
+        // counts cannot overflow there, and the result is < shards for
+        // every id < cells (integer floor of a value < shards).
+        let id = id.min(cells - 1);
+        ((id as u128 * shards as u128) / cells as u128) as usize
+    }
+
     /// [`Grid::neighborhood`] writing into a caller-provided buffer: `out`
     /// is cleared and then filled with the ring's cell ids in the same
     /// row-major order. Lets per-query loops (the `A^s` grid join, serve's
@@ -364,6 +384,51 @@ mod tests {
         for id in 0..g.num_cells() {
             assert_eq!(g.cell_of(&g.cell_center(id)), id, "cell {id}");
         }
+    }
+
+    #[test]
+    fn shard_of_is_monotone_contiguous_and_covers_every_shard() {
+        let g = Grid::new(test_bbox(), 600.0);
+        for shards in [1usize, 2, 3, 4, 7, g.num_cells()] {
+            let mut seen = vec![false; shards];
+            let mut prev = 0usize;
+            for cell in 0..g.num_cells() {
+                let s = g.shard_of(cell, shards);
+                assert!(s < shards, "cell {cell}: shard {s} out of range");
+                assert!(s >= prev, "shard mapping not monotone at cell {cell}");
+                prev = s;
+                seen[s] = true;
+            }
+            let expected_hit = shards.min(g.num_cells());
+            assert_eq!(
+                seen.iter().filter(|&&h| h).count(),
+                expected_hit,
+                "{shards} shards: every shard below min(shards, cells) is non-empty"
+            );
+        }
+        // Degenerate shard counts collapse to a single shard.
+        assert_eq!(g.shard_of(0, 0), 0);
+        assert_eq!(g.shard_of(g.num_cells() - 1, 0), 0);
+        // Out-of-range cells clamp instead of indexing past the grid.
+        assert_eq!(g.shard_of(g.num_cells() + 100, 4), 3);
+    }
+
+    #[test]
+    fn shard_bands_are_balanced_within_one_cell_row() {
+        let g = Grid::new(test_bbox(), 600.0);
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for cell in 0..g.num_cells() {
+            counts[g.shard_of(cell, shards)] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().expect("non-empty"),
+            *counts.iter().max().expect("non-empty"),
+        );
+        assert!(
+            max - min <= 1,
+            "contiguous split must balance cell counts to within 1: {counts:?}"
+        );
     }
 
     #[test]

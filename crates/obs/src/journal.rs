@@ -135,6 +135,48 @@ pub enum Event {
         /// Its age in seconds when the breach was observed.
         age_seconds: f64,
     },
+    /// A shard's circuit breaker changed state
+    /// (`closed`/`open`/`half-open`).
+    BreakerTransition {
+        /// Shard the breaker guards.
+        shard: usize,
+        /// State before the transition.
+        from: String,
+        /// State after the transition.
+        to: String,
+        /// Consecutive typed failures observed at the transition.
+        consecutive_failures: u32,
+    },
+    /// The router fired a hedged duplicate request against a shard whose
+    /// primary attempt outlived its latency estimate.
+    HedgeFired {
+        /// The slow shard.
+        shard: usize,
+        /// The latency estimate (milliseconds) the primary exceeded.
+        after_ms: f64,
+    },
+    /// A shard entered quarantine: its breaker opened and the router now
+    /// routes around it.
+    QuarantineEnter {
+        /// The quarantined shard.
+        shard: usize,
+        /// Consecutive typed failures that exhausted the threshold.
+        consecutive_failures: u32,
+    },
+    /// A shard left quarantine: a half-open probe succeeded and the
+    /// breaker re-closed.
+    QuarantineExit {
+        /// The recovered shard.
+        shard: usize,
+    },
+    /// The router answered with partial coverage: some shards were
+    /// skipped or failed and the response says so instead of erroring.
+    PartialCoverage {
+        /// Shards that contributed results.
+        answered: usize,
+        /// Shards the query consulted.
+        total: usize,
+    },
 }
 
 impl Event {
@@ -154,6 +196,11 @@ impl Event {
             Event::BenchRow { .. } => "bench_row",
             Event::PipelineStage { .. } => "pipeline_stage",
             Event::ServeStale { .. } => "serve_stale",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::HedgeFired { .. } => "hedge_fired",
+            Event::QuarantineEnter { .. } => "quarantine_enter",
+            Event::QuarantineExit { .. } => "quarantine_exit",
+            Event::PartialCoverage { .. } => "partial_coverage",
         }
     }
 }
@@ -285,6 +332,35 @@ impl TimedEvent {
             } => {
                 w.field_u64("generation", *generation);
                 w.field_f64("age_seconds", *age_seconds);
+            }
+            Event::BreakerTransition {
+                shard,
+                from,
+                to,
+                consecutive_failures,
+            } => {
+                w.field_u64("shard", *shard as u64);
+                w.field_str("from", from);
+                w.field_str("to", to);
+                w.field_u64("consecutive_failures", *consecutive_failures as u64);
+            }
+            Event::HedgeFired { shard, after_ms } => {
+                w.field_u64("shard", *shard as u64);
+                w.field_f64("after_ms", *after_ms);
+            }
+            Event::QuarantineEnter {
+                shard,
+                consecutive_failures,
+            } => {
+                w.field_u64("shard", *shard as u64);
+                w.field_u64("consecutive_failures", *consecutive_failures as u64);
+            }
+            Event::QuarantineExit { shard } => {
+                w.field_u64("shard", *shard as u64);
+            }
+            Event::PartialCoverage { answered, total } => {
+                w.field_u64("answered", *answered as u64);
+                w.field_u64("total", *total as u64);
             }
         }
         w.finish()
@@ -569,6 +645,25 @@ mod tests {
             Event::ServeStale {
                 generation: 9,
                 age_seconds: 12.5,
+            },
+            Event::BreakerTransition {
+                shard: 2,
+                from: "closed".into(),
+                to: "open".into(),
+                consecutive_failures: 3,
+            },
+            Event::HedgeFired {
+                shard: 1,
+                after_ms: 4.25,
+            },
+            Event::QuarantineEnter {
+                shard: 2,
+                consecutive_failures: 3,
+            },
+            Event::QuarantineExit { shard: 2 },
+            Event::PartialCoverage {
+                answered: 3,
+                total: 4,
             },
         ];
         for e in events.iter().cloned() {

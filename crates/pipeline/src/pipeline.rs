@@ -11,7 +11,9 @@ use sarn_core::checkpoint::{latest_checkpoint, tmp_sibling, ParamStoreSnapshot};
 use sarn_core::watchdog::{FaultKind, FaultSpec, TrainError};
 use sarn_core::{try_train, warm_start_apply, Augmenter, Checkpoint, SarnConfig, SarnModel};
 use sarn_roadnet::RoadNetwork;
-use sarn_serve::{EmbeddingStore, HealthReport, LoadFault, ServeConfig};
+use sarn_serve::{
+    EmbeddingStore, HealthReport, LoadFault, Router, RouterConfig, ServeConfig, ShardedStore,
+};
 use sarn_tensor::{Tensor, TensorExpectation};
 
 use crate::cursor::{Cursor, CursorError, Stage};
@@ -30,6 +32,12 @@ pub struct PipelineConfig {
     pub train: SarnConfig,
     /// Serve-store knobs (staleness SLO, reload retries, ...).
     pub serve: ServeConfig,
+    /// Number of geo-partitioned serve shards. `0` or `1` keeps the
+    /// classic single [`EmbeddingStore`] front; `>= 2` fronts queries
+    /// with a [`Router`] over a [`ShardedStore`], and each batch
+    /// hot-swaps only the shards whose row blocks actually changed
+    /// ([`ShardedStore::admit_changed`]).
+    pub serve_shards: usize,
     /// Where the cursor and exported `gen-*.emb` artifacts live.
     pub state_dir: PathBuf,
     /// Stage retries after the first attempt (total attempts = this + 1).
@@ -47,6 +55,7 @@ impl PipelineConfig {
             train,
             serve,
             state_dir: state_dir.into(),
+            serve_shards: 0,
             max_stage_retries: 2,
             stage_backoff: Duration::from_millis(5),
             faults: Vec::new(),
@@ -79,18 +88,24 @@ pub struct BatchReport {
 /// in the cursor.
 pub struct ServeFront {
     cfg: ServeConfig,
+    /// `>= 2` serves through the sharded router instead of one store.
+    shards: usize,
     store: RwLock<Option<Arc<EmbeddingStore>>>,
+    router: RwLock<Option<Arc<Router>>>,
 }
 
 impl ServeFront {
-    fn new(cfg: ServeConfig) -> Self {
+    fn new(cfg: ServeConfig, shards: usize) -> Self {
         Self {
             cfg,
+            shards,
             store: RwLock::new(None),
+            router: RwLock::new(None),
         }
     }
 
     /// The currently serving store, if any generation has been admitted.
+    /// [`None`] in sharded mode — queries go through [`ServeFront::router`].
     pub fn store(&self) -> Option<Arc<EmbeddingStore>> {
         self.store
             .read()
@@ -98,9 +113,22 @@ impl ServeFront {
             .clone()
     }
 
-    /// Health of the current store ([`None`] before the bootstrap
-    /// generation is admitted).
+    /// The fault-isolating shard router, when `serve_shards >= 2` and a
+    /// generation has been admitted.
+    pub fn router(&self) -> Option<Arc<Router>> {
+        self.router
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Health of the current front ([`None`] before the bootstrap
+    /// generation is admitted). Sharded fronts report the per-shard-aware
+    /// aggregate (worst shard wins).
     pub fn health(&self) -> Option<HealthReport> {
+        if let Some(r) = self.router() {
+            return Some(r.health());
+        }
         self.store().map(|s| s.health())
     }
 
@@ -114,6 +142,9 @@ impl ServeFront {
         path: &Path,
         inject: bool,
     ) -> Result<(), PipelineError> {
+        if self.shards >= 2 {
+            return self.admit_sharded(net, dim, path, inject);
+        }
         let fault = inject.then_some(LoadFault {
             fail_loads: 1,
             delay_ms: 0,
@@ -132,6 +163,60 @@ impl ServeFront {
                     .store
                     .write()
                     .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(Arc::new(fresh));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sharded-mode stage 5: load + validate the artifact, then admit it
+    /// through the router's [`ShardedStore`]. When the geometry still
+    /// matches, [`ShardedStore::admit_changed`] swaps only the shards
+    /// whose row blocks differ bitwise — siblings keep their generation
+    /// and readers mid-query on them are untouched. A size change builds
+    /// a fresh sharded store + router that is swapped in only after the
+    /// full artifact admitted.
+    fn admit_sharded(
+        &self,
+        net: &RoadNetwork,
+        dim: usize,
+        path: &Path,
+        inject: bool,
+    ) -> Result<(), PipelineError> {
+        if inject {
+            // The sharded path reads the artifact here at the front, so
+            // the reload I/O fault is injected here too: one failed load,
+            // absorbed by the stage's bounded retry.
+            return Err(PipelineError::Io {
+                context: "loading artifact for sharded admit",
+                source: std::io::Error::other("injected reload fault"),
+            });
+        }
+        let embeddings = Tensor::load_validated(
+            path,
+            &TensorExpectation {
+                rows: Some(net.num_segments()),
+                cols: Some(dim),
+                finite: true,
+            },
+        )?;
+        match self.router() {
+            Some(r)
+                if r.sharded().num_segments() == net.num_segments() && r.sharded().dim() == dim =>
+            {
+                r.sharded().admit_changed(&embeddings)?;
+            }
+            _ => {
+                let sharded = ShardedStore::for_network(net, dim, self.cfg, self.shards)?;
+                sharded.admit(&embeddings)?;
+                let rcfg = RouterConfig {
+                    num_shards: self.shards,
+                    ..RouterConfig::default()
+                };
+                *self
+                    .router
+                    .write()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) =
+                    Some(Arc::new(Router::new(sharded, rcfg)));
             }
         }
         Ok(())
@@ -209,7 +294,7 @@ impl Pipeline {
             source,
         })?;
         let live = LiveNetwork::new(net, &cfg.train.similarity);
-        let front = Arc::new(ServeFront::new(cfg.serve));
+        let front = Arc::new(ServeFront::new(cfg.serve, cfg.serve_shards));
         let mut p = Self {
             cfg,
             live,
@@ -265,7 +350,7 @@ impl Pipeline {
                 PipelineError::ReplayMismatch(format!("batch {} no longer applies: {e}", k + 1))
             })?;
         }
-        let front = Arc::new(ServeFront::new(cfg.serve));
+        let front = Arc::new(ServeFront::new(cfg.serve, cfg.serve_shards));
         let mut p = Self {
             cfg,
             live,

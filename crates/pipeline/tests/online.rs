@@ -184,6 +184,46 @@ fn mid_repair_crash_then_resume_reaches_the_same_state() {
 }
 
 #[test]
+fn sharded_front_serves_routed_queries_and_swaps_shards_in_place() {
+    let mut cfg = pipeline_cfg("sharded");
+    cfg.serve_shards = 4;
+    cfg.faults = vec![PipelineFault {
+        batch: 1,
+        kind: PipelineFaultKind::ReloadIoFault,
+    }];
+    let mut p = Pipeline::new(cfg, net()).expect("bootstrap");
+    assert!(
+        p.front().store().is_none(),
+        "sharded mode must not expose a single-store front"
+    );
+    let router = p.front().router().expect("bootstrap router");
+    assert!(router.sharded().num_shards() > 1, "partition collapsed");
+    let knn = router.knn(0, 5, router.deadline()).expect("routed query");
+    assert!(knn.coverage.complete(), "healthy fan-out must be complete");
+    assert_eq!(knn.neighbors.len(), 5);
+
+    // The mixed batch keeps the segment count (one add, one remove), so
+    // the reload stage must swap shards in place on the SAME router —
+    // absorbing the injected reload fault on its first attempt — instead
+    // of rebuilding the front.
+    let r1 = p.process_batch(&mixed_batch(&p, 940)).expect("batch 1");
+    assert_eq!(r1.generation, 2);
+    let after = p.front().router().expect("still routing");
+    assert!(
+        std::sync::Arc::ptr_eq(&router, &after),
+        "same-geometry batch must hot-swap shards, not rebuild the router"
+    );
+    let knn = after.knn(1, 3, after.deadline()).expect("query after swap");
+    assert!(knn.coverage.complete());
+    let health = p.front().health().expect("sharded health");
+    assert_eq!(
+        health.shards.len(),
+        after.sharded().num_shards(),
+        "health must carry one row per shard"
+    );
+}
+
+#[test]
 fn resume_after_export_skips_retraining_and_just_reloads() {
     let cfg = pipeline_cfg("exported");
     let state_dir = cfg.state_dir.clone();

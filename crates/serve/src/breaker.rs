@@ -1,0 +1,379 @@
+//! Per-shard circuit breakers: closed → open → half-open with a single
+//! probed recovery slot.
+//!
+//! The breaker is the router's memory of a shard's recent behavior. While
+//! **closed**, requests flow and consecutive typed failures are counted;
+//! at [`BreakerConfig::failure_threshold`] the breaker **opens** and the
+//! router routes around the shard (quarantine). After
+//! [`BreakerConfig::open_cooldown`] the next admission attempt converts
+//! the breaker to **half-open** and becomes the *probe*: exactly one
+//! request is allowed through to test the shard. A successful probe
+//! re-closes the breaker (quarantine exit); a failed probe re-opens it
+//! with a fresh cooldown.
+//!
+//! ## Concurrency (loom-free reasoning)
+//!
+//! The state lives in one `AtomicU8` and every transition is a single
+//! compare-exchange on it, so each state change has exactly one winner:
+//!
+//! - **Open → half-open** happens only inside [`CircuitBreaker::try_admit`]
+//!   via CAS. Two racing admitters both observing an elapsed cooldown
+//!   race the CAS; the winner becomes the probe (`Admission::Probe`), the
+//!   loser observes the failed CAS and is rejected. There is never more
+//!   than one in-flight probe, so concurrent probes cannot double-close.
+//! - **Half-open → closed / open** happens only in
+//!   [`CircuitBreaker::record_probe`], which only the unique probe owner
+//!   calls — single-threaded by construction, and still guarded by CAS
+//!   against programming errors (a stale caller finds the state moved and
+//!   reports no transition).
+//! - **Closed → open** happens in [`CircuitBreaker::record_failure`]: the
+//!   failure counter is a `fetch_add`, and only the thread whose
+//!   increment *reaches* the threshold attempts the CAS. Two threads
+//!   cannot both reach it (fetch_add returns distinct values), and a
+//!   thread racing a concurrent `record_success` reset simply loses the
+//!   CAS. Every transition function returns the `(from, to)` edge to the
+//!   caller exactly once — the CAS winner — so the router journals
+//!   exactly one event per state change.
+//!
+//! Orderings are `AcqRel`/`Acquire` on the state so a thread that
+//! observes `Open` also observes the `opened_at` instant written before
+//! the transition (released by the same CAS); the counters are relaxed —
+//! they are monotonic telemetry, not synchronization.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs of a per-shard [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive typed failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing one half-open
+    /// probe.
+    pub open_cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Where a breaker is in its closed → open → half-open cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// The shard is quarantined; requests are rejected until the cooldown
+    /// elapses.
+    Open,
+    /// One probe is in flight; everything else is rejected until it
+    /// reports.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (journal/event encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            _ => BreakerState::HalfOpen,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// What [`CircuitBreaker::try_admit`] decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed breaker: proceed normally.
+    Allow,
+    /// This request is the half-open probe: proceed, and report the
+    /// outcome through [`CircuitBreaker::record_probe`].
+    Probe,
+    /// Open breaker (or a probe already in flight): route around.
+    Reject,
+}
+
+/// A state transition the caller should journal: `(from, to)`.
+pub type Transition = (BreakerState, BreakerState);
+
+/// One shard's circuit breaker. All state is atomics plus a mutex-held
+/// `Instant` (the open timestamp); see the module docs for the
+/// transition-uniqueness argument.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    /// When the breaker last opened. Behind a mutex because `Instant` has
+    /// no atomic representation; written before the CAS that publishes
+    /// `Open`, read only after observing `Open` (Acquire), so readers see
+    /// the matching timestamp.
+    opened_at: Mutex<Option<Instant>>,
+    /// Lifetime transition count (telemetry).
+    transitions: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: AtomicU8::new(BreakerState::Closed.as_u8()),
+            consecutive_failures: AtomicU32::new(0),
+            opened_at: Mutex::new(None),
+            transitions: AtomicU64::new(0),
+        }
+    }
+
+    /// The thresholds this breaker runs with.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// Current state (racy by nature; exact at the instant of the load).
+    pub fn state(&self) -> BreakerState {
+        BreakerState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Consecutive typed failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime state transitions.
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+
+    fn lock_opened_at(&self) -> std::sync::MutexGuard<'_, Option<Instant>> {
+        self.opened_at
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn cas(&self, from: BreakerState, to: BreakerState) -> bool {
+        let won = self
+            .state
+            .compare_exchange(
+                from.as_u8(),
+                to.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if won {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+        won
+    }
+
+    /// Gate one request. Returns the winner-unique [`Admission::Probe`]
+    /// when an elapsed cooldown converts this breaker to half-open (see
+    /// module docs), plus the transition to journal, if any.
+    pub fn try_admit(&self) -> (Admission, Option<Transition>) {
+        match self.state() {
+            BreakerState::Closed => (Admission::Allow, None),
+            BreakerState::HalfOpen => (Admission::Reject, None),
+            BreakerState::Open => {
+                let elapsed = self
+                    .lock_opened_at()
+                    .map(|t| t.elapsed() >= self.cfg.open_cooldown)
+                    .unwrap_or(true);
+                if !elapsed {
+                    return (Admission::Reject, None);
+                }
+                if self.cas(BreakerState::Open, BreakerState::HalfOpen) {
+                    (
+                        Admission::Probe,
+                        Some((BreakerState::Open, BreakerState::HalfOpen)),
+                    )
+                } else {
+                    // Another admitter won the probe slot (or the probe
+                    // already resolved the state) — route around.
+                    (Admission::Reject, None)
+                }
+            }
+        }
+    }
+
+    /// Report a non-probe success: resets the consecutive-failure streak.
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    /// Report a non-probe typed failure. Opens the breaker when the
+    /// streak reaches the threshold; the unique thread whose increment
+    /// hits it gets the transition to journal.
+    pub fn record_failure(&self) -> Option<Transition> {
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak < self.cfg.failure_threshold {
+            return None;
+        }
+        // Only the increment that *reaches* the threshold tries to open;
+        // later failures (streak > threshold) find the breaker already
+        // open and their CAS loses — one journal entry per opening.
+        if self.cas(BreakerState::Closed, BreakerState::Open) {
+            *self.lock_opened_at() = Some(Instant::now());
+            Some((BreakerState::Closed, BreakerState::Open))
+        } else {
+            None
+        }
+    }
+
+    /// Report the half-open probe's outcome. Success re-closes the
+    /// breaker (quarantine exit); failure re-opens it with a fresh
+    /// cooldown. Only the probe owner calls this, so the transition is
+    /// single-threaded; the CAS still guards against misuse.
+    pub fn record_probe(&self, ok: bool) -> Option<Transition> {
+        if ok {
+            if self.cas(BreakerState::HalfOpen, BreakerState::Closed) {
+                self.consecutive_failures.store(0, Ordering::Relaxed);
+                return Some((BreakerState::HalfOpen, BreakerState::Closed));
+            }
+        } else {
+            // Refresh the cooldown *before* publishing Open so a racing
+            // try_admit that observes Open (Acquire) sees the new stamp.
+            *self.lock_opened_at() = Some(Instant::now());
+            if self.cas(BreakerState::HalfOpen, BreakerState::Open) {
+                return Some((BreakerState::HalfOpen, BreakerState::Open));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn closed_allows_and_successes_reset_the_streak() {
+        let b = CircuitBreaker::new(fast());
+        assert_eq!(b.try_admit().0, Admission::Allow);
+        assert!(b.record_failure().is_none());
+        assert!(b.record_failure().is_none());
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        // The reset streak means two more failures still do not open it.
+        assert!(b.record_failure().is_none());
+        assert!(b.record_failure().is_none());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn threshold_opens_exactly_once_and_cooldown_gates_the_probe() {
+        let b = CircuitBreaker::new(fast());
+        assert!(b.record_failure().is_none());
+        assert!(b.record_failure().is_none());
+        assert_eq!(
+            b.record_failure(),
+            Some((BreakerState::Closed, BreakerState::Open))
+        );
+        // Further failures on the open breaker journal nothing new.
+        assert!(b.record_failure().is_none());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_admit().0, Admission::Reject);
+        std::thread::sleep(Duration::from_millis(7));
+        let (adm, tr) = b.try_admit();
+        assert_eq!(adm, Admission::Probe);
+        assert_eq!(tr, Some((BreakerState::Open, BreakerState::HalfOpen)));
+        // While the probe is out, everyone else is rejected.
+        assert_eq!(b.try_admit().0, Admission::Reject);
+        assert_eq!(
+            b.record_probe(true),
+            Some((BreakerState::HalfOpen, BreakerState::Closed))
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_fresh_cooldown() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(7));
+        assert_eq!(b.try_admit().0, Admission::Probe);
+        assert_eq!(
+            b.record_probe(false),
+            Some((BreakerState::HalfOpen, BreakerState::Open))
+        );
+        // Cooldown restarted: an immediate retry is rejected again.
+        assert_eq!(b.try_admit().0, Admission::Reject);
+        std::thread::sleep(Duration::from_millis(7));
+        assert_eq!(b.try_admit().0, Admission::Probe);
+    }
+
+    #[test]
+    fn concurrent_admits_grant_exactly_one_probe() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_cooldown: Duration::ZERO,
+        });
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        let probes = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    if b.try_admit().0 == Admission::Probe {
+                        probes.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(probes.load(Ordering::Relaxed), 1, "one probe slot only");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn concurrent_failures_journal_exactly_one_opening() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 4,
+            open_cooldown: Duration::from_secs(60),
+        });
+        let openings = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    if b.record_failure().is_some() {
+                        openings.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(openings.load(Ordering::Relaxed), 1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions(), 1);
+    }
+}

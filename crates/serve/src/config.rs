@@ -1,6 +1,121 @@
-//! Serving knobs and the injectable load fault.
+//! Serving knobs, their validated environment parsing, and the
+//! injectable load fault.
 
 use std::time::Duration;
+
+use crate::breaker::BreakerConfig;
+
+/// A malformed `SARN_SERVE_*` environment knob, named. Unset or empty
+/// variables fall back to defaults; a *present but invalid* value
+/// (non-numeric, zero where zero is incoherent, negative, non-finite) is
+/// a hard error — a typo in an operator's deployment must not silently
+/// become the default ceiling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The environment variable that held the bad value.
+    pub var: &'static str,
+    /// The offending value, verbatim.
+    pub value: String,
+    /// What the knob requires, human-readable.
+    pub requirement: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}={:?} rejected: {}",
+            self.var, self.value, self.requirement
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Reads a trimmed environment value; unset or empty means "use the
+/// default".
+fn env_raw(var: &'static str) -> Option<String> {
+    std::env::var(var)
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+}
+
+/// Parses `var` with `parse`, which returns `None` for any value that is
+/// malformed *or* out of range — both become the same typed error naming
+/// the variable.
+fn env_knob<T>(
+    var: &'static str,
+    default: T,
+    requirement: &'static str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<T, ConfigError> {
+    match env_raw(var) {
+        None => Ok(default),
+        Some(raw) => parse(&raw).ok_or(ConfigError {
+            var,
+            value: raw,
+            requirement,
+        }),
+    }
+}
+
+fn env_usize_min(var: &'static str, default: usize, min: usize) -> Result<usize, ConfigError> {
+    let requirement = if min == 0 {
+        "must be a non-negative integer"
+    } else {
+        "must be a positive integer"
+    };
+    env_knob(var, default, requirement, |raw| {
+        raw.parse::<usize>().ok().filter(|&v| v >= min)
+    })
+}
+
+fn env_u64_min(var: &'static str, default: u64, min: u64) -> Result<u64, ConfigError> {
+    let requirement = if min == 0 {
+        "must be a non-negative integer of milliseconds"
+    } else {
+        "must be a positive integer of milliseconds"
+    };
+    env_knob(var, default, requirement, |raw| {
+        raw.parse::<u64>().ok().filter(|&v| v >= min)
+    })
+}
+
+fn env_u32_min(var: &'static str, default: u32, min: u32) -> Result<u32, ConfigError> {
+    env_knob(var, default, "must be a positive integer", |raw| {
+        raw.parse::<u32>().ok().filter(|&v| v >= min)
+    })
+}
+
+fn env_f64_pos(var: &'static str, default: f64) -> Result<f64, ConfigError> {
+    env_knob(var, default, "must be a finite number > 0", |raw| {
+        raw.parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+    })
+}
+
+fn env_f64_nonneg(var: &'static str, default: f64) -> Result<f64, ConfigError> {
+    env_knob(var, default, "must be a finite number >= 0", |raw| {
+        raw.parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+    })
+}
+
+fn env_bool(var: &'static str, default: bool) -> Result<bool, ConfigError> {
+    env_knob(
+        var,
+        default,
+        "must be one of 0/1/false/true",
+        |raw| match raw.to_ascii_lowercase().as_str() {
+            "0" | "false" => Some(false),
+            "1" | "true" => Some(true),
+            _ => None,
+        },
+    )
+}
 
 /// Knobs of an [`crate::EmbeddingStore`].
 ///
@@ -55,40 +170,127 @@ impl Default for ServeConfig {
     }
 }
 
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 impl ServeConfig {
     /// Reads the `SARN_SERVE_*` environment knobs, falling back to the
-    /// defaults: `SARN_SERVE_MAX_INFLIGHT`, `SARN_SERVE_DEGRADE_INFLIGHT`,
+    /// defaults: `SARN_SERVE_MAX_INFLIGHT` (>= 1),
+    /// `SARN_SERVE_DEGRADE_INFLIGHT` (`0` disables degradation),
     /// `SARN_SERVE_DEADLINE_MS` (`0` = unbounded),
-    /// `SARN_SERVE_RELOAD_RETRIES`, `SARN_SERVE_RELOAD_BACKOFF_MS`,
-    /// `SARN_SERVE_CLEN_M`, `SARN_SERVE_APPROX_RADIUS`, and
+    /// `SARN_SERVE_RELOAD_RETRIES` (`0` = no retries),
+    /// `SARN_SERVE_RELOAD_BACKOFF_MS` (>= 1), `SARN_SERVE_CLEN_M`
+    /// (finite, > 0), `SARN_SERVE_APPROX_RADIUS` (>= 1), and
     /// `SARN_SERVE_MAX_STALENESS_S` (`0` = no staleness SLO; fractional
     /// seconds accepted).
-    pub fn from_env() -> Self {
+    ///
+    /// A present-but-malformed value returns a [`ConfigError`] naming the
+    /// variable; only unset/empty variables default.
+    pub fn from_env() -> Result<Self, ConfigError> {
         let d = ServeConfig::default();
-        let deadline_ms: u64 = env_parse("SARN_SERVE_DEADLINE_MS", 0);
-        let max_staleness_s: f64 = env_parse("SARN_SERVE_MAX_STALENESS_S", 0.0);
-        Self {
-            max_inflight: env_parse("SARN_SERVE_MAX_INFLIGHT", d.max_inflight),
-            degrade_inflight: env_parse("SARN_SERVE_DEGRADE_INFLIGHT", d.degrade_inflight),
+        let deadline_ms = env_u64_min("SARN_SERVE_DEADLINE_MS", 0, 0)?;
+        let max_staleness_s = env_f64_nonneg("SARN_SERVE_MAX_STALENESS_S", 0.0)?;
+        Ok(Self {
+            max_inflight: env_usize_min("SARN_SERVE_MAX_INFLIGHT", d.max_inflight, 1)?,
+            degrade_inflight: env_usize_min("SARN_SERVE_DEGRADE_INFLIGHT", d.degrade_inflight, 0)?,
             default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
-            reload_retries: env_parse("SARN_SERVE_RELOAD_RETRIES", d.reload_retries),
-            reload_backoff: Duration::from_millis(env_parse(
+            reload_retries: env_usize_min("SARN_SERVE_RELOAD_RETRIES", d.reload_retries, 0)?,
+            reload_backoff: Duration::from_millis(env_u64_min(
                 "SARN_SERVE_RELOAD_BACKOFF_MS",
                 d.reload_backoff.as_millis() as u64,
-            )),
+                1,
+            )?),
             deadline_check_every: d.deadline_check_every,
-            grid_clen_m: env_parse("SARN_SERVE_CLEN_M", d.grid_clen_m),
-            approx_radius: env_parse("SARN_SERVE_APPROX_RADIUS", d.approx_radius),
-            max_staleness: (max_staleness_s > 0.0 && max_staleness_s.is_finite())
+            grid_clen_m: env_f64_pos("SARN_SERVE_CLEN_M", d.grid_clen_m)?,
+            approx_radius: env_usize_min("SARN_SERVE_APPROX_RADIUS", d.approx_radius, 1)?,
+            max_staleness: (max_staleness_s > 0.0)
                 .then(|| Duration::from_secs_f64(max_staleness_s)),
+        })
+    }
+}
+
+/// Knobs of the shard [`crate::Router`] fronting a
+/// [`crate::ShardedStore`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouterConfig {
+    /// Shards requested of the geo-partitioner. The actual shard count
+    /// may be lower (empty cell bands are compacted away).
+    pub num_shards: usize,
+    /// Minimum shards that must contribute to a fan-out answer; fewer
+    /// fails the request with [`crate::ServeError::PartialCoverage`].
+    pub min_shards: usize,
+    /// Per-shard circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Retries per shard after the first failed attempt (deadline and
+    /// shed failures are not retried — the budget is already gone).
+    pub shard_retries: usize,
+    /// Sleep before the first per-shard retry; doubles per retry.
+    pub shard_backoff: Duration,
+    /// Fire a hedged duplicate request when a shard runs past
+    /// `hedge_factor` times its tracked p99 latency.
+    pub hedge: bool,
+    /// Multiple of the p99 latency estimate after which a hedge fires.
+    pub hedge_factor: f64,
+    /// In-flight ceiling across the whole router (checked once per
+    /// fan-out, on top of the per-shard store ceilings).
+    pub router_max_inflight: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            min_shards: 1,
+            breaker: BreakerConfig::default(),
+            shard_retries: 1,
+            shard_backoff: Duration::from_millis(2),
+            hedge: true,
+            hedge_factor: 4.0,
+            router_max_inflight: 256,
         }
+    }
+}
+
+impl RouterConfig {
+    /// Reads the router's `SARN_SERVE_*` environment knobs, falling back
+    /// to the defaults: `SARN_SERVE_SHARDS` (>= 1),
+    /// `SARN_SERVE_MIN_SHARDS` (>= 1),
+    /// `SARN_SERVE_BREAKER_THRESHOLD` (>= 1),
+    /// `SARN_SERVE_BREAKER_COOLDOWN_MS` (>= 1),
+    /// `SARN_SERVE_SHARD_RETRIES` (`0` = no retries),
+    /// `SARN_SERVE_SHARD_BACKOFF_MS` (>= 1), `SARN_SERVE_HEDGE`
+    /// (`0/1/false/true`), `SARN_SERVE_HEDGE_FACTOR` (finite, > 0), and
+    /// `SARN_SERVE_ROUTER_MAX_INFLIGHT` (>= 1). Same contract as
+    /// [`ServeConfig::from_env`]: malformed values are typed errors
+    /// naming the variable, never silent defaults.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        let d = RouterConfig::default();
+        Ok(Self {
+            num_shards: env_usize_min("SARN_SERVE_SHARDS", d.num_shards, 1)?,
+            min_shards: env_usize_min("SARN_SERVE_MIN_SHARDS", d.min_shards, 1)?,
+            breaker: BreakerConfig {
+                failure_threshold: env_u32_min(
+                    "SARN_SERVE_BREAKER_THRESHOLD",
+                    d.breaker.failure_threshold,
+                    1,
+                )?,
+                open_cooldown: Duration::from_millis(env_u64_min(
+                    "SARN_SERVE_BREAKER_COOLDOWN_MS",
+                    d.breaker.open_cooldown.as_millis() as u64,
+                    1,
+                )?),
+            },
+            shard_retries: env_usize_min("SARN_SERVE_SHARD_RETRIES", d.shard_retries, 0)?,
+            shard_backoff: Duration::from_millis(env_u64_min(
+                "SARN_SERVE_SHARD_BACKOFF_MS",
+                d.shard_backoff.as_millis() as u64,
+                1,
+            )?),
+            hedge: env_bool("SARN_SERVE_HEDGE", d.hedge)?,
+            hedge_factor: env_f64_pos("SARN_SERVE_HEDGE_FACTOR", d.hedge_factor)?,
+            router_max_inflight: env_usize_min(
+                "SARN_SERVE_ROUTER_MAX_INFLIGHT",
+                d.router_max_inflight,
+                1,
+            )?,
+        })
     }
 }
 
@@ -110,6 +312,23 @@ pub struct LoadFault {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Env-mutating tests in this module serialize on this lock (threads
+    /// within one test binary share the process environment).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_env<R>(pairs: &[(&'static str, &str)], f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        for (k, v) in pairs {
+            std::env::set_var(k, v);
+        }
+        let out = f();
+        for (k, _) in pairs {
+            std::env::remove_var(k);
+        }
+        out
+    }
 
     #[test]
     fn defaults_are_coherent() {
@@ -118,5 +337,152 @@ mod tests {
         assert!(d.default_deadline.is_none());
         assert!(d.reload_backoff > Duration::ZERO);
         assert!(d.deadline_check_every > 0);
+        let r = RouterConfig::default();
+        assert!(r.min_shards <= r.num_shards);
+        assert!(r.hedge_factor > 1.0);
+        assert!(r.breaker.failure_threshold >= 1);
+    }
+
+    #[test]
+    fn unset_and_empty_fall_back_to_defaults() {
+        let cfg = with_env(&[("SARN_SERVE_MAX_INFLIGHT", "  ")], || {
+            ServeConfig::from_env().expect("empty value defaults")
+        });
+        assert_eq!(cfg, ServeConfig::default());
+        let rcfg = with_env(&[], || RouterConfig::from_env().expect("all unset"));
+        assert_eq!(rcfg, RouterConfig::default());
+    }
+
+    #[test]
+    fn valid_overrides_parse() {
+        let cfg = with_env(
+            &[
+                ("SARN_SERVE_MAX_INFLIGHT", "8"),
+                ("SARN_SERVE_DEGRADE_INFLIGHT", "0"),
+                ("SARN_SERVE_DEADLINE_MS", "0"),
+                ("SARN_SERVE_RELOAD_RETRIES", "0"),
+                ("SARN_SERVE_RELOAD_BACKOFF_MS", "5"),
+                ("SARN_SERVE_CLEN_M", "250.5"),
+                ("SARN_SERVE_APPROX_RADIUS", "2"),
+                ("SARN_SERVE_MAX_STALENESS_S", "1.5"),
+            ],
+            || ServeConfig::from_env().expect("valid overrides"),
+        );
+        assert_eq!(cfg.max_inflight, 8);
+        assert_eq!(cfg.degrade_inflight, 0, "zero disables degradation");
+        assert!(cfg.default_deadline.is_none(), "zero means unbounded");
+        assert_eq!(cfg.reload_retries, 0);
+        assert_eq!(cfg.reload_backoff, Duration::from_millis(5));
+        assert_eq!(cfg.grid_clen_m, 250.5);
+        assert_eq!(cfg.approx_radius, 2);
+        assert_eq!(cfg.max_staleness, Some(Duration::from_secs_f64(1.5)));
+    }
+
+    /// Every knob, one by one: a malformed value is a typed error that
+    /// names the variable (satellite contract — no silent fallback).
+    #[test]
+    fn each_serve_knob_rejects_malformed_values_by_name() {
+        let cases: &[(&'static str, &str)] = &[
+            ("SARN_SERVE_MAX_INFLIGHT", "zero"),
+            ("SARN_SERVE_MAX_INFLIGHT", "0"),
+            ("SARN_SERVE_MAX_INFLIGHT", "-3"),
+            ("SARN_SERVE_DEGRADE_INFLIGHT", "many"),
+            ("SARN_SERVE_DEGRADE_INFLIGHT", "-1"),
+            ("SARN_SERVE_DEADLINE_MS", "fast"),
+            ("SARN_SERVE_DEADLINE_MS", "-5"),
+            ("SARN_SERVE_RELOAD_RETRIES", "3.5"),
+            ("SARN_SERVE_RELOAD_BACKOFF_MS", "0"),
+            ("SARN_SERVE_RELOAD_BACKOFF_MS", "soon"),
+            ("SARN_SERVE_CLEN_M", "0"),
+            ("SARN_SERVE_CLEN_M", "-100"),
+            ("SARN_SERVE_CLEN_M", "NaN"),
+            ("SARN_SERVE_CLEN_M", "wide"),
+            ("SARN_SERVE_APPROX_RADIUS", "0"),
+            ("SARN_SERVE_APPROX_RADIUS", "near"),
+            ("SARN_SERVE_MAX_STALENESS_S", "-1"),
+            ("SARN_SERVE_MAX_STALENESS_S", "inf"),
+            ("SARN_SERVE_MAX_STALENESS_S", "fresh"),
+        ];
+        for (var, bad) in cases {
+            let err = with_env(&[(var, bad)], || {
+                ServeConfig::from_env().expect_err("malformed value must not default")
+            });
+            assert_eq!(err.var, *var, "wrong variable named for {var}={bad}");
+            assert_eq!(err.value, *bad);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(var) && msg.contains(bad),
+                "display must name variable and value: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn each_router_knob_rejects_malformed_values_by_name() {
+        let cases: &[(&'static str, &str)] = &[
+            ("SARN_SERVE_SHARDS", "0"),
+            ("SARN_SERVE_SHARDS", "-2"),
+            ("SARN_SERVE_SHARDS", "four"),
+            ("SARN_SERVE_MIN_SHARDS", "0"),
+            ("SARN_SERVE_BREAKER_THRESHOLD", "0"),
+            ("SARN_SERVE_BREAKER_THRESHOLD", "often"),
+            ("SARN_SERVE_BREAKER_COOLDOWN_MS", "0"),
+            ("SARN_SERVE_BREAKER_COOLDOWN_MS", "-10"),
+            ("SARN_SERVE_SHARD_RETRIES", "-1"),
+            ("SARN_SERVE_SHARD_BACKOFF_MS", "0"),
+            ("SARN_SERVE_HEDGE", "maybe"),
+            ("SARN_SERVE_HEDGE_FACTOR", "0"),
+            ("SARN_SERVE_HEDGE_FACTOR", "inf"),
+            ("SARN_SERVE_ROUTER_MAX_INFLIGHT", "0"),
+        ];
+        for (var, bad) in cases {
+            let err = with_env(&[(var, bad)], || {
+                RouterConfig::from_env().expect_err("malformed value must not default")
+            });
+            assert_eq!(err.var, *var, "wrong variable named for {var}={bad}");
+        }
+    }
+
+    #[test]
+    fn router_overrides_parse_and_bools_accept_both_spellings() {
+        let cfg = with_env(
+            &[
+                ("SARN_SERVE_SHARDS", "8"),
+                ("SARN_SERVE_MIN_SHARDS", "6"),
+                ("SARN_SERVE_BREAKER_THRESHOLD", "2"),
+                ("SARN_SERVE_BREAKER_COOLDOWN_MS", "50"),
+                ("SARN_SERVE_SHARD_RETRIES", "0"),
+                ("SARN_SERVE_SHARD_BACKOFF_MS", "1"),
+                ("SARN_SERVE_HEDGE", "false"),
+                ("SARN_SERVE_HEDGE_FACTOR", "2.5"),
+                ("SARN_SERVE_ROUTER_MAX_INFLIGHT", "32"),
+            ],
+            || RouterConfig::from_env().expect("valid overrides"),
+        );
+        assert_eq!(cfg.num_shards, 8);
+        assert_eq!(cfg.min_shards, 6);
+        assert_eq!(cfg.breaker.failure_threshold, 2);
+        assert_eq!(cfg.breaker.open_cooldown, Duration::from_millis(50));
+        assert_eq!(cfg.shard_retries, 0);
+        assert!(!cfg.hedge);
+        assert_eq!(cfg.hedge_factor, 2.5);
+        assert_eq!(cfg.router_max_inflight, 32);
+        let on = with_env(&[("SARN_SERVE_HEDGE", "1")], || {
+            RouterConfig::from_env().expect("numeric bool")
+        });
+        assert!(on.hedge);
+    }
+
+    #[test]
+    fn config_error_converts_into_serve_error() {
+        let err = ConfigError {
+            var: "SARN_SERVE_MAX_INFLIGHT",
+            value: "lots".into(),
+            requirement: "must be a positive integer",
+        };
+        let serve: crate::ServeError = err.clone().into();
+        assert!(matches!(serve, crate::ServeError::Config(_)));
+        assert!(serve.to_string().contains("SARN_SERVE_MAX_INFLIGHT"));
+        assert!(std::error::Error::source(&serve).is_some());
     }
 }

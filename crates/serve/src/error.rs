@@ -53,6 +53,21 @@ pub enum ServeError {
     /// The spatial grid backing approximate k-NN could not be built from
     /// the network's bounding box and the configured cell side.
     Grid(GridError),
+    /// A `SARN_SERVE_*` environment knob held a malformed value — named,
+    /// not silently defaulted (see [`crate::ConfigError`]).
+    Config(crate::ConfigError),
+    /// Too few shards answered a fan-out query: fewer than the router's
+    /// configured minimum contributed results, so even a degraded partial
+    /// answer is not available. Responses *above* the minimum succeed and
+    /// carry the shortfall in their typed `Coverage` report instead.
+    PartialCoverage {
+        /// Shards that contributed results.
+        answered: usize,
+        /// Shards the query consulted.
+        total: usize,
+        /// The configured minimum for an answer.
+        min_shards: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -84,6 +99,16 @@ impl fmt::Display for ServeError {
                 write!(f, "embedding row {row} rejected: {defect}")
             }
             ServeError::Grid(e) => write!(f, "serving grid rejected: {e}"),
+            ServeError::Config(e) => write!(f, "serving config rejected: {e}"),
+            ServeError::PartialCoverage {
+                answered,
+                total,
+                min_shards,
+            } => write!(
+                f,
+                "partial coverage: only {answered} of {total} shards answered \
+                 (minimum {min_shards})"
+            ),
         }
     }
 }
@@ -93,8 +118,15 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Load(e) => Some(e),
             ServeError::Grid(e) => Some(e),
+            ServeError::Config(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::ConfigError> for ServeError {
+    fn from(e: crate::ConfigError) -> Self {
+        ServeError::Config(e)
     }
 }
 

@@ -35,6 +35,21 @@
 //!   (`sarn_serve_stale_total`) once per generation so the online pipeline
 //!   (or an operator) reacts. A fresh admission clears the state.
 //!
+//! On top of the single store sits **fault-isolated sharded serving**
+//! (DESIGN.md §15): a [`ShardedStore`] geo-partitions the network's
+//! segments into contiguous grid-cell bands, each band a full
+//! [`EmbeddingStore`] with its own generation swap — one shard can
+//! hot-swap or fail without touching its siblings — and a [`Router`]
+//! fronts the fan-out with per-shard [`CircuitBreaker`]s
+//! (closed → open → half-open with a single probed recovery slot),
+//! [`Deadline::split`] budget slices, bounded doubling-backoff retries
+//! plus one hedged duplicate against p99-slow shards, and typed
+//! [`Coverage`] reports: failed shards degrade the answer
+//! (answered / degraded-to-approx / quarantined / failed per shard)
+//! instead of failing it, until fewer than `min_shards` contribute
+//! ([`ServeError::PartialCoverage`]). With every shard healthy the merged
+//! answer is bitwise identical to the single combined store's.
+//!
 //! The serving state machine (DESIGN.md §10):
 //!
 //! ```text
@@ -48,12 +63,18 @@
 
 #![warn(missing_docs)]
 
+mod breaker;
 mod config;
 mod deadline;
 mod error;
+mod router;
+mod shard;
 mod store;
 
-pub use config::{LoadFault, ServeConfig};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker, Transition};
+pub use config::{ConfigError, LoadFault, RouterConfig, ServeConfig};
 pub use deadline::Deadline;
 pub use error::ServeError;
-pub use store::{EmbeddingStore, Generation, HealthReport, Knn, ServeState, Ticket};
+pub use router::{Coverage, RoutedKnn, Router, ShardCoverage, ShardFault, ShardOutcome};
+pub use shard::{Shard, ShardedStore};
+pub use store::{EmbeddingStore, Generation, HealthReport, Knn, ServeState, ShardHealth, Ticket};

@@ -71,6 +71,24 @@ impl Generation {
             sarn_tensor::kernels::dot(self.embeddings.row_slice(a), self.embeddings.row_slice(b));
         dot / (self.norms[a] * self.norms[b])
     }
+
+    /// Precomputed L2 norm of one row — what [`Generation::similarity`]
+    /// divides by. The shard router reads the query row's norm here so
+    /// fan-out scoring divides by the *same* f32 the single store would.
+    pub fn row_norm(&self, row: usize) -> f32 {
+        self.norms[row]
+    }
+
+    /// Cosine similarity of an external query vector (with its
+    /// precomputed norm) against row `b` — the fan-out analogue of
+    /// [`Generation::similarity`] with the query in the `a` position.
+    /// Same dot kernel, same operand order, same norm product order, so
+    /// when `query`/`query_norm` hold the bytes of some row `a` the
+    /// result is bitwise identical to `similarity(a, b)`.
+    pub fn similarity_to_vector(&self, query: &[f32], query_norm: f32, b: usize) -> f32 {
+        let dot = sarn_tensor::kernels::dot(query, self.embeddings.row_slice(b));
+        dot / (query_norm * self.norms[b])
+    }
 }
 
 /// Where the store is in its lifecycle, derived for a [`HealthReport`].
@@ -142,10 +160,40 @@ pub struct HealthReport {
     /// Point-in-time copy of the process-wide telemetry registry
     /// (`None` while telemetry is disabled).
     pub metrics: Option<sarn_obs::Snapshot>,
+    /// Per-shard health when this report comes from a sharded router
+    /// (empty for a single store). The aggregate `state` is then the
+    /// *worst* shard's state, and each entry carries that shard's own
+    /// generation, age, and breaker position — the staleness SLO fires
+    /// per shard, so one stuck shard degrades the whole report even while
+    /// its siblings stay fresh.
+    pub shards: Vec<ShardHealth>,
+}
+
+/// One shard's slice of a sharded [`HealthReport`].
+#[derive(Clone, Debug)]
+pub struct ShardHealth {
+    /// Shard index within the router.
+    pub shard: usize,
+    /// The shard store's own lifecycle state (staleness SLO included).
+    pub state: ServeState,
+    /// Generation this shard currently serves, if any.
+    pub generation: Option<u64>,
+    /// Age of that generation.
+    pub generation_age: Option<Duration>,
+    /// Where the shard's circuit breaker is in its closed → open →
+    /// half-open cycle.
+    pub breaker: crate::breaker::BreakerState,
+    /// Consecutive typed failures the breaker has counted.
+    pub consecutive_failures: u32,
+    /// Number of segments (global ids) this shard owns.
+    pub segments: usize,
 }
 
 impl std::fmt::Display for HealthReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.shards.is_empty() {
+            write!(f, "[{} shards] ", self.shards.len())?;
+        }
         write!(
             f,
             "{:?}: served {}, shed {}, degraded {}, reloads {}/{} ok, inflight {}, \
@@ -542,10 +590,13 @@ impl EmbeddingStore {
             return Ok(answer);
         }
         let n = gen.embeddings().rows();
+        // One expiry derivation for the whole scan; each probe below is a
+        // single clock read (Deadline::check_against).
+        let expires_at = deadline.expires_at();
         let mut scored = Vec::with_capacity(n.saturating_sub(1));
         for i in 0..n {
             if i % self.cfg.deadline_check_every == 0 {
-                deadline.check()?;
+                deadline.check_against(expires_at)?;
             }
             if i != segment {
                 scored.push((i, gen.similarity(segment, i)));
@@ -592,12 +643,13 @@ impl EmbeddingStore {
         let cell = self.segment_cell[segment];
         let max_radius = self.grid.nx().max(self.grid.ny());
         let mut radius = self.cfg.approx_radius;
+        let expires_at = deadline.expires_at();
         // One ring buffer and one candidate list for the whole expansion
         // loop: each retry clears and refills instead of reallocating.
         let mut cells: Vec<sarn_geo::CellId> = Vec::new();
         let mut candidates: Vec<usize> = Vec::new();
         loop {
-            deadline.check()?;
+            deadline.check_against(expires_at)?;
             self.grid.neighborhood_into(cell, radius, &mut cells);
             candidates.clear();
             candidates.extend(
@@ -614,7 +666,7 @@ impl EmbeddingStore {
         let mut scored = Vec::with_capacity(candidates.len());
         for (j, &i) in candidates.iter().enumerate() {
             if j % self.cfg.deadline_check_every == 0 {
-                deadline.check()?;
+                deadline.check_against(expires_at)?;
             }
             scored.push((i, gen.similarity(segment, i)));
         }
@@ -623,6 +675,81 @@ impl EmbeddingStore {
             generation: gen.number(),
             degraded: false,
         })
+    }
+
+    // ---- fan-out legs (shard router) -------------------------------------
+
+    /// Exact scan of this store's rows against an external query vector —
+    /// the per-shard leg of a router fan-out. Row ids in the answer are
+    /// *this store's* local ids; the router maps them back to global
+    /// segment ids. `exclude` drops one local row (the query segment on
+    /// its owner shard). Scores are bitwise identical to what
+    /// [`EmbeddingStore::knn`] computes on a combined store holding the
+    /// same row bytes: same dot kernel, same operand order, same
+    /// precomputed norms ([`Generation::similarity_to_vector`]).
+    pub fn knn_vector(
+        &self,
+        query: &[f32],
+        query_norm: f32,
+        exclude: Option<usize>,
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<Knn, ServeError> {
+        let _latency = sarn_obs::span!("sarn_serve_knn_shard_seconds");
+        let _ticket = self.try_ticket()?;
+        deadline.check()?;
+        let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        let n = gen.embeddings().rows();
+        let expires_at = deadline.expires_at();
+        let mut scored = Vec::with_capacity(n);
+        for i in 0..n {
+            if i % self.cfg.deadline_check_every == 0 {
+                deadline.check_against(expires_at)?;
+            }
+            if Some(i) != exclude {
+                scored.push((i, gen.similarity_to_vector(query, query_norm, i)));
+            }
+        }
+        let answer = Knn {
+            neighbors: top_k(scored, k),
+            generation: gen.number(),
+            degraded: false,
+        };
+        self.served.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(answer)
+    }
+
+    /// Scores an explicit list of this store's rows against an external
+    /// query vector — the approximate fan-out leg, where the router picks
+    /// candidate rows from its global spatial grid and each shard only
+    /// scores its own slice. Returns `(local row, score)` pairs plus the
+    /// generation they were scored against; `exclude` skips the query
+    /// segment's own row.
+    pub fn score_vector(
+        &self,
+        query: &[f32],
+        query_norm: f32,
+        rows: &[usize],
+        exclude: Option<usize>,
+        deadline: Deadline,
+    ) -> Result<(Vec<(usize, f32)>, u64), ServeError> {
+        let _ticket = self.try_ticket()?;
+        deadline.check()?;
+        let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        let expires_at = deadline.expires_at();
+        let mut scored = Vec::with_capacity(rows.len());
+        for (j, &i) in rows.iter().enumerate() {
+            if j % self.cfg.deadline_check_every == 0 {
+                deadline.check_against(expires_at)?;
+            }
+            if Some(i) == exclude {
+                continue;
+            }
+            self.check_segment(i)?;
+            scored.push((i, gen.similarity_to_vector(query, query_norm, i)));
+        }
+        self.served.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok((scored, gen.number()))
     }
 
     // ---- health ----------------------------------------------------------
@@ -679,14 +806,18 @@ impl EmbeddingStore {
             uptime: self.started.elapsed(),
             generation_age,
             metrics: sarn_obs::enabled().then(|| sarn_obs::Registry::global().snapshot()),
+            shards: Vec::new(),
         }
     }
 }
 
 /// Sorts `(id, similarity)` pairs most-similar-first (ties on ascending
 /// id, `total_cmp` so even a pathological non-finite score cannot panic)
-/// and keeps the best `k`.
-fn top_k(mut scored: Vec<(usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+/// and keeps the best `k`. The comparator is a strict total order over
+/// unique ids, so merging per-shard top-k lists through the same function
+/// yields the single-store answer regardless of concatenation order —
+/// the keystone of the router's bitwise-identity guarantee.
+pub(crate) fn top_k(mut scored: Vec<(usize, f32)>, k: usize) -> Vec<(usize, f32)> {
     scored.sort_unstable_by(|a, b| match b.1.total_cmp(&a.1) {
         Ordering::Equal => a.0.cmp(&b.0),
         other => other,

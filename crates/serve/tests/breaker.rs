@@ -1,0 +1,162 @@
+//! Circuit-breaker state-machine edges: probed recovery, concurrent
+//! probe uniqueness, sticky-fault exhaustion, and a property test that
+//! random success/failure schedules never journal more transitions than
+//! state changes (the exactly-once contract).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sarn_serve::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+
+fn cfg(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: threshold,
+        open_cooldown: Duration::from_millis(cooldown_ms),
+    }
+}
+
+#[test]
+fn half_open_probe_success_closes_and_resets_the_streak() {
+    let b = CircuitBreaker::new(cfg(2, 1));
+    assert!(b.record_failure().is_none());
+    assert_eq!(
+        b.record_failure(),
+        Some((BreakerState::Closed, BreakerState::Open))
+    );
+    std::thread::sleep(Duration::from_millis(3));
+    let (adm, t) = b.try_admit();
+    assert_eq!(adm, Admission::Probe);
+    assert_eq!(t, Some((BreakerState::Open, BreakerState::HalfOpen)));
+    assert_eq!(
+        b.record_probe(true),
+        Some((BreakerState::HalfOpen, BreakerState::Closed))
+    );
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert_eq!(b.consecutive_failures(), 0);
+    // Fully recovered: the threshold must be exhausted again to re-open.
+    assert!(b.record_failure().is_none());
+    assert_eq!(b.state(), BreakerState::Closed);
+}
+
+#[test]
+fn half_open_probe_failure_reopens_and_restarts_the_cooldown() {
+    let b = CircuitBreaker::new(cfg(1, 30));
+    assert_eq!(
+        b.record_failure(),
+        Some((BreakerState::Closed, BreakerState::Open))
+    );
+    std::thread::sleep(Duration::from_millis(35));
+    assert_eq!(b.try_admit().0, Admission::Probe);
+    assert_eq!(
+        b.record_probe(false),
+        Some((BreakerState::HalfOpen, BreakerState::Open))
+    );
+    // The cooldown restarted at the failed probe: an immediate admit is
+    // rejected, not granted a second probe.
+    assert_eq!(b.try_admit().0, Admission::Reject);
+    std::thread::sleep(Duration::from_millis(35));
+    assert_eq!(b.try_admit().0, Admission::Probe);
+}
+
+#[test]
+fn concurrent_probes_cannot_double_close() {
+    // Many threads race try_admit on an open breaker whose cooldown has
+    // elapsed; the CAS grants exactly one the probe slot, so exactly one
+    // thread is entitled to call record_probe — there is no second probe
+    // whose success could close the breaker twice (or re-close it after
+    // the first probe's failure re-opened it).
+    for _ in 0..50 {
+        let b = CircuitBreaker::new(cfg(1, 0));
+        b.record_failure();
+        let probes = AtomicU32::new(0);
+        let closes = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    if b.try_admit().0 == Admission::Probe {
+                        probes.fetch_add(1, Ordering::Relaxed);
+                        if b.record_probe(true).is_some() {
+                            closes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(probes.load(Ordering::Relaxed), 1, "one probe winner");
+        assert_eq!(closes.load(Ordering::Relaxed), 1, "one close, by the probe");
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Three transitions total: Closed→Open, Open→HalfOpen, HalfOpen→Closed.
+        assert_eq!(b.transitions(), 3);
+    }
+}
+
+#[test]
+fn sticky_fault_exhausts_to_open_with_one_transition_per_change() {
+    let b = CircuitBreaker::new(cfg(3, 60_000));
+    // A sticky failure stream: every call fails. Exactly one Closed→Open
+    // transition is handed out, at the threshold, no matter how long the
+    // stream runs.
+    let mut handed_out = 0;
+    for _ in 0..20 {
+        if b.record_failure().is_some() {
+            handed_out += 1;
+        }
+    }
+    assert_eq!(handed_out, 1);
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.transitions(), 1);
+    // Admission during the cooldown stays rejected and journals nothing.
+    for _ in 0..10 {
+        let (adm, t) = b.try_admit();
+        assert_eq!(adm, Admission::Reject);
+        assert!(t.is_none());
+    }
+    assert_eq!(b.transitions(), 1);
+}
+
+proptest! {
+    /// Any serial schedule of successes/failures keeps the journaled
+    /// transition count exactly equal to the number of observed state
+    /// changes, and the state always matches the last transition's `to`.
+    #[test]
+    fn serial_schedules_journal_exactly_one_transition_per_change(
+        ops in proptest::collection::vec(0u8..4, 1..120),
+        threshold in 1u32..5,
+    ) {
+        let b = CircuitBreaker::new(cfg(threshold, 0));
+        let journaled = std::cell::Cell::new(0u64);
+        let last_to = std::cell::Cell::new(BreakerState::Closed);
+        let track = |t: Option<(BreakerState, BreakerState)>| {
+            if let Some((from, to)) = t {
+                journaled.set(journaled.get() + 1);
+                // Transitions chain: each one leaves from the state the
+                // previous one entered.
+                assert_eq!(from, last_to.get());
+                last_to.set(to);
+            }
+        };
+        for op in ops {
+            match op {
+                0 => b.record_success(),
+                1 => track(b.record_failure()),
+                2 => {
+                    let (adm, t) = b.try_admit();
+                    track(t);
+                    if adm == Admission::Probe {
+                        track(b.record_probe(true));
+                    }
+                }
+                _ => {
+                    let (adm, t) = b.try_admit();
+                    track(t);
+                    if adm == Admission::Probe {
+                        track(b.record_probe(false));
+                    }
+                }
+            }
+            prop_assert_eq!(b.transitions(), journaled.get());
+        }
+        prop_assert_eq!(b.state(), last_to.get());
+    }
+}

@@ -133,6 +133,24 @@ test -s BENCH_8.json
 step "online pipeline system tests (release)"
 cargo test -q --release -p sarn-sys-tests --test pipeline_online
 
+# Sharded-router chaos smoke: bitwise identity against the combined
+# store at 1 and 4 reader threads, a kill-K-of-N-shards storm under
+# per-shard generation churn with a recovery-to-full-coverage assert,
+# hedged vs unhedged tail latency against a slow shard, and knn_batch
+# equivalence, written to the committed BENCH_9.json (every row carries
+# the process peak-RSS high-water mark); exits non-zero on any breach.
+step "sharded router chaos smoke (BENCH_9.json)"
+rm -f BENCH_9.json
+SARN_NET_SCALE=0.22 SARN_REPORT_JSONL=BENCH_9.json \
+  cargo run -q --release -p sarn-bench --bin router_chaos_smoke
+test -s BENCH_9.json
+
+# Sharded-router system suite in release: the identity runs at 1 and 4
+# reader threads plus the chaos kill/recover run race real per-shard
+# pointer swaps, so they get optimized atomics rather than debug mode.
+step "sharded router system tests (release)"
+cargo test -q --release -p sarn-sys-tests --test router_sharded
+
 # Telemetry smoke: train twice (telemetry off/on — must be bitwise
 # identical), serve 100 queries per path, then require the exported
 # Prometheus/JSON/JSONL artifacts to parse with the key training and

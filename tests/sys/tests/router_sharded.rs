@@ -1,0 +1,336 @@
+//! The sharded router's two system contracts, under real concurrency:
+//!
+//! 1. **Bitwise identity** — with every shard healthy, routed exact and
+//!    approximate k-NN answers are bit-for-bit those of one combined
+//!    [`EmbeddingStore`] over the same rows, at 1 and at 4 reader
+//!    threads.
+//! 2. **Chaos** — kill K of N shards with sticky injected faults in the
+//!    middle of per-shard generation churn (admits that swap exactly one
+//!    shard, plus corrupt single-shard reloads). Reader threads must
+//!    never observe a panic, a torn row, or an unpublished generation;
+//!    failures surface only as typed partial coverage or typed sheds;
+//!    and once the faults clear, the breakers' probed half-open path
+//!    must recover the router to full coverage.
+//!
+//! Torn-swap detection uses the sentinel-row scheme of
+//! `serve_reload.rs`, per shard: every component of global row `r` holds
+//! `gen[shard_of(r)] * (r + 1)`, so a single `f32` read pins which
+//! generation a shard served and whether the row was whole.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use sarn_geo::Point;
+use sarn_serve::{
+    BreakerConfig, BreakerState, Deadline, EmbeddingStore, Router, RouterConfig, ServeConfig,
+    ServeError, ShardFault, ShardedStore,
+};
+use sarn_tensor::Tensor;
+
+const N: usize = 64;
+const D: usize = 8;
+const SHARDS: usize = 4;
+const CHURN_ROUNDS: u64 = 12;
+
+fn midpoints() -> Vec<Point> {
+    (0..N)
+        .map(|i| {
+            Point::new(
+                30.64 + (i / 8) as f64 * 0.002,
+                104.04 + (i % 8) as f64 * 0.002,
+            )
+        })
+        .collect()
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        reload_retries: 0,
+        reload_backoff: Duration::from_millis(1),
+        ..ServeConfig::default()
+    }
+}
+
+fn router_cfg() -> RouterConfig {
+    RouterConfig {
+        num_shards: SHARDS,
+        hedge: false,
+        shard_retries: 1,
+        shard_backoff: Duration::from_millis(1),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            open_cooldown: Duration::from_millis(10),
+        },
+        ..RouterConfig::default()
+    }
+}
+
+/// Deterministic, row-distinguishable embeddings for the identity leg.
+fn distinguishable() -> Tensor {
+    Tensor::from_vec(
+        N,
+        D,
+        (0..N * D)
+            .map(|p| ((p / D) as f32 + 1.0) * 0.5 + (p % D) as f32)
+            .collect(),
+    )
+}
+
+fn sharded_store() -> ShardedStore {
+    let s = ShardedStore::new(midpoints(), D, serve_cfg(), SHARDS).expect("valid sharded store");
+    assert!(s.num_shards() > 1, "test needs a real fan-out");
+    s
+}
+
+fn identity_under_readers(n_readers: usize) {
+    let sharded = sharded_store();
+    sharded.admit(&distinguishable()).expect("sharded admit");
+    let router = Router::new(sharded, router_cfg());
+    let single = EmbeddingStore::new(midpoints(), D, serve_cfg()).expect("valid store");
+    single.admit(distinguishable()).expect("single admit");
+
+    std::thread::scope(|s| {
+        for t in 0..n_readers {
+            let (router, single) = (&router, &single);
+            s.spawn(move || {
+                for segment in (t..N).step_by(n_readers) {
+                    for k in [1usize, 5, 16] {
+                        let ours = router
+                            .knn(segment, k, Deadline::unbounded())
+                            .expect("routed knn");
+                        assert!(ours.coverage.complete(), "healthy fan-out lost coverage");
+                        let theirs = single.knn(segment, k, Deadline::unbounded()).expect("knn");
+                        assert_eq!(ours.neighbors.len(), theirs.neighbors.len());
+                        for (a, b) in ours.neighbors.iter().zip(&theirs.neighbors) {
+                            assert_eq!(a.0, b.0, "segment {segment} k {k}: id order");
+                            assert_eq!(
+                                a.1.to_bits(),
+                                b.1.to_bits(),
+                                "segment {segment} k {k}: score bits"
+                            );
+                        }
+                    }
+                    let ours = router
+                        .knn_approx(segment, 5, Deadline::unbounded())
+                        .expect("routed approx");
+                    let theirs = single
+                        .knn_approx(segment, 5, Deadline::unbounded())
+                        .expect("approx");
+                    let pairs_ours: Vec<_> = ours
+                        .neighbors
+                        .iter()
+                        .map(|&(i, s)| (i, s.to_bits()))
+                        .collect();
+                    let pairs_theirs: Vec<_> = theirs
+                        .neighbors
+                        .iter()
+                        .map(|&(i, s)| (i, s.to_bits()))
+                        .collect();
+                    assert_eq!(pairs_ours, pairs_theirs, "segment {segment}: approx bits");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn routed_knn_is_bitwise_identical_with_one_reader() {
+    identity_under_readers(1);
+}
+
+#[test]
+fn routed_knn_is_bitwise_identical_with_four_readers() {
+    identity_under_readers(4);
+}
+
+/// Sentinel tensor: every component of global row `r` is
+/// `gens[shard_of(r)] * (r + 1)`.
+fn sentinel(sharded: &ShardedStore, gens: &[u64]) -> Tensor {
+    let data = (0..N * D)
+        .map(|p| {
+            let r = p / D;
+            let (shard, _) = sharded.locate(r).expect("known segment");
+            gens[shard] as f32 * (r as f32 + 1.0)
+        })
+        .collect();
+    Tensor::from_vec(N, D, data)
+}
+
+/// Decodes the sentinel generation of `row` (global id `segment`),
+/// asserting the row is whole.
+fn decode_generation(segment: usize, row: &[f32]) -> u64 {
+    let first = row[0];
+    assert!(
+        row.iter().all(|&v| v == first),
+        "torn read: segment {segment} row mixes values {row:?}"
+    );
+    let gen = first / (segment as f32 + 1.0);
+    assert!(
+        (gen - gen.round()).abs() < 1e-3 && gen >= 1.0,
+        "segment {segment} served value {first} from a never-published generation ({gen})"
+    );
+    gen.round() as u64
+}
+
+#[test]
+fn chaos_kill_k_of_n_shards_mid_churn_then_recover() {
+    let sharded = sharded_store();
+    let shards = sharded.num_shards();
+    let mut gens = vec![1u64; shards];
+    sharded
+        .admit(&sentinel(&sharded, &gens))
+        .expect("initial sentinel admit");
+    let router = Router::new(sharded, router_cfg());
+    let sharded = router.sharded();
+    let kill: Vec<usize> = (0..(shards / 2).max(1)).collect();
+
+    let dir = std::env::temp_dir().join(format!("sarn_sys_router_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("corrupt.emb");
+    std::fs::write(&bad, b"not an artifact").expect("corrupt artifact");
+
+    // Per-shard ceiling readers may observe; bumped *before* each admit.
+    let max_published: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(1)).collect();
+    let stop = AtomicBool::new(false);
+    let incomplete = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let (router, max_published, stop) = (&router, &max_published, &stop);
+        let (incomplete, shed) = (&incomplete, &shed);
+        let mut readers = Vec::new();
+        for t in 0..4usize {
+            readers.push(scope.spawn(move || {
+                let sharded = router.sharded();
+                let mut last_shard_gen = vec![0u64; sharded.num_shards()];
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let segment = (reads as usize * 5 + t) % N;
+                    match router.knn(segment, 5, Deadline::unbounded()) {
+                        Ok(answer) => {
+                            for &(id, score) in &answer.neighbors {
+                                assert!(
+                                    id < N && score.is_finite(),
+                                    "torn or out-of-range neighbor ({id}, {score})"
+                                );
+                            }
+                            assert!(answer.coverage.answered <= answer.coverage.total);
+                            if !answer.coverage.complete() {
+                                incomplete.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ServeError::PartialCoverage { .. } | ServeError::Overloaded { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("untyped failure under chaos: {e}"),
+                    }
+                    // Direct sentinel probe of one shard: whole rows from
+                    // published generations only, monotone per shard.
+                    let s = reads as usize % sharded.num_shards();
+                    let shard = sharded.shard(s);
+                    let local = reads as usize % shard.store.num_segments();
+                    let global = shard.globals[local];
+                    let row = shard
+                        .store
+                        .embedding(local, Deadline::unbounded())
+                        .expect("shard read during churn");
+                    let gen = decode_generation(global, &row);
+                    assert!(
+                        gen <= max_published[s].load(Ordering::SeqCst),
+                        "shard {s} served unpublished sentinel generation {gen}"
+                    );
+                    assert!(
+                        gen >= last_shard_gen[s],
+                        "shard {s} generation went backwards: {} -> {gen}",
+                        last_shard_gen[s]
+                    );
+                    last_shard_gen[s] = gen;
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        // Writer: per-shard generation churn with mid-churn kills.
+        for round in 0..CHURN_ROUNDS {
+            if round == 3 {
+                for &victim in &kill {
+                    router.inject_shard_fault(
+                        victim,
+                        Some(ShardFault {
+                            fail_queries: 1,
+                            sticky: true,
+                            ..ShardFault::default()
+                        }),
+                    );
+                }
+            }
+            let v = (round as usize) % shards;
+            gens[v] += 1;
+            max_published[v].store(gens[v], Ordering::SeqCst);
+            let swapped = sharded
+                .admit_changed(&sentinel(sharded, &gens))
+                .expect("churn admit");
+            assert_eq!(
+                swapped,
+                vec![v],
+                "round {round}: a single-shard sentinel bump must swap exactly shard {v}"
+            );
+            // A corrupt single-shard reload fails typed and must leave
+            // every generation (including the victim's own) untouched.
+            let w = (v + 1) % shards;
+            match sharded.reload_shard(w, &bad) {
+                Err(ServeError::Load(_)) => {}
+                other => panic!("corrupt shard reload: expected Load error, got {other:?}"),
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            let reads = reader.join().expect("reader thread panicked");
+            assert!(reads > 0, "reader made no progress during churn");
+        }
+    });
+    assert!(
+        incomplete.load(Ordering::Relaxed) + shed.load(Ordering::Relaxed) > 0,
+        "killing {} of {shards} shards never degraded a single answer",
+        kill.len()
+    );
+
+    // Recovery: clear the faults; the breakers must probe half-open and
+    // close, restoring full coverage.
+    for &victim in &kill {
+        router.inject_shard_fault(victim, None);
+    }
+    let t0 = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(5));
+        let answer = router
+            .knn(0, 5, Deadline::unbounded())
+            .expect("query during recovery");
+        if answer.coverage.complete()
+            && (0..shards).all(|i| router.breaker_state(i) == BreakerState::Closed)
+        {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "router did not recover to full coverage within 10s of faults clearing"
+        );
+    }
+    // Every shard still serves exactly its latest published sentinel.
+    for (s, &gen) in gens.iter().enumerate() {
+        let shard = sharded.shard(s);
+        let global = shard.globals[0];
+        let row = shard
+            .store
+            .embedding(0, Deadline::unbounded())
+            .expect("post-recovery read");
+        assert_eq!(
+            decode_generation(global, &row),
+            gen,
+            "shard {s} final generation"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
