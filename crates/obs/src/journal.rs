@@ -177,6 +177,25 @@ pub enum Event {
         /// Shards the query consulted.
         total: usize,
     },
+    /// A serving generation finished building its ANN index and k-NN
+    /// switched from linear scan to the HNSW graph.
+    IndexBuilt {
+        /// Generation the index serves.
+        generation: u64,
+        /// Rows indexed.
+        rows: u64,
+        /// Wall-clock milliseconds of the build.
+        build_ms: f64,
+    },
+    /// An ANN-backed query or index adoption fell back to the exact
+    /// scan (index absent, still building, corrupt sidecar, or
+    /// deadline expired mid-walk).
+    AnnFallback {
+        /// Generation serving at the fallback.
+        generation: u64,
+        /// Why the ANN path was not taken.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -201,6 +220,8 @@ impl Event {
             Event::QuarantineEnter { .. } => "quarantine_enter",
             Event::QuarantineExit { .. } => "quarantine_exit",
             Event::PartialCoverage { .. } => "partial_coverage",
+            Event::IndexBuilt { .. } => "index_built",
+            Event::AnnFallback { .. } => "ann_fallback",
         }
     }
 }
@@ -361,6 +382,19 @@ impl TimedEvent {
             Event::PartialCoverage { answered, total } => {
                 w.field_u64("answered", *answered as u64);
                 w.field_u64("total", *total as u64);
+            }
+            Event::IndexBuilt {
+                generation,
+                rows,
+                build_ms,
+            } => {
+                w.field_u64("generation", *generation);
+                w.field_u64("rows", *rows);
+                w.field_f64("build_ms", *build_ms);
+            }
+            Event::AnnFallback { generation, reason } => {
+                w.field_u64("generation", *generation);
+                w.field_str("reason", reason);
             }
         }
         w.finish()
@@ -664,6 +698,15 @@ mod tests {
             Event::PartialCoverage {
                 answered: 3,
                 total: 4,
+            },
+            Event::IndexBuilt {
+                generation: 11,
+                rows: 8192,
+                build_ms: 73.5,
+            },
+            Event::AnnFallback {
+                generation: 11,
+                reason: "index building".into(),
             },
         ];
         for e in events.iter().cloned() {

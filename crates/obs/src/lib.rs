@@ -42,6 +42,7 @@ pub mod export;
 mod journal;
 mod metrics;
 mod proc;
+mod quantile;
 mod registry;
 mod span;
 
@@ -53,6 +54,7 @@ pub use export::{
 pub use journal::{Event, EventJournal, TimedEvent, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{latency_boundaries, magnitude_boundaries, Counter, Gauge, Histogram};
 pub use proc::peak_rss_bytes;
+pub use quantile::{bucket_index, quantile_from_buckets};
 pub use registry::{HistogramSnapshot, Registry, Snapshot};
 pub use span::Span;
 

@@ -136,13 +136,7 @@ impl Histogram {
     /// the overflow bucket (`boundaries.len()`) when none is (this is
     /// also where NaN goes).
     pub fn bucket_index(&self, v: f64) -> usize {
-        if v.is_nan() {
-            return self.inner.boundaries.len();
-        }
-        // partition_point over `b < v` yields the first boundary >= v,
-        // i.e. the cumulative-bucket index; when every boundary is below
-        // `v` it yields `boundaries.len()` — the overflow bucket.
-        self.inner.boundaries.partition_point(|&b| b < v)
+        crate::quantile::bucket_index(&self.inner.boundaries, v)
     }
 
     /// Records one observation. No-op while telemetry is disabled.

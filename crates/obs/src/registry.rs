@@ -52,6 +52,13 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile of the recorded values (`None` when
+    /// empty) — the shared cumulative-bucket walk of
+    /// [`crate::quantile_from_buckets`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::quantile_from_buckets(&self.boundaries, &self.counts, q)
+    }
 }
 
 /// A point-in-time copy of every registered metric, sorted by name —

@@ -104,6 +104,21 @@ fn env_f64_nonneg(var: &'static str, default: f64) -> Result<f64, ConfigError> {
     })
 }
 
+/// `SARN_ANN_THRESHOLD` is either a positive row count or one of the
+/// "disabled" spellings (`inf`/`∞`/`off`/`none`, case-insensitive) that
+/// map to `usize::MAX` — a threshold no real generation reaches.
+fn env_ann_threshold(var: &'static str, default: usize) -> Result<usize, ConfigError> {
+    env_knob(
+        var,
+        default,
+        "must be a positive integer or inf/off/none",
+        |raw| match raw.to_ascii_lowercase().as_str() {
+            "inf" | "∞" | "off" | "none" => Some(usize::MAX),
+            other => other.parse::<usize>().ok().filter(|&v| v >= 1),
+        },
+    )
+}
+
 fn env_bool(var: &'static str, default: bool) -> Result<bool, ConfigError> {
     env_knob(
         var,
@@ -152,6 +167,21 @@ pub struct ServeConfig {
     /// is journaled and counted so an operator, or the online pipeline,
     /// reacts). `None` disables the check.
     pub max_staleness: Option<Duration>,
+    /// Row count at or above which an admitted generation gets an HNSW
+    /// index built in the background (`usize::MAX` disables ANN entirely
+    /// — serving is then bitwise-identical to a store without the
+    /// subsystem).
+    pub ann_threshold: usize,
+    /// HNSW `M`: neighbors kept per node per layer (>= 2).
+    pub ann_m: usize,
+    /// HNSW `ef_construction`: beam width while building the index.
+    pub ann_ef_construction: usize,
+    /// HNSW `ef_search`: beam width while querying (floored at `k + 1`
+    /// per query, so small values stay safe).
+    pub ann_ef_search: usize,
+    /// Seed of the deterministic level assignment — same seed and rows
+    /// produce a bitwise-identical index.
+    pub ann_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -166,6 +196,11 @@ impl Default for ServeConfig {
             grid_clen_m: 500.0,
             approx_radius: 1,
             max_staleness: None,
+            ann_threshold: 4096,
+            ann_m: 16,
+            ann_ef_construction: 100,
+            ann_ef_search: 64,
+            ann_seed: 42,
         }
     }
 }
@@ -177,9 +212,12 @@ impl ServeConfig {
     /// `SARN_SERVE_DEADLINE_MS` (`0` = unbounded),
     /// `SARN_SERVE_RELOAD_RETRIES` (`0` = no retries),
     /// `SARN_SERVE_RELOAD_BACKOFF_MS` (>= 1), `SARN_SERVE_CLEN_M`
-    /// (finite, > 0), `SARN_SERVE_APPROX_RADIUS` (>= 1), and
+    /// (finite, > 0), `SARN_SERVE_APPROX_RADIUS` (>= 1),
     /// `SARN_SERVE_MAX_STALENESS_S` (`0` = no staleness SLO; fractional
-    /// seconds accepted).
+    /// seconds accepted), plus the ANN knobs: `SARN_ANN_THRESHOLD`
+    /// (positive row count, or `inf`/`off`/`none` to disable ANN),
+    /// `SARN_ANN_M` (>= 2), `SARN_ANN_EF_CONSTRUCTION` (>= 1),
+    /// `SARN_ANN_EF_SEARCH` (>= 1), and `SARN_ANN_SEED` (any u64).
     ///
     /// A present-but-malformed value returns a [`ConfigError`] naming the
     /// variable; only unset/empty variables default.
@@ -202,6 +240,20 @@ impl ServeConfig {
             approx_radius: env_usize_min("SARN_SERVE_APPROX_RADIUS", d.approx_radius, 1)?,
             max_staleness: (max_staleness_s > 0.0)
                 .then(|| Duration::from_secs_f64(max_staleness_s)),
+            ann_threshold: env_ann_threshold("SARN_ANN_THRESHOLD", d.ann_threshold)?,
+            ann_m: env_usize_min("SARN_ANN_M", d.ann_m, 2)?,
+            ann_ef_construction: env_usize_min(
+                "SARN_ANN_EF_CONSTRUCTION",
+                d.ann_ef_construction,
+                1,
+            )?,
+            ann_ef_search: env_usize_min("SARN_ANN_EF_SEARCH", d.ann_ef_search, 1)?,
+            ann_seed: env_knob(
+                "SARN_ANN_SEED",
+                d.ann_seed,
+                "must be an unsigned integer",
+                |raw| raw.parse::<u64>().ok(),
+            )?,
         })
     }
 }
@@ -337,6 +389,10 @@ mod tests {
         assert!(d.default_deadline.is_none());
         assert!(d.reload_backoff > Duration::ZERO);
         assert!(d.deadline_check_every > 0);
+        assert!(d.ann_m >= 2);
+        assert!(d.ann_ef_construction >= d.ann_m);
+        assert!(d.ann_ef_search >= 1);
+        assert!(d.ann_threshold >= 1);
         let r = RouterConfig::default();
         assert!(r.min_shards <= r.num_shards);
         assert!(r.hedge_factor > 1.0);
@@ -365,6 +421,11 @@ mod tests {
                 ("SARN_SERVE_CLEN_M", "250.5"),
                 ("SARN_SERVE_APPROX_RADIUS", "2"),
                 ("SARN_SERVE_MAX_STALENESS_S", "1.5"),
+                ("SARN_ANN_THRESHOLD", "512"),
+                ("SARN_ANN_M", "8"),
+                ("SARN_ANN_EF_CONSTRUCTION", "64"),
+                ("SARN_ANN_EF_SEARCH", "48"),
+                ("SARN_ANN_SEED", "7"),
             ],
             || ServeConfig::from_env().expect("valid overrides"),
         );
@@ -376,6 +437,23 @@ mod tests {
         assert_eq!(cfg.grid_clen_m, 250.5);
         assert_eq!(cfg.approx_radius, 2);
         assert_eq!(cfg.max_staleness, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(cfg.ann_threshold, 512);
+        assert_eq!(cfg.ann_m, 8);
+        assert_eq!(cfg.ann_ef_construction, 64);
+        assert_eq!(cfg.ann_ef_search, 48);
+        assert_eq!(cfg.ann_seed, 7);
+    }
+
+    /// Every "disabled" spelling of the threshold maps to `usize::MAX`,
+    /// case-insensitively.
+    #[test]
+    fn ann_threshold_disabled_spellings_map_to_max() {
+        for spelling in ["inf", "INF", "∞", "off", "Off", "none", "NONE"] {
+            let cfg = with_env(&[("SARN_ANN_THRESHOLD", spelling)], || {
+                ServeConfig::from_env().expect("disabled spelling")
+            });
+            assert_eq!(cfg.ann_threshold, usize::MAX, "spelling {spelling:?}");
+        }
     }
 
     /// Every knob, one by one: a malformed value is a typed error that
@@ -402,6 +480,16 @@ mod tests {
             ("SARN_SERVE_MAX_STALENESS_S", "-1"),
             ("SARN_SERVE_MAX_STALENESS_S", "inf"),
             ("SARN_SERVE_MAX_STALENESS_S", "fresh"),
+            ("SARN_ANN_THRESHOLD", "0"),
+            ("SARN_ANN_THRESHOLD", "-1"),
+            ("SARN_ANN_THRESHOLD", "never"),
+            ("SARN_ANN_M", "1"),
+            ("SARN_ANN_M", "sixteen"),
+            ("SARN_ANN_EF_CONSTRUCTION", "0"),
+            ("SARN_ANN_EF_SEARCH", "0"),
+            ("SARN_ANN_EF_SEARCH", "-8"),
+            ("SARN_ANN_SEED", "-1"),
+            ("SARN_ANN_SEED", "random"),
         ];
         for (var, bad) in cases {
             let err = with_env(&[(var, bad)], || {

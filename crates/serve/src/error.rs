@@ -68,6 +68,16 @@ pub enum ServeError {
         /// The configured minimum for an answer.
         min_shards: usize,
     },
+    /// The ANN index itself failed (corrupt sidecar bytes, I/O) — the
+    /// exact scan is still available; callers that see this chose the
+    /// ANN-only path explicitly.
+    Index(sarn_ann::AnnError),
+    /// An ANN-only call found no ready index: it is absent, still
+    /// building, or the generation fell back to exact scan.
+    IndexUnavailable {
+        /// The index lifecycle state that blocked the call.
+        state: crate::IndexState,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -109,6 +119,10 @@ impl fmt::Display for ServeError {
                 "partial coverage: only {answered} of {total} shards answered \
                  (minimum {min_shards})"
             ),
+            ServeError::Index(e) => write!(f, "ann index failed: {e}"),
+            ServeError::IndexUnavailable { state } => {
+                write!(f, "ann index unavailable (state {state:?})")
+            }
         }
     }
 }
@@ -119,6 +133,7 @@ impl std::error::Error for ServeError {
             ServeError::Load(e) => Some(e),
             ServeError::Grid(e) => Some(e),
             ServeError::Config(e) => Some(e),
+            ServeError::Index(e) => Some(e),
             _ => None,
         }
     }
@@ -139,6 +154,12 @@ impl From<IoError> for ServeError {
 impl From<GridError> for ServeError {
     fn from(e: GridError) -> Self {
         ServeError::Grid(e)
+    }
+}
+
+impl From<sarn_ann::AnnError> for ServeError {
+    fn from(e: sarn_ann::AnnError) -> Self {
+        ServeError::Index(e)
     }
 }
 

@@ -77,4 +77,6 @@ pub use deadline::Deadline;
 pub use error::ServeError;
 pub use router::{Coverage, RoutedKnn, Router, ShardCoverage, ShardFault, ShardOutcome};
 pub use shard::{Shard, ShardedStore};
-pub use store::{EmbeddingStore, Generation, HealthReport, Knn, ServeState, ShardHealth, Ticket};
+pub use store::{
+    EmbeddingStore, Generation, HealthReport, IndexState, Knn, ServeState, ShardHealth, Ticket,
+};

@@ -14,9 +14,11 @@
 //!    warm, an attempt that outlives `p99 × hedge_factor` gets a
 //!    duplicate fired against the same shard; first answer wins, the
 //!    straggler is abandoned (its send fails harmlessly).
-//! 4. **Degrade** — a shard whose exact leg exhausts retries is retried
-//!    once more with the *approximate* leg (grid candidates only, a few
-//!    rows instead of a scan), reported as degraded coverage.
+//! 4. **Degrade** — a shard whose exact leg exhausts retries walks the
+//!    degrade ladder: first the *ANN* leg (the shard's HNSW index, when
+//!    one is ready — approximate neighbors at full candidate coverage),
+//!    then the *grid-approximate* leg (grid candidates only, a few rows
+//!    instead of a scan), each reported as degraded coverage.
 //!
 //! Shards that still fail are dropped from the answer rather than
 //! failing it: the response carries a typed [`Coverage`] report
@@ -43,7 +45,7 @@ use crate::config::{LoadFault, RouterConfig};
 use crate::deadline::Deadline;
 use crate::error::ServeError;
 use crate::shard::ShardedStore;
-use crate::store::{top_k, EmbeddingStore, HealthReport, ServeState, ShardHealth};
+use crate::store::{top_k, EmbeddingStore, HealthReport, IndexState, ServeState, ShardHealth};
 
 /// Recovers a poisoned mutex (same contract as the store's: everything
 /// behind these locks is coherent under replacement).
@@ -83,6 +85,9 @@ pub struct ShardFault {
 pub enum ShardOutcome {
     /// Contributed its exact leg.
     Answered,
+    /// Its exact leg failed; contributed its ready HNSW index's
+    /// approximate neighbors instead (first rung of the degrade ladder).
+    DegradedAnn,
     /// Its exact leg failed; contributed grid-approximate scores instead.
     DegradedApprox,
     /// Breaker open: routed around, not consulted.
@@ -138,38 +143,53 @@ pub struct RoutedKnn {
     pub coverage: Coverage,
 }
 
-/// Sliding-window p99 latency estimate for one shard, feeding the hedge
-/// trigger. Stays `None` (hedging disarmed) until the window has enough
-/// samples to make a p99 meaningful.
-#[derive(Debug, Default)]
+/// Bucketed p99 latency estimate for one shard, feeding the hedge
+/// trigger: the standard log-spaced latency buckets
+/// ([`sarn_obs::latency_boundaries`]) with lock-free atomic counts, read
+/// through the shared [`sarn_obs::quantile_from_buckets`] estimator (the
+/// same cumulative-bucket walk the exported histograms use — and, unlike
+/// [`sarn_obs::Histogram`], recording here is *not* gated on the
+/// telemetry flag: hedging must work with telemetry off). Stays `None`
+/// (hedging disarmed) until enough samples make a p99 meaningful.
+#[derive(Debug)]
 struct LatencyTracker {
-    samples: Mutex<Vec<f64>>,
+    boundaries: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl Default for LatencyTracker {
+    fn default() -> Self {
+        let boundaries = sarn_obs::latency_boundaries();
+        let counts = (0..=boundaries.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            boundaries,
+            counts,
+            total: AtomicU64::new(0),
+        }
+    }
 }
 
 impl LatencyTracker {
-    const WINDOW: usize = 256;
-    const MIN_SAMPLES: usize = 16;
+    const MIN_SAMPLES: u64 = 16;
 
     fn record(&self, seconds: f64) {
-        let mut s = lock_recovering(&self.samples);
-        if s.len() >= Self::WINDOW {
-            s.remove(0);
-        }
-        s.push(seconds);
+        let idx = sarn_obs::bucket_index(&self.boundaries, seconds);
+        self.counts[idx].fetch_add(1, AtomicOrdering::Relaxed);
+        self.total.fetch_add(1, AtomicOrdering::Relaxed);
     }
 
     fn p99(&self) -> Option<Duration> {
-        let s = lock_recovering(&self.samples);
-        if s.len() < Self::MIN_SAMPLES {
+        if self.total.load(AtomicOrdering::Relaxed) < Self::MIN_SAMPLES {
             return None;
         }
-        let mut sorted = s.clone();
-        drop(s);
-        sorted.sort_by(f64::total_cmp);
-        let idx = ((sorted.len() as f64 * 0.99).ceil() as usize)
-            .saturating_sub(1)
-            .min(sorted.len() - 1);
-        Some(Duration::from_secs_f64(sorted[idx].max(0.0)))
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(AtomicOrdering::Relaxed))
+            .collect();
+        sarn_obs::quantile_from_buckets(&self.boundaries, &counts, 0.99)
+            .map(|s| Duration::from_secs_f64(s.max(0.0)))
     }
 }
 
@@ -681,19 +701,34 @@ impl Router {
                     error: None,
                 }),
                 ShardResult::Failed(e) if !approx => {
-                    // Degrade: rescue this shard's contribution with the
-                    // cheap approximate leg before giving up on it.
+                    // Degrade ladder: rescue this shard's contribution
+                    // with its ready ANN index first (full candidate
+                    // coverage, approximate ranking), then the cheap
+                    // grid-approximate leg, before giving up on it.
                     sarn_obs::counter("sarn_serve_shard_failed_total").inc();
-                    match self.degraded_leg(rt, segment, &query, query_norm, exclude, k, &deadline)
-                    {
-                        Some(p) => {
+                    let rescue = self
+                        .ann_leg(rt, &query, query_norm, exclude, k, &deadline)
+                        .map(|p| (p, ShardOutcome::DegradedAnn))
+                        .or_else(|| {
+                            self.degraded_leg(
+                                rt, segment, &query, query_norm, exclude, k, &deadline,
+                            )
+                            .map(|p| (p, ShardOutcome::DegradedApprox))
+                        });
+                    match rescue {
+                        Some((p, outcome)) => {
                             merged.extend(p.pairs);
                             answered += 1;
                             degraded += 1;
-                            sarn_obs::counter("sarn_serve_router_degraded_total").inc();
+                            let rung = if outcome == ShardOutcome::DegradedAnn {
+                                "sarn_serve_router_ann_rescue_total"
+                            } else {
+                                "sarn_serve_router_degraded_total"
+                            };
+                            sarn_obs::counter(rung).inc();
                             shards_cov.push(ShardCoverage {
                                 shard: rt.index,
-                                outcome: ShardOutcome::DegradedApprox,
+                                outcome,
                                 generation: Some(p.generation),
                                 error: Some(e.to_string()),
                             });
@@ -788,6 +823,35 @@ impl Router {
         })
     }
 
+    /// The ANN rescue leg: answer from this shard's HNSW index when one
+    /// is ready (`None` otherwise — absent, building, or fell back),
+    /// outside the breaker (it already recorded the exact leg's failure)
+    /// and with one slice of whatever budget remains.
+    fn ann_leg(
+        &self,
+        rt: &Arc<ShardRuntime>,
+        query: &Arc<Vec<f32>>,
+        query_norm: f32,
+        exclude: Option<usize>,
+        k: usize,
+        deadline: &Deadline,
+    ) -> Option<ShardPartial> {
+        let slice = deadline.split(1);
+        rt.apply_fault().ok()?;
+        let knn = rt
+            .store
+            .knn_vector_ann(query, query_norm, exclude, k, slice)
+            .ok()?;
+        Some(ShardPartial {
+            pairs: knn
+                .neighbors
+                .iter()
+                .map(|&(l, s)| (rt.globals[l], s))
+                .collect(),
+            generation: knn.generation,
+        })
+    }
+
     /// The degraded rescue leg: score only this shard's global-grid
     /// candidate rows (a handful instead of a scan), outside the breaker
     /// (it already recorded the exact leg's failure) and with one slice
@@ -852,9 +916,12 @@ impl Router {
         let mut inflight = 0usize;
         let mut generations = Vec::with_capacity(self.runtimes.len());
         let mut oldest_age: Option<Duration> = None;
+        let mut index_states = Vec::with_capacity(self.runtimes.len());
         for rt in &self.runtimes {
             let h = rt.store.health();
             let breaker = rt.breaker.state();
+            let index = rt.store.index_state();
+            index_states.push(index);
             // Effective shard state: forced staleness and an open breaker
             // both degrade a nominally-serving shard.
             let state = if rt.forced_stale() {
@@ -905,8 +972,38 @@ impl Router {
                 breaker,
                 consecutive_failures: rt.breaker.consecutive_failures(),
                 segments: rt.globals.len(),
+                index,
             });
         }
+        // Pessimistic aggregate: any shard serving without its index
+        // (FellBack) dominates, then any still building; Ready only when
+        // every shard is, reporting the slowest build.
+        let index = if index_states
+            .iter()
+            .any(|s| matches!(s, IndexState::FellBack))
+        {
+            IndexState::FellBack
+        } else if index_states
+            .iter()
+            .any(|s| matches!(s, IndexState::Building))
+        {
+            IndexState::Building
+        } else {
+            let builds: Vec<u64> = index_states
+                .iter()
+                .filter_map(|s| match s {
+                    IndexState::Ready { build_ms } => Some(*build_ms),
+                    _ => None,
+                })
+                .collect();
+            if !index_states.is_empty() && builds.len() == index_states.len() {
+                IndexState::Ready {
+                    build_ms: builds.into_iter().max().unwrap_or(0),
+                }
+            } else {
+                IndexState::None
+            }
+        };
         // The aggregate generation is only meaningful when every shard
         // serves the same one (per-shard swaps legitimately diverge).
         let generation = match generations.first().copied().flatten() {
@@ -927,6 +1024,7 @@ impl Router {
             uptime: self.started.elapsed(),
             generation_age: oldest_age,
             metrics: sarn_obs::enabled().then(|| sarn_obs::Registry::global().snapshot()),
+            index,
             shards,
         }
     }

@@ -250,6 +250,15 @@ impl ShardedStore {
         self.shards[idx].store.reload(path)
     }
 
+    /// Writes one shard's ready HNSW index to `path` (the `.hnsw`
+    /// sidecar convention lets the next reload of that shard's artifact
+    /// adopt it instead of rebuilding). Typed
+    /// [`ServeError::IndexUnavailable`] when the shard has no ready
+    /// index.
+    pub fn save_shard_index(&self, idx: usize, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        self.shards[idx].store.save_index(path)
+    }
+
     // ---- approximate fan-out candidates ----------------------------------
 
     /// Global candidate ids for an approximate query, generated from the

@@ -1,9 +1,9 @@
 //! The generation-swapping embedding store.
 
 use std::cmp::Ordering;
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use sarn_core::{embedding_defect, SarnTrained};
@@ -28,6 +28,46 @@ pub struct Generation {
     norms: Vec<f32>,
     /// When this generation was published.
     admitted_at: Instant,
+    /// The generation's HNSW index, installed at most once — either
+    /// adopted from a validated sidecar at admission, inherited from
+    /// the previous generation over identical bytes, or published by
+    /// the detached background builder.
+    index: OnceLock<Arc<sarn_ann::HnswIndex>>,
+    /// [`IndexState`] discriminant (`INDEX_*` constants). Written with
+    /// release ordering after `index` is set, so an acquire load seeing
+    /// `READY` is guaranteed to find the index installed.
+    index_state: AtomicU8,
+    /// Wall-clock milliseconds the build took (0 when adopted from a
+    /// sidecar file).
+    index_build_ms: AtomicU64,
+}
+
+const INDEX_NONE: u8 = 0;
+const INDEX_BUILDING: u8 = 1;
+const INDEX_READY: u8 = 2;
+const INDEX_FELL_BACK: u8 = 3;
+
+/// Where a generation's ANN index is in its lifecycle — surfaced per
+/// shard in [`HealthReport`] so operators can see which shards still
+/// answer k-NN by linear scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexState {
+    /// No index: the generation is below [`crate::ServeConfig::ann_threshold`]
+    /// rows or the ANN subsystem is disabled. k-NN is the exact scan.
+    None,
+    /// The background builder is still constructing the index; k-NN
+    /// serves by exact scan until it finishes.
+    Building,
+    /// The index is live: ANN-backed k-NN with exact-rescan fallback.
+    Ready {
+        /// Wall-clock milliseconds the build took (0 when the index
+        /// was adopted from a sidecar file instead of built in-process).
+        build_ms: u64,
+    },
+    /// An index sidecar was corrupt or mismatched at reload: the
+    /// generation serves by exact scan and will not retry until the
+    /// next successful reload.
+    FellBack,
 }
 
 impl Generation {
@@ -44,6 +84,50 @@ impl Generation {
             embeddings,
             norms,
             admitted_at: Instant::now(),
+            index: OnceLock::new(),
+            index_state: AtomicU8::new(INDEX_NONE),
+            index_build_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Where this generation's ANN index is in its lifecycle.
+    pub fn index_state(&self) -> IndexState {
+        match self.index_state.load(AtomicOrdering::Acquire) {
+            INDEX_BUILDING => IndexState::Building,
+            INDEX_READY => IndexState::Ready {
+                build_ms: self.index_build_ms.load(AtomicOrdering::Relaxed),
+            },
+            INDEX_FELL_BACK => IndexState::FellBack,
+            _ => IndexState::None,
+        }
+    }
+
+    /// The live index, only once it is [`IndexState::Ready`].
+    pub(crate) fn ann_index(&self) -> Option<Arc<sarn_ann::HnswIndex>> {
+        if self.index_state.load(AtomicOrdering::Acquire) == INDEX_READY {
+            self.index.get().cloned()
+        } else {
+            None
+        }
+    }
+
+    fn mark_building(&self) {
+        self.index_state
+            .store(INDEX_BUILDING, AtomicOrdering::Release);
+    }
+
+    fn mark_fell_back(&self) {
+        self.index_state
+            .store(INDEX_FELL_BACK, AtomicOrdering::Release);
+    }
+
+    /// Publishes an index for this generation. First caller wins; the
+    /// `READY` flag is stored *after* the `OnceLock` is set, so readers
+    /// that observe `Ready` always find the index.
+    fn install_index(&self, index: Arc<sarn_ann::HnswIndex>, build_ms: u64) {
+        if self.index.set(index).is_ok() {
+            self.index_build_ms.store(build_ms, AtomicOrdering::Relaxed);
+            self.index_state.store(INDEX_READY, AtomicOrdering::Release);
         }
     }
 
@@ -157,6 +241,12 @@ pub struct HealthReport {
     /// while loading) — the staleness signal: a store whose reloads keep
     /// failing shows a growing age next to its climbing failure counters.
     pub generation_age: Option<Duration>,
+    /// ANN index lifecycle of the served generation. For a sharded
+    /// report this aggregates pessimistically: `FellBack` if any shard
+    /// fell back, else `Building` if any is still building, else
+    /// `Ready` (slowest build) when every shard has an index, else
+    /// `None`.
+    pub index: IndexState,
     /// Point-in-time copy of the process-wide telemetry registry
     /// (`None` while telemetry is disabled).
     pub metrics: Option<sarn_obs::Snapshot>,
@@ -187,6 +277,9 @@ pub struct ShardHealth {
     pub consecutive_failures: u32,
     /// Number of segments (global ids) this shard owns.
     pub segments: usize,
+    /// ANN index lifecycle of this shard's served generation — which
+    /// shards are still answering k-NN by linear scan.
+    pub index: IndexState,
 }
 
 impl std::fmt::Display for HealthReport {
@@ -225,6 +318,9 @@ pub struct Knn {
     /// `true` when an exact request was downgraded to the grid-approximate
     /// path under load.
     pub degraded: bool,
+    /// `true` when the answer came from the HNSW index rather than an
+    /// exact scan.
+    pub ann: bool,
 }
 
 /// RAII admission ticket: holds one slot of the in-flight budget until
@@ -376,6 +472,27 @@ impl EmbeddingStore {
     /// per-row screen ([`sarn_core::embedding_defect`]) that also guards
     /// the training watchdog's negative queues.
     pub fn admit(&self, embeddings: Tensor) -> Result<u64, ServeError> {
+        self.admit_with_index(embeddings, None)
+    }
+
+    /// [`EmbeddingStore::admit`] with an optional index seed from a
+    /// reload's sidecar validation. Decides the new generation's
+    /// [`IndexState`]:
+    ///
+    /// - a validated sidecar is adopted (`Ready`, `build_ms = 0`);
+    /// - a corrupt/mismatched sidecar marks the generation `FellBack`
+    ///   (exact scan, no rebuild until the next successful reload) —
+    ///   index corruption never fails the embedding reload itself;
+    /// - otherwise, when the row count is at or above
+    ///   [`ServeConfig::ann_threshold`], the previous generation's
+    ///   index is inherited if it is `Ready` and the bytes are
+    ///   bitwise identical, else a detached background build starts
+    ///   (`Building`; k-NN serves by exact scan until it finishes).
+    fn admit_with_index(
+        &self,
+        embeddings: Tensor,
+        seed: Option<IndexSeed>,
+    ) -> Result<u64, ServeError> {
         let shape = TensorExpectation {
             rows: Some(self.num_segments()),
             cols: Some(self.dim),
@@ -387,12 +504,61 @@ impl EmbeddingStore {
                 return Err(ServeError::CorruptRow { row, defect });
             }
         }
+        let eligible = self.ann_eligible(embeddings.rows());
+        // Inheritance probe outside the write lock: if the previous
+        // generation has a ready index over the very same bytes, reuse
+        // it instead of rebuilding (the incremental-edit fast path).
+        let inherit = if eligible && seed.is_none() {
+            self.snapshot().and_then(|prev| {
+                let same = prev.embeddings().data().len() == embeddings.data().len()
+                    && prev
+                        .embeddings()
+                        .data()
+                        .iter()
+                        .zip(embeddings.data())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if same {
+                    prev.ann_index().map(|idx| {
+                        let build_ms = match prev.index_state() {
+                            IndexState::Ready { build_ms } => build_ms,
+                            _ => 0,
+                        };
+                        (idx, build_ms)
+                    })
+                } else {
+                    None
+                }
+            })
+        } else {
+            None
+        };
         let mut current = self
             .current
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         let number = current.as_ref().map_or(0, |g| g.number()) + 1;
-        *current = Some(Arc::new(Generation::new(number, embeddings)));
+        let gen = Arc::new(Generation::new(number, embeddings));
+        let mut build = false;
+        match seed {
+            Some(IndexSeed::Loaded(idx)) => gen.install_index(Arc::new(idx), 0),
+            Some(IndexSeed::FellBack(reason)) => {
+                gen.mark_fell_back();
+                sarn_obs::counter("sarn_serve_ann_fallback_total").inc();
+                sarn_obs::record(sarn_obs::Event::AnnFallback {
+                    generation: number,
+                    reason,
+                });
+            }
+            None if eligible => match inherit {
+                Some((idx, build_ms)) => gen.install_index(idx, build_ms),
+                None => {
+                    gen.mark_building();
+                    build = true;
+                }
+            },
+            None => {}
+        }
+        *current = Some(Arc::clone(&gen));
         drop(current);
         let mut log = lock_recovering(&self.reload_log);
         log.consecutive_failures = 0;
@@ -400,7 +566,24 @@ impl EmbeddingStore {
         // A fresh generation re-arms the one-shot staleness latch.
         self.stale_flagged.store(false, AtomicOrdering::Release);
         sarn_obs::gauge("sarn_serve_generation").set(number as f64);
+        if build {
+            spawn_index_build(gen, self.hnsw_config());
+        }
         Ok(number)
+    }
+
+    /// Whether a generation of `rows` rows gets an ANN index.
+    fn ann_eligible(&self, rows: usize) -> bool {
+        self.cfg.ann_threshold != usize::MAX && rows >= self.cfg.ann_threshold
+    }
+
+    /// The HNSW parameters every index of this store is built with.
+    fn hnsw_config(&self) -> sarn_ann::HnswConfig {
+        sarn_ann::HnswConfig {
+            m: self.cfg.ann_m,
+            ef_construction: self.cfg.ann_ef_construction,
+            seed: self.cfg.ann_seed,
+        }
     }
 
     /// Admits a trained model's embedding matrix directly (no file
@@ -504,7 +687,53 @@ impl EmbeddingStore {
             finite: false,
         };
         let t = Tensor::load_validated(path, &expect)?;
-        self.admit(t)
+        let seed = self.sidecar_seed(path, &t);
+        self.admit_with_index(t, seed)
+    }
+
+    /// Probes the `<artifact>.hnsw` sidecar next to a reloading
+    /// artifact. Returns `None` when the generation is ANN-ineligible
+    /// or no sidecar exists (a background build decides then);
+    /// `Loaded` when the sidecar decodes and matches this store's
+    /// rows, dimension, HNSW parameters, and data checksum; and
+    /// `FellBack` otherwise — index corruption is a guardrail event,
+    /// never a reload failure.
+    fn sidecar_seed(&self, path: &Path, t: &Tensor) -> Option<IndexSeed> {
+        if !self.ann_eligible(t.rows()) {
+            return None;
+        }
+        let sidecar = index_sidecar_path(path);
+        if !sidecar.exists() {
+            return None;
+        }
+        match sarn_ann::HnswIndex::load(&sidecar) {
+            Ok(idx) => {
+                if idx.len() != t.rows() {
+                    Some(IndexSeed::FellBack(format!(
+                        "index sidecar holds {} points for a {}-row artifact",
+                        idx.len(),
+                        t.rows()
+                    )))
+                } else if idx.dim() != self.dim {
+                    Some(IndexSeed::FellBack(format!(
+                        "index sidecar dimension {} != served dimension {}",
+                        idx.dim(),
+                        self.dim
+                    )))
+                } else if idx.config() != self.hnsw_config() {
+                    Some(IndexSeed::FellBack(
+                        "index sidecar was built with different HNSW parameters".into(),
+                    ))
+                } else if idx.data_crc() != tensor_data_crc(t) {
+                    Some(IndexSeed::FellBack(
+                        "index sidecar was built over different embedding bytes".into(),
+                    ))
+                } else {
+                    Some(IndexSeed::Loaded(idx))
+                }
+            }
+            Err(e) => Some(IndexSeed::FellBack(format!("corrupt index sidecar: {e}"))),
+        }
     }
 
     // ---- admission control ----------------------------------------------
@@ -589,6 +818,50 @@ impl EmbeddingStore {
             self.served.fetch_add(1, AtomicOrdering::Relaxed);
             return Ok(answer);
         }
+        // ANN-backed mode: when the generation's index is ready, answer
+        // from the HNSW graph (searching k+1 so the query row itself can
+        // be dropped). Any non-Ready state falls through to the exact
+        // scan below — the guardrail that makes the index purely an
+        // optimization. `IndexState::None` (below threshold / disabled)
+        // takes the scan silently, preserving bitwise-identical,
+        // event-identical behavior with the index off.
+        match gen.index_state() {
+            IndexState::Ready { .. } => {
+                if let Some(idx) = gen.ann_index() {
+                    let ef = self.cfg.ann_ef_search.max(k + 1);
+                    match idx.search_with_deadline(
+                        &mut |x| gen.similarity(segment, x),
+                        k + 1,
+                        ef,
+                        deadline.expires_at(),
+                    ) {
+                        Ok(mut hits) => {
+                            hits.retain(|&(i, _)| i != segment);
+                            hits.truncate(k);
+                            let answer = Knn {
+                                neighbors: hits,
+                                generation: gen.number(),
+                                degraded: false,
+                                ann: true,
+                            };
+                            self.served.fetch_add(1, AtomicOrdering::Relaxed);
+                            sarn_obs::counter("sarn_serve_knn_ann_total").inc();
+                            return Ok(answer);
+                        }
+                        Err(e) => {
+                            // Deadline expiry (or any index failure)
+                            // falls back to the exact scan, whose own
+                            // deadline probe then reports the typed
+                            // ServeError::DeadlineExceeded.
+                            self.note_ann_fallback(&gen, &e.to_string());
+                        }
+                    }
+                }
+            }
+            IndexState::Building => self.note_ann_fallback(&gen, "index building"),
+            IndexState::FellBack => self.note_ann_fallback(&gen, "index fell back at reload"),
+            IndexState::None => {}
+        }
         let n = gen.embeddings().rows();
         // One expiry derivation for the whole scan; each probe below is a
         // single clock read (Deadline::check_against).
@@ -606,9 +879,19 @@ impl EmbeddingStore {
             neighbors: top_k(scored, k),
             generation: gen.number(),
             degraded: false,
+            ann: false,
         };
         self.served.fetch_add(1, AtomicOrdering::Relaxed);
         Ok(answer)
+    }
+
+    /// Counts and journals one ANN-to-exact fallback.
+    fn note_ann_fallback(&self, gen: &Generation, reason: &str) {
+        sarn_obs::counter("sarn_serve_ann_fallback_total").inc();
+        sarn_obs::record(sarn_obs::Event::AnnFallback {
+            generation: gen.number(),
+            reason: reason.to_string(),
+        });
     }
 
     /// Grid-bucketed approximate k-nearest neighbors: candidates come
@@ -674,6 +957,7 @@ impl EmbeddingStore {
             neighbors: top_k(scored, k),
             generation: gen.number(),
             degraded: false,
+            ann: false,
         })
     }
 
@@ -699,6 +983,27 @@ impl EmbeddingStore {
         let _ticket = self.try_ticket()?;
         deadline.check()?;
         let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        // Same ANN-backed ladder as `knn`, scored against the external
+        // query vector; non-Ready states fall through to the scan.
+        match gen.index_state() {
+            IndexState::Ready { .. } => {
+                if let Some(idx) = gen.ann_index() {
+                    match self
+                        .ann_vector_search(&gen, &idx, query, query_norm, exclude, k, deadline)
+                    {
+                        Ok(answer) => {
+                            self.served.fetch_add(1, AtomicOrdering::Relaxed);
+                            sarn_obs::counter("sarn_serve_knn_ann_total").inc();
+                            return Ok(answer);
+                        }
+                        Err(e) => self.note_ann_fallback(&gen, &e.to_string()),
+                    }
+                }
+            }
+            IndexState::Building => self.note_ann_fallback(&gen, "index building"),
+            IndexState::FellBack => self.note_ann_fallback(&gen, "index fell back at reload"),
+            IndexState::None => {}
+        }
         let n = gen.embeddings().rows();
         let expires_at = deadline.expires_at();
         let mut scored = Vec::with_capacity(n);
@@ -714,9 +1019,100 @@ impl EmbeddingStore {
             neighbors: top_k(scored, k),
             generation: gen.number(),
             degraded: false,
+            ann: false,
         };
         self.served.fetch_add(1, AtomicOrdering::Relaxed);
         Ok(answer)
+    }
+
+    /// ANN-only fan-out leg: answers from the index or fails typed with
+    /// [`ServeError::IndexUnavailable`] — the router's mid-rung rescue
+    /// between a failed exact leg and the grid-approximate leg.
+    pub fn knn_vector_ann(
+        &self,
+        query: &[f32],
+        query_norm: f32,
+        exclude: Option<usize>,
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<Knn, ServeError> {
+        let _latency = sarn_obs::span!("sarn_serve_knn_shard_seconds");
+        let _ticket = self.try_ticket()?;
+        deadline.check()?;
+        let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        let idx = gen.ann_index().ok_or(ServeError::IndexUnavailable {
+            state: gen.index_state(),
+        })?;
+        let answer = self.ann_vector_search(&gen, &idx, query, query_norm, exclude, k, deadline)?;
+        self.served.fetch_add(1, AtomicOrdering::Relaxed);
+        sarn_obs::counter("sarn_serve_knn_ann_total").inc();
+        Ok(answer)
+    }
+
+    /// One index search against an external query vector. A deadline
+    /// expiry inside the graph walk surfaces as the store's own typed
+    /// [`ServeError::DeadlineExceeded`].
+    #[allow(clippy::too_many_arguments)]
+    fn ann_vector_search(
+        &self,
+        gen: &Generation,
+        idx: &sarn_ann::HnswIndex,
+        query: &[f32],
+        query_norm: f32,
+        exclude: Option<usize>,
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<Knn, ServeError> {
+        let want = k + usize::from(exclude.is_some());
+        let ef = self.cfg.ann_ef_search.max(want);
+        let hits = idx
+            .search_with_deadline(
+                &mut |x| gen.similarity_to_vector(query, query_norm, x),
+                want,
+                ef,
+                deadline.expires_at(),
+            )
+            .map_err(|e| match e {
+                sarn_ann::AnnError::DeadlineExpired => {
+                    deadline
+                        .check()
+                        .err()
+                        .unwrap_or(ServeError::DeadlineExceeded {
+                            elapsed: deadline.elapsed(),
+                            budget: deadline.budget().unwrap_or_default(),
+                        })
+                }
+                other => ServeError::Index(other),
+            })?;
+        let mut hits = hits;
+        if let Some(x) = exclude {
+            hits.retain(|&(i, _)| i != x);
+        }
+        hits.truncate(k);
+        Ok(Knn {
+            neighbors: hits,
+            generation: gen.number(),
+            degraded: false,
+            ann: true,
+        })
+    }
+
+    /// Writes the current generation's ready index to `path` (the
+    /// `<artifact>.hnsw` sidecar convention), atomically. Fails typed
+    /// when no generation is live or its index is not `Ready`.
+    pub fn save_index(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let gen = self.snapshot().ok_or(ServeError::NotReady)?;
+        let idx = gen.ann_index().ok_or(ServeError::IndexUnavailable {
+            state: gen.index_state(),
+        })?;
+        idx.save(path).map_err(ServeError::Index)
+    }
+
+    /// The current generation's ANN index lifecycle
+    /// ([`IndexState::None`] while no generation is live).
+    pub fn index_state(&self) -> IndexState {
+        self.snapshot()
+            .map_or(IndexState::None, |g| g.index_state())
     }
 
     /// Scores an explicit list of this store's rows against an external
@@ -805,10 +1201,68 @@ impl EmbeddingStore {
             served_total: self.served.load(AtomicOrdering::Relaxed),
             uptime: self.started.elapsed(),
             generation_age,
+            index: snapshot
+                .as_ref()
+                .map_or(IndexState::None, |g| g.index_state()),
             metrics: sarn_obs::enabled().then(|| sarn_obs::Registry::global().snapshot()),
             shards: Vec::new(),
         }
     }
+}
+
+/// How a reload seeds the new generation's index (from
+/// [`EmbeddingStore::sidecar_seed`]).
+enum IndexSeed {
+    /// A validated sidecar index, adopted as-is.
+    Loaded(sarn_ann::HnswIndex),
+    /// The sidecar was corrupt or mismatched: serve by exact scan,
+    /// recording why.
+    FellBack(String),
+}
+
+/// The conventional index sidecar path of an embedding artifact:
+/// `<artifact>.hnsw` in the same directory.
+pub(crate) fn index_sidecar_path(artifact: &Path) -> PathBuf {
+    let mut os = artifact.as_os_str().to_os_string();
+    os.push(".hnsw");
+    PathBuf::from(os)
+}
+
+/// CRC32 of the embedding matrix's little-endian f32 bytes — the
+/// checksum an index sidecar must match to be adopted. Shares the
+/// checkpoint CRC so the two framing disciplines agree.
+fn tensor_data_crc(t: &Tensor) -> u32 {
+    let mut bytes = Vec::with_capacity(t.data().len() * 4);
+    for v in t.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    sarn_core::checkpoint::crc32(&bytes)
+}
+
+/// Builds the generation's HNSW index on a detached thread and
+/// installs it when done. The generation serves by exact scan in the
+/// meantime; if a newer generation displaces this one mid-build, the
+/// finished index lands on an unreferenced snapshot and is dropped
+/// with it — publishing is per-generation, so a swap can never adopt a
+/// stale index.
+fn spawn_index_build(gen: Arc<Generation>, cfg: sarn_ann::HnswConfig) {
+    std::thread::spawn(move || {
+        let t0 = Instant::now();
+        let rows = gen.embeddings().rows();
+        let crc = tensor_data_crc(gen.embeddings());
+        let mut index = sarn_ann::HnswIndex::new(cfg, gen.embeddings().cols(), crc);
+        for _ in 0..rows {
+            index.insert(&mut |a, b| gen.similarity(a, b));
+        }
+        let build_ms = t0.elapsed().as_millis() as u64;
+        gen.install_index(Arc::new(index), build_ms);
+        sarn_obs::counter("sarn_serve_index_built_total").inc();
+        sarn_obs::record(sarn_obs::Event::IndexBuilt {
+            generation: gen.number(),
+            rows: rows as u64,
+            build_ms: build_ms as f64,
+        });
+    });
 }
 
 /// Sorts `(id, similarity)` pairs most-similar-first (ties on ascending

@@ -27,14 +27,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # The training hot path, tensor backend (including the reduction-order
 # kernels), parallel backend, geometry layer, road-network layer (the
-# spatial join's data source), serving subsystem, and telemetry layer
-# must never panic on bad data: unwraps are banned in library code there
-# (tests, via --lib's cfg(test) compilation, still may). Panics become
-# typed TrainError / IoError / GridError / ServeError values (telemetry
-# additionally swallows export errors entirely — a metrics failure must
-# never kill a training run).
-step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-par, sarn-geo, sarn-roadnet, sarn-serve, sarn-obs, sarn-pipeline lib code)"
-cargo clippy -p sarn-core -p sarn-tensor -p sarn-par -p sarn-geo -p sarn-roadnet -p sarn-serve -p sarn-obs -p sarn-pipeline --lib -- -D warnings -D clippy::unwrap_used
+# spatial join's data source), serving subsystem, ANN index, and
+# telemetry layer must never panic on bad data: unwraps are banned in
+# library code there (tests, via --lib's cfg(test) compilation, still
+# may). Panics become typed TrainError / IoError / GridError /
+# ServeError / AnnError values (telemetry additionally swallows export
+# errors entirely — a metrics failure must never kill a training run).
+step "cargo clippy -D clippy::unwrap_used (sarn-core, sarn-tensor, sarn-par, sarn-geo, sarn-roadnet, sarn-serve, sarn-ann, sarn-obs, sarn-pipeline lib code)"
+cargo clippy -p sarn-core -p sarn-tensor -p sarn-par -p sarn-geo -p sarn-roadnet -p sarn-serve -p sarn-ann -p sarn-obs -p sarn-pipeline --lib -- -D warnings -D clippy::unwrap_used
 
 step "cargo test"
 cargo test -q --workspace
@@ -148,8 +148,29 @@ test -s BENCH_9.json
 # Sharded-router system suite in release: the identity runs at 1 and 4
 # reader threads plus the chaos kill/recover run race real per-shard
 # pointer swaps, so they get optimized atomics rather than debug mode.
+# The suite also covers the ANN index: bitwise-deterministic HNSW builds
+# under 1 and 4 racing reader threads, and the corrupt-sidecar chaos leg
+# (fall back to exact scan, rebuild on the next reload).
 step "sharded router system tests (release)"
 cargo test -q --release -p sarn-sys-tests --test router_sharded
+
+# ANN load-generator smoke: closed-loop k-NN against the sharded router
+# at reduced scale, linear-scan vs HNSW per-shard legs, recall@10 against
+# the exact scan, written to the committed BENCH_10.json (SARN_REPORT_JSONL
+# appends, so start clean). CI gates are deliberately looser than the
+# committed full-scale run (shared runners are noisy): recall >= 0.9 and
+# per-shard p99 speedup >= 2x at the largest smoke scale; the binary
+# exits non-zero on any breach. The committed BENCH_10.json is produced
+# by a full default-scale run (>= 5x p99, recall >= 0.95).
+step "ANN load-generator smoke (BENCH_10.json)"
+rm -f BENCH_10.json
+SARN_REPORT_JSONL=BENCH_10.json \
+SARN_LOADGEN_SCALES=2000,12000,48000 SARN_LOADGEN_QUERIES=400 \
+SARN_LOADGEN_RECALL_QUERIES=48 SARN_LOADGEN_CONCURRENCY=2 \
+SARN_LOADGEN_DURATION_S=2 SARN_LOADGEN_MIN_RECALL=0.9 \
+SARN_LOADGEN_MIN_SPEEDUP=2 \
+  cargo run -q --release -p sarn-bench --bin load_gen
+test -s BENCH_10.json
 
 # Telemetry smoke: train twice (telemetry off/on — must be bitwise
 # identical), serve 100 queries per path, then require the exported
